@@ -1,0 +1,247 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these isolate the mechanisms behind them:
+
+* strict-vs-lazy expiry cost on the *foreground* workload (the price of
+  the paper's Redis timely-deletion patch);
+* read-payload audit logging vs mutation-only logging (what makes logging
+  the dominant Figure 4 overhead);
+* inverted-index vs sequential CONTAINS queries (the Figure 5c mechanism);
+* the wire/TLS layers' marginal cost per operation.
+"""
+
+import random
+
+from repro.clients import FeatureSet, make_client
+from repro.minisql import Cmp, Column, Contains, Database, INTEGER, TEXT_LIST
+
+
+def _fill_kv(client, n=2000):
+    for i in range(n):
+        client.ycsb_insert(f"user{i:010d}", {"field0": "x" * 100})
+
+
+def test_ablation_strict_ttl_foreground_cost(benchmark):
+    """Strict expiry scans the whole expires index every 100 ms tick; the
+    foreground insert path pays for it."""
+    client = make_client("redis", FeatureSet(timely_deletion=True, access_control=False))
+    try:
+        _fill_kv(client, 1000)
+
+        def read_block():
+            for i in range(500):
+                client.ycsb_read(f"user{i:010d}")
+
+        benchmark(read_block)
+    finally:
+        client.close()
+
+
+def test_ablation_audit_logging_cost(benchmark):
+    """Monitoring turns every read into read + payload-bearing log append."""
+    client = make_client("redis", FeatureSet(monitoring=True, access_control=False))
+    try:
+        _fill_kv(client, 1000)
+
+        def read_block():
+            for i in range(500):
+                client.ycsb_read(f"user{i:010d}")
+
+        benchmark(read_block)
+    finally:
+        client.close()
+
+
+def test_ablation_baseline_read_cost(benchmark):
+    """Reference point for the two ablations above."""
+    client = make_client("redis", FeatureSet.none())
+    try:
+        _fill_kv(client, 1000)
+
+        def read_block():
+            for i in range(500):
+                client.ycsb_read(f"user{i:010d}")
+
+        benchmark(read_block)
+    finally:
+        client.close()
+
+
+def _metadata_db(indexed: bool, rows: int = 4000) -> Database:
+    db = Database()
+    db.create_table(
+        "t", [Column("id", INTEGER, nullable=False), Column("tags", TEXT_LIST)],
+        primary_key="id",
+    )
+    rng = random.Random(1)
+    tokens = [f"tok{i}" for i in range(50)]
+    for i in range(rows):
+        db.insert("t", {"id": i, "tags": [rng.choice(tokens)]})
+    if indexed:
+        db.create_index("idx_tags", "t", "tags")
+    return db
+
+
+def test_ablation_contains_with_inverted_index(benchmark):
+    db = _metadata_db(indexed=True)
+    try:
+        result = benchmark(db.select, "t", Contains("tags", "tok7"))
+        assert result
+        assert "idx_tags" in db.explain("t", Contains("tags", "tok7"))
+    finally:
+        db.close()
+
+
+def test_ablation_contains_seqscan(benchmark):
+    db = _metadata_db(indexed=False)
+    try:
+        result = benchmark(db.select, "t", Contains("tags", "tok7"))
+        assert result
+    finally:
+        db.close()
+
+
+def test_ablation_heap_ttl_foreground_cost(benchmark):
+    """The §7.2 'efficient time-based deletion' answer: a deadline-ordered
+    heap keeps strict timeliness while the per-tick cost collapses from
+    O(n) scans to O(due entries).  Compare with
+    test_ablation_strict_ttl_foreground_cost above."""
+    from repro.clients import RedisGDPRClient
+
+    client = RedisGDPRClient(
+        FeatureSet(timely_deletion=True, access_control=False),
+        ttl_algorithm="heap",
+    )
+    try:
+        _fill_kv(client, 1000)
+
+        def read_block():
+            for i in range(500):
+                client.ycsb_read(f"user{i:010d}")
+
+        benchmark(read_block)
+    finally:
+        client.close()
+
+
+def test_ablation_heap_ttl_timeliness():
+    """Heap expiry must match strict's sub-second erasure guarantee."""
+    from repro.common.clock import VirtualClock
+    from repro.minikv import MiniKV, MiniKVConfig
+    from repro.minikv.expiry import TICK_SECONDS
+
+    clock = VirtualClock()
+    kv = MiniKV(MiniKVConfig(ttl_algorithm="heap"), clock=clock)
+    for i in range(4000):
+        kv.set(f"k{i}", b"v", ttl=300.0 if i % 5 == 0 else 432000.0)
+    clock.advance(300 + TICK_SECONDS)
+    kv.cron()
+    assert kv._expires.all_expired(clock.now()) == []
+    kv.close()
+
+
+def _redis_gdpr_client(client_indices: bool):
+    from repro.bench.records import RecordCorpusConfig, generate_corpus
+    from repro.clients import RedisGDPRClient
+
+    client = RedisGDPRClient(FeatureSet.none(), client_indices=client_indices)
+    client.load_records(generate_corpus(
+        RecordCorpusConfig(record_count=2000, user_count=200, seed=31)
+    ))
+    return client
+
+
+def test_ablation_redis_metadata_query_scan(benchmark):
+    """Stock architecture: READ-DATA-BY-USR walks the whole keyspace."""
+    from repro.gdpr import Principal
+
+    client = _redis_gdpr_client(client_indices=False)
+    try:
+        result = benchmark(
+            client.read_data_by_usr, Principal.customer("u00007"), "u00007"
+        )
+        assert len(result) == 10
+    finally:
+        client.close()
+
+
+def test_ablation_redis_metadata_query_indexed(benchmark):
+    """§7.2 'efficient metadata indexing': client-maintained SET reverse
+    indices turn the same query into one SMEMBERS + k HGETALLs."""
+    from repro.gdpr import Principal
+
+    client = _redis_gdpr_client(client_indices=True)
+    try:
+        result = benchmark(
+            client.read_data_by_usr, Principal.customer("u00007"), "u00007"
+        )
+        assert len(result) == 10
+    finally:
+        client.close()
+
+
+def _aof_engine(tmp_path_str, fsync):
+    from repro.minikv import MiniKV, MiniKVConfig
+
+    return MiniKV(MiniKVConfig(
+        aof_path=f"{tmp_path_str}/kv-{fsync}.aof", fsync=fsync, log_reads=True,
+    ))
+
+
+def test_ablation_audit_fsync_always(benchmark, tmp_path):
+    """§7.2 'efficient auditing': per-command fsync is the strict end."""
+    kv = _aof_engine(str(tmp_path), "always")
+    try:
+        def write_block():
+            for i in range(200):
+                kv.set(f"k{i}", b"v" * 50)
+
+        benchmark(write_block)
+    finally:
+        kv.close()
+
+
+def test_ablation_audit_fsync_everysec(benchmark, tmp_path):
+    """Group-commit batching (the paper's AOF configuration)."""
+    kv = _aof_engine(str(tmp_path), "everysec")
+    try:
+        def write_block():
+            for i in range(200):
+                kv.set(f"k{i}", b"v" * 50)
+
+        benchmark(write_block)
+    finally:
+        kv.close()
+
+
+def test_ablation_audit_fsync_no(benchmark, tmp_path):
+    """OS-buffered logging: cheapest, weakest durability guarantee."""
+    kv = _aof_engine(str(tmp_path), "no")
+    try:
+        def write_block():
+            for i in range(200):
+                kv.set(f"k{i}", b"v" * 50)
+
+        benchmark(write_block)
+    finally:
+        kv.close()
+
+
+def test_ablation_wire_serialisation_only(benchmark):
+    """The protocol-encoding cost every configuration pays."""
+    client = make_client("redis", FeatureSet.none())
+    try:
+        _fill_kv(client, 100)
+        benchmark(client.ycsb_read, "user0000000001")
+    finally:
+        client.close()
+
+
+def test_ablation_wire_with_tls(benchmark):
+    """Marginal cipher cost on top of serialisation (the encrypt bar)."""
+    client = make_client("redis", FeatureSet(encryption=True, access_control=False))
+    try:
+        _fill_kv(client, 100)
+        benchmark(client.ycsb_read, "user0000000001")
+    finally:
+        client.close()

@@ -1,0 +1,31 @@
+"""Figure 3a — Redis TTL erasure delay: lazy sampling vs strict scan.
+
+Paper: erasing expired keys takes minutes-to-hours under stock Redis'
+probabilistic expiry and grows with DB size (~3 h at 128K keys); the
+modified strict algorithm erases everything within sub-second latency.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import fig3a
+
+
+def test_fig3a_erasure_delay_curve(benchmark):
+    result = run_once(benchmark, fig3a.run, counts=(1000, 2000, 4000, 8000))
+    report(result)
+    # Quantitative shape: the growth is superlinear-ish in total keys —
+    # doubling the keyspace should at least ~1.5x the erasure delay.
+    delays = [row["lazy_erasure_s"] for row in result.rows]
+    for smaller, larger in zip(delays, delays[1:]):
+        assert larger > smaller * 1.4
+
+
+def test_fig3a_lazy_single_point(benchmark):
+    """Per-point cost of the lazy simulation itself (microbenchmark)."""
+    delay = benchmark(fig3a.erasure_delay, 2000, False)
+    assert delay > 1.0  # simulated seconds of lateness
+
+
+def test_fig3a_strict_always_subsecond(benchmark):
+    delay = benchmark(fig3a.erasure_delay, 4000, True)
+    assert delay < 1.0

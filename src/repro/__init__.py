@@ -1,0 +1,18 @@
+"""repro — reproduction of "Understanding and Benchmarking the Impact of
+GDPR on Database Systems" (Shastri et al., VLDB 2020).
+
+Subpackages
+-----------
+``repro.common``      clocks, request distributions, statistics
+``repro.crypto``      simulated LUKS (at-rest) / TLS (in-transit) boundaries
+``repro.minikv``      Redis-like in-memory KV store (lazy TTL, AOF)
+``repro.minisql``     PostgreSQL-like relational engine (B-tree indices,
+                      WAL, csvlog, TTL sweeper daemon)
+``repro.gdpr``        personal-data record model, GDPR query taxonomy,
+                      compliance features, audit, access control
+``repro.clients``     DB interface layer: one GDPR client stub per engine
+``repro.bench``       GDPRbench + YCSB workloads, runtime engine, metrics
+``repro.experiments`` one module per paper figure/table
+"""
+
+__version__ = "1.0.0"

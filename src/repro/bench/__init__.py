@@ -1,0 +1,66 @@
+"""GDPRbench + YCSB: workloads, runtime engine, metrics."""
+
+from .gdpr_workloads import (
+    CONTROLLER,
+    CORE_WORKLOADS,
+    CUSTOMER,
+    GDPRWorkloadSpec,
+    PROCESSOR,
+    REGULATOR,
+    make_operations,
+)
+from .operations import Operation
+from .records import (
+    RecordCorpusConfig,
+    generate_corpus,
+    key_for,
+    logical_space_factor,
+    make_record,
+    user_for,
+)
+from .runtime import RunReport, run_workload
+from .session import (
+    GDPRBenchConfig,
+    GDPRBenchSession,
+    YCSBSession,
+    YCSBSessionConfig,
+)
+from .ycsb import (
+    WORKLOADS as YCSB_WORKLOADS,
+    YCSBConfig,
+    YCSBSpec,
+    load_operations,
+    run_load,
+    transaction_operations,
+    ycsb_key,
+)
+
+__all__ = [
+    "Operation",
+    "RecordCorpusConfig",
+    "generate_corpus",
+    "make_record",
+    "key_for",
+    "user_for",
+    "logical_space_factor",
+    "GDPRWorkloadSpec",
+    "CORE_WORKLOADS",
+    "CONTROLLER",
+    "CUSTOMER",
+    "PROCESSOR",
+    "REGULATOR",
+    "make_operations",
+    "RunReport",
+    "run_workload",
+    "GDPRBenchConfig",
+    "GDPRBenchSession",
+    "YCSBSession",
+    "YCSBSessionConfig",
+    "YCSBConfig",
+    "YCSBSpec",
+    "YCSB_WORKLOADS",
+    "load_operations",
+    "run_load",
+    "transaction_operations",
+    "ycsb_key",
+]

@@ -1,0 +1,275 @@
+"""Exact-oracle correctness checking for single-threaded GDPRbench runs.
+
+Section 4.2.3 defines correctness as "the percentage of query responses
+that match the results expected by the benchmark".  Under concurrency the
+expected result of a query is racy, so the default validators check
+invariants; in single-threaded mode we can do what GDPRbench itself does:
+maintain a shadow copy of the personal-data store and compare every
+response against it exactly.
+
+:class:`ShadowStore` mirrors the client operations in plain Python;
+:func:`run_with_oracle` executes a workload single-threaded, applying each
+operation to both the real client and the shadow, and reports exact
+correctness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.gdpr.record import PersonalRecord
+
+from .runtime import RunReport
+from repro.common.stats import StatsCollector
+
+
+class ShadowStore:
+    """A dict-of-records model of the personal-data store."""
+
+    def __init__(self, clock=None) -> None:
+        self._records: dict[str, PersonalRecord] = {}
+        self._expiry: dict[str, float] = {}
+        self._clock = clock
+        self._now = 0.0
+
+    def _time(self) -> float:
+        return self._clock.now() if self._clock is not None else self._now
+
+    # -- load/create -------------------------------------------------------
+
+    def load(self, records) -> None:
+        for record in records:
+            self.create(record)
+
+    def create(self, record: PersonalRecord) -> bool:
+        self._records[record.key] = record
+        self._expiry[record.key] = self._time() + record.ttl_seconds
+        return True
+
+    # -- reads ----------------------------------------------------------------
+
+    def read_data_by_key(self, key: str):
+        record = self._records.get(key)
+        return None if record is None else record.data
+
+    def read_data_by_pur(self, purpose: str):
+        return sorted(
+            (r.key, r.data) for r in self._records.values() if purpose in r.purposes
+        )
+
+    def read_data_by_usr(self, user: str):
+        return sorted(
+            (r.key, r.data) for r in self._records.values() if r.user == user
+        )
+
+    def read_data_by_obj(self, purpose: str):
+        return sorted(
+            (r.key, r.data)
+            for r in self._records.values()
+            if purpose not in r.objections
+        )
+
+    def read_data_by_dec(self, decision: str):
+        return sorted(
+            (r.key, r.data) for r in self._records.values() if decision in r.decisions
+        )
+
+    def read_metadata_by_key(self, key: str):
+        record = self._records.get(key)
+        return None if record is None else record.metadata()
+
+    def read_metadata_by_usr(self, user: str):
+        return sorted(
+            ((r.key, r.metadata()) for r in self._records.values() if r.user == user),
+            key=lambda pair: pair[0],
+        )
+
+    def read_metadata_by_shr(self, party: str):
+        return sorted(
+            ((r.key, r.metadata()) for r in self._records.values()
+             if party in r.shared_with),
+            key=lambda pair: pair[0],
+        )
+
+    # -- updates ---------------------------------------------------------------
+
+    _FIELD_FOR = {
+        "PUR": "purposes",
+        "USR": "user",
+        "OBJ": "objections",
+        "DEC": "decisions",
+        "SHR": "shared_with",
+        "SRC": "source",
+    }
+
+    def update_data_by_key(self, key: str, data: str) -> int:
+        record = self._records.get(key)
+        if record is None:
+            return 0
+        self._records[key] = record.with_metadata(data=data)
+        return 1
+
+    def _apply_metadata(self, key: str, attribute: str, value) -> None:
+        record = self._records[key]
+        attribute = attribute.upper()
+        if attribute == "TTL":
+            self._records[key] = record.with_metadata(ttl_seconds=float(value))
+            self._expiry[key] = self._time() + float(value)
+        else:
+            self._records[key] = record.with_metadata(
+                **{self._FIELD_FOR[attribute]: value}
+            )
+
+    def update_metadata_by_key(self, key: str, attribute: str, value) -> int:
+        if key not in self._records:
+            return 0
+        self._apply_metadata(key, attribute, value)
+        return 1
+
+    def _update_where(self, keep, attribute: str, value) -> int:
+        keys = [k for k, r in self._records.items() if keep(r)]
+        for key in keys:
+            self._apply_metadata(key, attribute, value)
+        return len(keys)
+
+    def update_metadata_by_pur(self, purpose, attribute, value) -> int:
+        return self._update_where(lambda r: purpose in r.purposes, attribute, value)
+
+    def update_metadata_by_usr(self, user, attribute, value) -> int:
+        return self._update_where(lambda r: r.user == user, attribute, value)
+
+    def update_metadata_by_shr(self, party, attribute, value) -> int:
+        return self._update_where(lambda r: party in r.shared_with, attribute, value)
+
+    # -- deletes ---------------------------------------------------------------
+
+    def delete_record_by_key(self, key: str) -> int:
+        if self._records.pop(key, None) is None:
+            return 0
+        self._expiry.pop(key, None)
+        return 1
+
+    def _delete_where(self, keep) -> int:
+        victims = [k for k, r in self._records.items() if keep(r)]
+        for key in victims:
+            del self._records[key]
+            self._expiry.pop(key, None)
+        return len(victims)
+
+    def delete_record_by_pur(self, purpose: str) -> int:
+        return self._delete_where(lambda r: purpose in r.purposes)
+
+    def delete_record_by_usr(self, user: str) -> int:
+        return self._delete_where(lambda r: r.user == user)
+
+    def delete_record_by_ttl(self) -> int:
+        now = self._time()
+        victims = [k for k, deadline in self._expiry.items() if deadline <= now]
+        for key in victims:
+            del self._records[key]
+            del self._expiry[key]
+        return len(victims)
+
+    def record_exists(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+@dataclass
+class OracleMismatch:
+    """One response that diverged from the shadow's expectation."""
+
+    operation: str
+    expected: object
+    actual: object
+
+
+def _canonical(value):
+    """Order-insensitive comparison form for list responses."""
+    if isinstance(value, list):
+        return sorted(value, key=repr)
+    return value
+
+
+class OracleValidator:
+    """Pairs a client operation with its shadow expectation."""
+
+    def __init__(self, shadow: ShadowStore) -> None:
+        self.shadow = shadow
+        self.mismatches: list[OracleMismatch] = []
+        self.checked = 0
+
+    def check(self, op_name: str, args: tuple, actual) -> bool:
+        """Apply the shadow op, compare responses, record divergence."""
+        method = getattr(self.shadow, op_name.replace("-", "_"), None)
+        if method is None:
+            return True  # no shadow model for this op (e.g. get-system-logs)
+        expected = method(*args)
+        self.checked += 1
+        if _canonical(expected) != _canonical(actual):
+            self.mismatches.append(OracleMismatch(op_name, expected, actual))
+            return False
+        return True
+
+
+#: client operations the oracle models exactly, keyed by taxonomy name,
+#: mapping to (client-callable name, shadow-callable name).
+_EXACT_OPS = {
+    "read-data-by-key", "read-data-by-pur", "read-data-by-usr",
+    "read-data-by-obj", "read-data-by-dec",
+    "read-metadata-by-key", "read-metadata-by-usr", "read-metadata-by-shr",
+    "update-data-by-key", "update-metadata-by-key", "update-metadata-by-pur",
+    "update-metadata-by-usr", "update-metadata-by-shr",
+    "delete-record-by-key", "delete-record-by-pur", "delete-record-by-usr",
+}
+
+
+def run_with_oracle(client, shadow: ShadowStore, calls) -> RunReport:
+    """Run (op_name, args, execute) triples single-threaded with the oracle.
+
+    ``calls`` is an iterable of ``(op_name, args, execute)`` where
+    ``execute(client)`` performs the operation and ``args`` are the
+    semantic arguments the shadow needs.  Returns a RunReport whose
+    correctness counts exact response matches.
+    """
+    validator = OracleValidator(shadow)
+    stats = StatsCollector()
+    correct = 0
+    failed = 0
+    total = 0
+    stats.start(0.0)
+    began = time.perf_counter()
+    for op_name, args, execute in calls:
+        total += 1
+        started = time.perf_counter()
+        try:
+            actual = execute(client)
+            error = False
+        except Exception:
+            actual = None
+            error = True
+        stats.record(op_name, (time.perf_counter() - started) * 1e6, success=not error)
+        if error:
+            failed += 1
+            continue
+        if op_name in _EXACT_OPS:
+            if validator.check(op_name, args, actual):
+                correct += 1
+        else:
+            correct += 1
+    elapsed = time.perf_counter() - began
+    stats.finish(elapsed)
+    report = RunReport(
+        workload="oracle",
+        engine=getattr(client, "engine_name", "unknown"),
+        operations=total,
+        correct=correct,
+        failed=failed,
+        completion_time_s=elapsed,
+        stats=stats,
+    )
+    report.oracle_mismatches = validator.mismatches  # type: ignore[attr-defined]
+    return report

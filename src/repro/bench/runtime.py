@@ -1,0 +1,130 @@
+"""The benchmark runtime engine: threads + stats (reused YCSB machinery).
+
+GDPRbench keeps YCSB's runtime engine (Figure 2b) — a pool of client
+threads draining a shared operation stream while a stats collector records
+per-operation latencies.  :func:`run_workload` reproduces that: operations
+are pre-generated (deterministic), threads pull them off a queue, and the
+result is a :class:`RunReport` carrying the three GDPRbench metrics —
+correctness, completion time, and space overhead (Section 4.2.3).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.common.errors import BenchmarkError
+from repro.common.stats import StatsCollector
+
+from .operations import Operation
+
+
+@dataclass
+class RunReport:
+    """Everything one workload run produced."""
+
+    workload: str
+    engine: str
+    operations: int
+    correct: int
+    failed: int
+    completion_time_s: float
+    stats: StatsCollector
+    space_overhead: float | None = None
+
+    @property
+    def correctness_pct(self) -> float:
+        """Section 4.2.3: % of responses matching expectations."""
+        if self.operations == 0:
+            return 100.0
+        return 100.0 * self.correct / self.operations
+
+    @property
+    def throughput_ops_s(self) -> float:
+        if self.completion_time_s <= 0:
+            return 0.0
+        return self.operations / self.completion_time_s
+
+    def summary(self) -> dict:
+        return {
+            "workload": self.workload,
+            "engine": self.engine,
+            "operations": self.operations,
+            "correctness_pct": round(self.correctness_pct, 3),
+            "completion_time_s": round(self.completion_time_s, 6),
+            "throughput_ops_s": round(self.throughput_ops_s, 2),
+            "space_overhead": (
+                round(self.space_overhead, 3) if self.space_overhead is not None else None
+            ),
+            "per_operation": self.stats.summary()["operations"],
+        }
+
+
+def run_workload(
+    client,
+    operations: list[Operation],
+    threads: int = 1,
+    workload_name: str = "unnamed",
+    measure_space: bool = False,
+) -> RunReport:
+    """Execute pre-generated operations against ``client`` with a thread pool.
+
+    Exceptions raised by an operation count as failures (and incorrect
+    responses), mirroring how YCSB tallies errored operations; the run
+    itself always completes.
+    """
+    if threads < 1:
+        raise BenchmarkError("need at least one thread")
+    stats = StatsCollector()
+    work: queue.SimpleQueue = queue.SimpleQueue()
+    for op in operations:
+        work.put(op)
+    correct_lock = threading.Lock()
+    tally = {"correct": 0, "failed": 0}
+
+    def worker() -> None:
+        while True:
+            try:
+                op = work.get_nowait()
+            except queue.Empty:
+                return
+            started = time.perf_counter()
+            try:
+                _, ok = op.run(client)
+                error = False
+            except Exception:
+                ok = False
+                error = True
+            latency_us = (time.perf_counter() - started) * 1e6
+            stats.record(op.name, latency_us, success=not error)
+            with correct_lock:
+                if ok:
+                    tally["correct"] += 1
+                if error:
+                    tally["failed"] += 1
+
+    began = time.perf_counter()
+    stats.start(0.0)
+    if threads == 1:
+        worker()
+    else:
+        pool = [threading.Thread(target=worker, daemon=True) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+    elapsed = time.perf_counter() - began
+    stats.finish(elapsed)
+
+    return RunReport(
+        workload=workload_name,
+        engine=getattr(client, "engine_name", "unknown"),
+        operations=len(operations),
+        correct=tally["correct"],
+        failed=tally["failed"],
+        completion_time_s=elapsed,
+        stats=stats,
+        space_overhead=client.space_overhead() if measure_space else None,
+    )

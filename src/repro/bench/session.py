@@ -1,0 +1,131 @@
+"""High-level benchmark sessions: load a corpus, run workloads, report.
+
+This is the piece a user scripts against (and what the experiment modules
+call): choose an engine + feature set, load the personal-data corpus, then
+run any of the four GDPR workloads or a YCSB mix under a thread count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clients import FeatureSet, make_client
+
+from . import ycsb as ycsb_mod
+from .gdpr_workloads import CORE_WORKLOADS, GDPRWorkloadSpec, make_operations
+from .records import RecordCorpusConfig, generate_corpus, logical_space_factor
+from .runtime import RunReport, run_workload
+
+
+@dataclass
+class GDPRBenchConfig:
+    """One GDPRbench invocation (paper defaults, scaled by the caller)."""
+
+    engine: str = "redis"
+    features: FeatureSet = field(default_factory=FeatureSet.full)
+    corpus: RecordCorpusConfig = field(default_factory=RecordCorpusConfig)
+    operation_count: int = 1000
+    threads: int = 8       # the paper runs GDPRbench with 8 threads
+    seed: int = 11
+
+
+class GDPRBenchSession:
+    """Owns a client and a loaded corpus; runs workloads on demand."""
+
+    def __init__(self, config: GDPRBenchConfig, client=None) -> None:
+        self.config = config
+        self.client = client or make_client(config.engine, config.features)
+        self.records = generate_corpus(config.corpus)
+        self.loaded = False
+
+    def load(self) -> int:
+        count = self.client.load_records(self.records)
+        self.loaded = True
+        return count
+
+    def run(self, workload: str | GDPRWorkloadSpec, measure_space: bool = True) -> RunReport:
+        if not self.loaded:
+            self.load()
+        spec = CORE_WORKLOADS[workload] if isinstance(workload, str) else workload
+        operations = make_operations(
+            spec, self.config.corpus, self.config.operation_count, seed=self.config.seed
+        )
+        return run_workload(
+            self.client,
+            operations,
+            threads=self.config.threads,
+            workload_name=spec.name,
+            measure_space=measure_space,
+        )
+
+    def run_all(self) -> dict[str, RunReport]:
+        """All four core workloads, in the paper's presentation order."""
+        return {
+            name: self.run(name)
+            for name in ("controller", "customer", "processor", "regulator")
+        }
+
+    def logical_space_factor(self) -> float:
+        return logical_space_factor(self.records)
+
+    def close(self) -> None:
+        self.client.close()
+
+    def __enter__(self) -> "GDPRBenchSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class YCSBSessionConfig:
+    """One YCSB invocation (Section 6.1 uses 16 threads, 2M/2M)."""
+
+    engine: str = "redis"
+    features: FeatureSet = field(default_factory=FeatureSet.none)
+    ycsb: ycsb_mod.YCSBConfig = field(default_factory=ycsb_mod.YCSBConfig)
+    threads: int = 16
+
+
+class YCSBSession:
+    """Loads the usertable then runs any of workloads A-F."""
+
+    def __init__(self, config: YCSBSessionConfig, client=None) -> None:
+        self.config = config
+        self.client = client or make_client(config.engine, config.features)
+        self.loaded = False
+        self._next_insert_key = config.ycsb.record_count
+
+    def load(self) -> RunReport:
+        operations = ycsb_mod.load_operations(self.config.ycsb)
+        report = run_workload(
+            self.client, operations, threads=self.config.threads, workload_name="load"
+        )
+        self.loaded = True
+        return report
+
+    def run(self, workload: str) -> RunReport:
+        if not self.loaded:
+            self.load()
+        spec = ycsb_mod.WORKLOADS[workload.upper()]
+        operations = ycsb_mod.transaction_operations(
+            spec, self.config.ycsb, insert_start=self._next_insert_key
+        )
+        # Reserve key space for this run's inserts so back-to-back workloads
+        # on one database never collide on the primary key.
+        inserts = sum(1 for op in operations if op.name == "insert")
+        self._next_insert_key += inserts
+        return run_workload(
+            self.client, operations, threads=self.config.threads,
+            workload_name=f"ycsb-{spec.name}",
+        )
+
+    def close(self) -> None:
+        self.client.close()
+
+    def __enter__(self) -> "YCSBSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,166 @@
+"""YCSB core workloads (Cooper et al., SoCC 2010) — the traditional baseline.
+
+The paper (Table 2, Section 6.1) runs the six standard mixes:
+
+=========  =======================  =====================  ============
+Workload   Operations               Application             Distribution
+=========  =======================  =====================  ============
+Load       100% insert              bulk DB insert          ordered
+A          50/50 read/update        session store           zipfian
+B          95/5 read/update         photo tagging           zipfian
+C          100% read                user profile cache      zipfian
+D          95/5 read/insert         user status update      latest
+E          95/5 scan/insert         threaded conversation   zipfian
+F          100% read-modify-write   user activity record    zipfian
+=========  =======================  =====================  ============
+
+Record shape follows YCSB defaults scaled down: 10 fields per record,
+``field_length`` bytes each.  Operations are pre-generated (deterministic
+from a seed) and handed to the runtime engine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.distributions import (
+    CounterGenerator,
+    DiscreteGenerator,
+    make_key_chooser,
+)
+from repro.common.errors import WorkloadError
+
+from .operations import Operation, is_nonneg_int, is_optional_str
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def ycsb_key(index: int) -> str:
+    """YCSB-style key: zero-padded so lexicographic order == numeric."""
+    return f"user{index:010d}"
+
+
+@dataclass(frozen=True)
+class YCSBSpec:
+    """One workload's mix and request distribution."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    read_modify_write: float = 0.0
+    distribution: str = "zipfian"
+    max_scan_length: int = 100
+
+    def __post_init__(self):
+        total = self.read + self.update + self.insert + self.scan + self.read_modify_write
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(f"workload {self.name}: proportions sum to {total}")
+
+
+#: The paper's Table 2 rows.
+WORKLOADS: dict[str, YCSBSpec] = {
+    "A": YCSBSpec("A", read=0.5, update=0.5, distribution="zipfian"),
+    "B": YCSBSpec("B", read=0.95, update=0.05, distribution="zipfian"),
+    "C": YCSBSpec("C", read=1.0, distribution="zipfian"),
+    "D": YCSBSpec("D", read=0.95, insert=0.05, distribution="latest"),
+    "E": YCSBSpec("E", scan=0.95, insert=0.05, distribution="zipfian"),
+    "F": YCSBSpec("F", read_modify_write=1.0, distribution="zipfian"),
+}
+
+
+@dataclass
+class YCSBConfig:
+    record_count: int = 1000
+    operation_count: int = 1000
+    field_count: int = 10
+    field_length: int = 100
+    seed: int = 7
+
+
+def make_fields(rng: random.Random, config: YCSBConfig) -> dict[str, str]:
+    filler = "".join(rng.choice(_ALPHABET) for _ in range(config.field_length))
+    return {f"field{i}": filler for i in range(config.field_count)}
+
+
+def load_operations(config: YCSBConfig) -> list[Operation]:
+    """The Load workload: 100% ordered inserts."""
+    rng = random.Random(config.seed)
+    ops = []
+    for i in range(config.record_count):
+        key = ycsb_key(i)
+        fields = make_fields(rng, config)
+        ops.append(
+            Operation(
+                name="insert",
+                execute=lambda c, k=key, f=fields: c.ycsb_insert(k, f),
+            )
+        )
+    return ops
+
+
+def run_load(client, config: YCSBConfig) -> int:
+    """Convenience: execute the load phase synchronously."""
+    count = 0
+    for op in load_operations(config):
+        op.execute(client)
+        count += 1
+    return count
+
+
+def transaction_operations(
+    spec: YCSBSpec, config: YCSBConfig, insert_start: int | None = None
+) -> list[Operation]:
+    """Pre-generate the transaction phase for one workload.
+
+    ``insert_start`` is the first unused key index; callers running several
+    workloads against one database must advance it past prior inserts so
+    insert keys stay unique (YCSB's transactioninsertkeysequence).
+    """
+    rng = random.Random(config.seed ^ hash(spec.name) & 0xFFFF)
+    insert_counter = CounterGenerator(
+        config.record_count if insert_start is None else insert_start
+    )
+    chooser = make_key_chooser(
+        spec.distribution, 0, config.record_count - 1,
+        rng=rng, insert_counter=insert_counter,
+    )
+    mix = DiscreteGenerator(rng=rng)
+    for op_name, weight in (
+        ("read", spec.read),
+        ("update", spec.update),
+        ("insert", spec.insert),
+        ("scan", spec.scan),
+        ("rmw", spec.read_modify_write),
+    ):
+        mix.add_value(op_name, weight)
+
+    ops: list[Operation] = []
+    for _ in range(config.operation_count):
+        op_name = mix.next_value()
+        if op_name == "insert":
+            index = insert_counter.next_value()
+            key = ycsb_key(index)
+            fields = make_fields(rng, config)
+            ops.append(Operation("insert", lambda c, k=key, f=fields: c.ycsb_insert(k, f)))
+            continue
+        index = chooser.next_value()
+        key = ycsb_key(index)
+        if op_name == "read":
+            ops.append(Operation("read", lambda c, k=key: c.ycsb_read(k),
+                                 validate=lambda r: r is None or isinstance(r, dict)))
+        elif op_name == "update":
+            fields = {"field0": "".join(rng.choice(_ALPHABET) for _ in range(config.field_length))}
+            ops.append(Operation("update", lambda c, k=key, f=fields: c.ycsb_update(k, f),
+                                 validate=is_nonneg_int))
+        elif op_name == "scan":
+            length = rng.randint(1, spec.max_scan_length)
+            ops.append(Operation("scan", lambda c, k=key, n=length: c.ycsb_scan(k, n),
+                                 validate=lambda r: isinstance(r, list)))
+        else:  # read-modify-write
+            fields = {"field0": "".join(rng.choice(_ALPHABET) for _ in range(config.field_length))}
+            ops.append(Operation("rmw", lambda c, k=key, f=fields: c.ycsb_read_modify_write(k, f),
+                                 validate=is_nonneg_int))
+    return ops

@@ -1,0 +1,30 @@
+"""DB interface layer: one GDPR client stub per engine (Figure 2b)."""
+
+from .base import FeatureSet, GDPRClient, normalise_attribute
+from .redis_client import RedisGDPRClient
+from .sql_client import SQLGDPRClient
+
+CLIENTS = {
+    "redis": RedisGDPRClient,
+    "postgres": SQLGDPRClient,
+}
+
+
+def make_client(engine: str, features: FeatureSet | None = None, **kwargs) -> GDPRClient:
+    """Instantiate a client stub by engine name ('redis' or 'postgres')."""
+    try:
+        cls = CLIENTS[engine]
+    except KeyError:
+        raise ValueError(f"unknown engine {engine!r}; choose from {sorted(CLIENTS)}") from None
+    return cls(features=features, **kwargs)
+
+
+__all__ = [
+    "FeatureSet",
+    "GDPRClient",
+    "RedisGDPRClient",
+    "SQLGDPRClient",
+    "make_client",
+    "normalise_attribute",
+    "CLIENTS",
+]

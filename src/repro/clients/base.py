@@ -1,0 +1,277 @@
+"""DB interface layer: the abstract GDPR client every engine stub implements.
+
+GDPRbench's architecture (Figure 2b) puts a storage-interface layer between
+the workload executor and the database: one client stub per system that
+translates generic operations into engine APIs.  This module defines that
+generic operation surface:
+
+* the 21 GDPR queries of Section 3.3 (each takes the issuing
+  :class:`~repro.gdpr.acl.Principal`, because the paper enforces
+  metadata-based access control in the client);
+* the 5 YCSB primitives (read/update/insert/scan/read-modify-write) used
+  for the traditional-workload baselines;
+* the space-accounting hooks behind the Table 3 metric.
+
+Feature switches are uniform across engines via :class:`FeatureSet`, so a
+benchmark can say "encryption + logging" without knowing which engine it
+drives.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.common.errors import GDPRError
+from repro.gdpr.acl import AccessController, Principal
+from repro.gdpr.compliance import ComplianceReport, evaluate_features
+from repro.gdpr.record import PersonalRecord, parse_ttl
+
+#: Scalar vs list-valued metadata attributes (wire names).
+LIST_ATTRIBUTES = ("PUR", "OBJ", "DEC", "SHR")
+SCALAR_ATTRIBUTES = ("TTL", "USR", "SRC")
+
+
+@dataclass
+class FeatureSet:
+    """Which GDPR retrofits are active on a deployment (Section 5)."""
+
+    encryption: bool = False        # LUKS at rest + TLS in transit
+    timely_deletion: bool = False   # strict TTL (minikv) / sweeper (minisql)
+    monitoring: bool = False        # audit logging incl. reads
+    access_control: bool = True     # client-side metadata ACL
+    metadata_indexing: bool = False # secondary indices (minisql only)
+
+    @classmethod
+    def none(cls) -> "FeatureSet":
+        """Baseline: no GDPR features (the paper's stock configurations)."""
+        return cls(access_control=False)
+
+    @classmethod
+    def full(cls, metadata_indexing: bool = False) -> "FeatureSet":
+        """All features on — the 'Combined' bars of Figure 4."""
+        return cls(
+            encryption=True,
+            timely_deletion=True,
+            monitoring=True,
+            access_control=True,
+            metadata_indexing=metadata_indexing,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "encryption": self.encryption,
+            "timely_deletion": self.timely_deletion,
+            "monitoring": self.monitoring,
+            "access_control": self.access_control,
+            "metadata_indexing": self.metadata_indexing,
+        }
+
+
+def normalise_attribute(attribute: str, value):
+    """Canonicalise an UPDATE-METADATA value for its attribute.
+
+    List attributes take a tuple of strings (a single string becomes a
+    one-element tuple); TTL takes seconds (or a ``365days`` string);
+    USR/SRC take a plain string.
+    """
+    attribute = attribute.upper()
+    if attribute in LIST_ATTRIBUTES:
+        if isinstance(value, str):
+            value = (value,) if value else ()
+        return tuple(value)
+    if attribute == "TTL":
+        if isinstance(value, str):
+            return parse_ttl(value)
+        return float(value)
+    if attribute in SCALAR_ATTRIBUTES:
+        if not isinstance(value, str):
+            raise GDPRError(f"{attribute} expects a string, got {value!r}")
+        return value
+    raise GDPRError(f"unknown metadata attribute {attribute!r}")
+
+
+class GDPRClient(ABC):
+    """Abstract client: GDPR queries + YCSB primitives against one engine."""
+
+    #: human-readable engine name ('redis' / 'postgres' analogues)
+    engine_name = "abstract"
+
+    def __init__(self, features: FeatureSet) -> None:
+        self.features = features
+        self.acl = AccessController(enabled=features.access_control)
+
+    # ------------------------------------------------------------------
+    # Load phase
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def load_records(self, records: Iterable[PersonalRecord]) -> int:
+        """Bulk-load the personal-data table (benchmark load phase)."""
+
+    # ------------------------------------------------------------------
+    # CREATE / DELETE
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def create_record(self, principal: Principal, record: PersonalRecord) -> bool:
+        """CREATE-RECORD (G 24)."""
+
+    @abstractmethod
+    def delete_record_by_key(self, principal: Principal, key: str) -> int:
+        """DELETE-RECORD-BY-KEY (G 17); returns records erased."""
+
+    @abstractmethod
+    def delete_record_by_pur(self, principal: Principal, purpose: str) -> int:
+        """DELETE-RECORD-BY-PUR (G 5(1b))."""
+
+    @abstractmethod
+    def delete_record_by_ttl(self, principal: Principal) -> int:
+        """DELETE-RECORD-BY-TTL (G 5(1e)): purge everything expired."""
+
+    @abstractmethod
+    def delete_record_by_usr(self, principal: Principal, user: str) -> int:
+        """DELETE-RECORD-BY-USR (G 17)."""
+
+    # ------------------------------------------------------------------
+    # READ-DATA
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def read_data_by_key(self, principal: Principal, key: str) -> str | None:
+        """READ-DATA-BY-KEY (G 28)."""
+
+    @abstractmethod
+    def read_data_by_pur(self, principal: Principal, purpose: str) -> list:
+        """READ-DATA-BY-PUR (G 28): [(key, data)] with the purpose."""
+
+    @abstractmethod
+    def read_data_by_usr(self, principal: Principal, user: str) -> list:
+        """READ-DATA-BY-USR (G 20): a customer's full data export."""
+
+    @abstractmethod
+    def read_data_by_obj(self, principal: Principal, purpose: str) -> list:
+        """READ-DATA-BY-OBJ (G 21(3)): records NOT objecting to a usage."""
+
+    @abstractmethod
+    def read_data_by_dec(self, principal: Principal, decision: str) -> list:
+        """READ-DATA-BY-DEC (G 22): records enrolled in a decision use."""
+
+    # ------------------------------------------------------------------
+    # READ-METADATA
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def read_metadata_by_key(self, principal: Principal, key: str) -> dict | None:
+        """READ-METADATA-BY-KEY (G 15)."""
+
+    @abstractmethod
+    def read_metadata_by_usr(self, principal: Principal, user: str) -> list:
+        """READ-METADATA-BY-USR (G 15): [(key, metadata dict)]."""
+
+    @abstractmethod
+    def read_metadata_by_shr(self, principal: Principal, third_party: str) -> list:
+        """READ-METADATA-BY-SHR (G 13(1))."""
+
+    # ------------------------------------------------------------------
+    # UPDATE
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def update_data_by_key(self, principal: Principal, key: str, data: str) -> int:
+        """UPDATE-DATA-BY-KEY (G 16): rectification."""
+
+    @abstractmethod
+    def update_metadata_by_key(self, principal: Principal, key: str, attribute: str, value) -> int:
+        """UPDATE-METADATA-BY-KEY (G 18(1), 7(3), 22(3))."""
+
+    @abstractmethod
+    def update_metadata_by_pur(self, principal: Principal, purpose: str, attribute: str, value) -> int:
+        """UPDATE-METADATA-BY-PUR (G 13(3))."""
+
+    @abstractmethod
+    def update_metadata_by_usr(self, principal: Principal, user: str, attribute: str, value) -> int:
+        """UPDATE-METADATA-BY-USR (G 13(3))."""
+
+    @abstractmethod
+    def update_metadata_by_shr(self, principal: Principal, third_party: str, attribute: str, value) -> int:
+        """UPDATE-METADATA-BY-SHR (G 13(3))."""
+
+    # ------------------------------------------------------------------
+    # GET-SYSTEM
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def get_system_logs(self, principal: Principal, start: float | None = None,
+                        end: float | None = None, limit: int = 100) -> list:
+        """GET-SYSTEM-LOGS (G 33, 34)."""
+
+    def get_system_features(self, principal: Principal) -> ComplianceReport:
+        """GET-SYSTEM-FEATURES (G 24, 25)."""
+        self.acl.check_operation(principal, "get-system-features")
+        return evaluate_features(self.features.as_dict())
+
+    def verify_deletion(self, principal: Principal, key: str) -> bool:
+        """VERIFY-DELETION: True when no trace of ``key`` remains."""
+        self.acl.check_operation(principal, "verify-deletion")
+        return self._record_exists(key) is False
+
+    @abstractmethod
+    def _record_exists(self, key: str) -> bool:
+        """Engine-side existence probe used by verify_deletion."""
+
+    # ------------------------------------------------------------------
+    # YCSB primitives (traditional workloads; no GDPR semantics)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def ycsb_insert(self, key: str, fields: dict) -> None: ...
+
+    @abstractmethod
+    def ycsb_read(self, key: str, fields: Sequence[str] | None = None) -> dict | None: ...
+
+    @abstractmethod
+    def ycsb_update(self, key: str, fields: dict) -> int: ...
+
+    @abstractmethod
+    def ycsb_scan(self, start_key: str, count: int) -> list: ...
+
+    def ycsb_read_modify_write(self, key: str, fields: dict) -> int:
+        existing = self.ycsb_read(key)
+        if existing is None:
+            return 0
+        return self.ycsb_update(key, fields)
+
+    # ------------------------------------------------------------------
+    # Space accounting (Table 3)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def personal_data_bytes(self) -> int:
+        """Total bytes of personal data proper (Table 3 denominator)."""
+
+    @abstractmethod
+    def total_db_bytes(self) -> int:
+        """Total database footprint (Table 3 numerator)."""
+
+    @abstractmethod
+    def record_count(self) -> int: ...
+
+    def space_overhead(self) -> float:
+        """Table 3's space factor: total DB size / personal data size."""
+        personal = self.personal_data_bytes()
+        if personal == 0:
+            return 0.0
+        return self.total_db_bytes() / personal
+
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def close(self) -> None: ...
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

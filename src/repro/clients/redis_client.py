@@ -1,0 +1,629 @@
+"""GDPR client stub for minikv (the Redis-like engine).
+
+Mirrors how GDPRbench drives Redis (Section 5.1):
+
+* each personal record is a hash at ``rec:<key>`` whose fields are the
+  data plus the seven metadata attributes (and ``EXP``, the absolute
+  expiry deadline the controller needs for purge-by-TTL);
+* Redis has **no secondary indices**, so every metadata-conditioned query
+  (by user, purpose, objection, sharing...) is a full keyspace SCAN with a
+  client-side filter — the O(n) access the paper blames for Redis' 4
+  orders of magnitude GDPRbench slowdown;
+* encryption in transit (the Stunnel analogue) wraps every request and
+  response payload on a loopback secure link;
+* metadata-based access control is enforced here in the client, exactly
+  as the paper does.
+
+YCSB rows live in hashes at ``user:<key>``; an in-client sorted key list
+plays the role the YCSB Redis binding gives to a ZSET index for scans.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+from typing import Iterable, Sequence
+
+from repro.common.clock import Clock, SystemClock
+from repro.crypto.tls import LoopbackSecureLink
+from repro.gdpr.acl import Principal
+from repro.gdpr.audit import AuditEvent, events_from_aof
+from repro.gdpr.record import PersonalRecord, format_ttl, parse_ttl
+from repro.minikv.engine import MiniKV, MiniKVConfig
+
+from .base import FeatureSet, GDPRClient, normalise_attribute
+
+_REC_PREFIX = "rec:"
+_YCSB_PREFIX = "user:"
+_SCAN_BATCH = 256
+
+
+class RedisGDPRClient(GDPRClient):
+    """DB-interface stub translating GDPR queries into minikv commands."""
+
+    engine_name = "redis"
+
+    def __init__(
+        self,
+        features: FeatureSet | None = None,
+        data_dir: str | None = None,
+        clock: Clock | None = None,
+        expiry_seed: int = 0,
+        engine_ttl: bool = True,
+        ttl_algorithm: str = "",
+        client_indices: bool = False,
+    ) -> None:
+        super().__init__(features or FeatureSet.none())
+        self.clock = clock or SystemClock()
+        self._owns_dir = data_dir is None
+        self._data_dir = data_dir or tempfile.mkdtemp(prefix="repro-minikv-")
+        self._aof_path: str | None = None
+        if self.features.monitoring:
+            self._aof_path = os.path.join(self._data_dir, "redis.aof")
+        self._engine_ttl = engine_ttl
+        self.engine = MiniKV(
+            MiniKVConfig(
+                encryption_at_rest=self.features.encryption,
+                strict_ttl=self.features.timely_deletion,
+                aof_path=self._aof_path,
+                fsync="everysec",
+                log_reads=self.features.monitoring,
+                expiry_seed=expiry_seed,
+                ttl_algorithm=ttl_algorithm,
+            ),
+            clock=self.clock,
+        )
+        self._link = LoopbackSecureLink(enabled=self.features.encryption)
+        self._ycsb_keys: list[str] = []  # sorted; the ZSET-index analogue
+        self._ycsb_keys_lock = threading.Lock()
+        #: §7.2 "efficient metadata indexing" for a KV store: client-
+        #: maintained SET reverse indices on USR and PUR (how production
+        #: Redis deployments index secondary attributes).  Lookups fall
+        #: back to SCAN for unindexed attributes; stale entries left by
+        #: engine-side TTL expiry are cleaned lazily on read.
+        self._client_indices = client_indices
+        if client_indices:
+            self.features.metadata_indexing = True
+
+    # ------------------------------------------------------------------
+    # Wire helpers (the Stunnel boundary)
+    # ------------------------------------------------------------------
+
+    def _wire(self, payload) -> None:
+        """Push a request or response across the client<->server boundary.
+
+        Every configuration pays protocol serialisation (real clients
+        always encode requests/responses — RESP here); the encryption
+        feature additionally runs the serialised bytes through the TLS
+        channel, so the *marginal* cost of encryption is the cipher work,
+        matching how Stunnel layers on top of the existing protocol.
+        """
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if self._link.enabled:
+            self._link.to_server(blob)
+
+    # ------------------------------------------------------------------
+    # Record <-> hash translation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _fields_from_record(record: PersonalRecord, expiry_at: float) -> dict[str, bytes]:
+        return {
+            "data": record.data.encode(),
+            "PUR": ",".join(record.purposes).encode(),
+            "TTL": format_ttl(record.ttl_seconds).encode(),
+            "USR": record.user.encode(),
+            "OBJ": ",".join(record.objections).encode(),
+            "DEC": ",".join(record.decisions).encode(),
+            "SHR": ",".join(record.shared_with).encode(),
+            "SRC": record.source.encode(),
+            "EXP": repr(expiry_at).encode(),
+        }
+
+    @staticmethod
+    def _record_from_fields(key: str, fields: dict[str, bytes]) -> PersonalRecord:
+        def text(name: str) -> str:
+            return fields.get(name, b"").decode()
+
+        def as_list(name: str) -> tuple:
+            raw = text(name)
+            return tuple(raw.split(",")) if raw else ()
+
+        return PersonalRecord(
+            key=key,
+            data=text("data"),
+            purposes=as_list("PUR"),
+            ttl_seconds=parse_ttl(text("TTL")) if text("TTL") else 0.0,
+            user=text("USR"),
+            objections=as_list("OBJ"),
+            decisions=as_list("DEC"),
+            shared_with=as_list("SHR"),
+            source=text("SRC"),
+        )
+
+    # -- client-side reverse indices (SET per attribute value) ------------
+
+    @staticmethod
+    def _usr_index(user: str) -> str:
+        return f"midx:usr:{user}"
+
+    @staticmethod
+    def _pur_index(purpose: str) -> str:
+        return f"midx:pur:{purpose}"
+
+    def _index_add(self, record: PersonalRecord) -> None:
+        member = record.key.encode()
+        self.engine.sadd(self._usr_index(record.user), member)
+        for purpose in record.purposes:
+            self.engine.sadd(self._pur_index(purpose), member)
+
+    def _index_remove(self, record: PersonalRecord) -> None:
+        member = record.key.encode()
+        self.engine.srem(self._usr_index(record.user), member)
+        for purpose in record.purposes:
+            self.engine.srem(self._pur_index(purpose), member)
+
+    def _indexed_records(self, index_key: str) -> list[PersonalRecord] | None:
+        """Records behind one reverse-index SET, or None if indices are off.
+
+        Entries whose hash has vanished (engine-side TTL expiry or races)
+        are stale; they are dropped from the SET lazily here.
+        """
+        if not self._client_indices:
+            return None
+        out = []
+        for member in self.engine.smembers(index_key):
+            key = member.decode()
+            fields = self.engine.hgetall(_REC_PREFIX + key)
+            if not fields:
+                self.engine.srem(index_key, member)  # lazy cleanup
+                continue
+            self._wire(fields)
+            out.append(self._record_from_fields(key, fields))
+        return out
+
+    def _store(self, record: PersonalRecord) -> None:
+        expiry_at = self.clock.now() + record.ttl_seconds
+        redis_key = _REC_PREFIX + record.key
+        previous = self._fetch(record.key) if self._client_indices else None
+        self.engine.hmset(redis_key, self._fields_from_record(record, expiry_at))
+        if self._engine_ttl and record.ttl_seconds > 0:
+            self.engine.expire(redis_key, record.ttl_seconds)
+        if self._client_indices:
+            if previous is not None:
+                self._index_remove(previous)
+            self._index_add(record)
+
+    def _fetch(self, key: str) -> PersonalRecord | None:
+        fields = self.engine.hgetall(_REC_PREFIX + key)
+        if not fields:
+            return None
+        return self._record_from_fields(key, fields)
+
+    def _iter_records(self) -> Iterable[PersonalRecord]:
+        """Full keyspace traversal — the only metadata 'index' Redis has.
+
+        Redis cannot filter on hash fields server-side, so every record
+        crosses the client<->server boundary on every metadata-conditioned
+        query: each HGETALL response is pushed through the wire layer.
+        This transfer amplification is the architectural reason the paper's
+        Redis runs GDPR workloads orders of magnitude slower than an RDBMS
+        that filters before shipping results.
+        """
+        cursor = 0
+        while True:
+            cursor, keys = self.engine.scan(cursor, match=_REC_PREFIX + "*", count=_SCAN_BATCH)
+            for redis_key in keys:
+                fields = self.engine.hgetall(redis_key)
+                if fields:
+                    self._wire(fields)
+                    yield self._record_from_fields(redis_key[len(_REC_PREFIX):], fields)
+            if cursor == 0:
+                return
+
+    # ------------------------------------------------------------------
+    # Load phase
+    # ------------------------------------------------------------------
+
+    def load_records(self, records: Iterable[PersonalRecord]) -> int:
+        loaded = 0
+        for record in records:
+            self._store(record)
+            loaded += 1
+        return loaded
+
+    # ------------------------------------------------------------------
+    # CREATE / DELETE
+    # ------------------------------------------------------------------
+
+    def create_record(self, principal: Principal, record: PersonalRecord) -> bool:
+        self.acl.check_operation(principal, "create-record")
+        self._wire(("create-record", record.key))
+        self._store(record)
+        self._wire(True)
+        return True
+
+    def delete_record_by_key(self, principal: Principal, key: str) -> int:
+        self.acl.check_operation(principal, "delete-record-by-key")
+        self._wire(("delete-record-by-key", key))
+        record = self._fetch(key)
+        if record is None:
+            self._wire(0)
+            return 0
+        self.acl.check_record_access(principal, record, write=True)
+        deleted = self.engine.delete(_REC_PREFIX + key)
+        if deleted and self._client_indices:
+            self._index_remove(record)
+        self._wire(deleted)
+        return deleted
+
+    def _delete_records(self, victims: list[PersonalRecord]) -> int:
+        deleted = 0
+        for record in victims:
+            removed = self.engine.delete(_REC_PREFIX + record.key)
+            if removed and self._client_indices:
+                self._index_remove(record)
+            deleted += removed
+        return deleted
+
+    def delete_record_by_pur(self, principal: Principal, purpose: str) -> int:
+        self.acl.check_operation(principal, "delete-record-by-pur")
+        self._wire(("delete-record-by-pur", purpose))
+        victims = self._indexed_records(self._pur_index(purpose))
+        if victims is None:
+            victims = [r for r in self._iter_records() if purpose in r.purposes]
+        deleted = self._delete_records(victims)
+        self._wire(deleted)
+        return deleted
+
+    def delete_record_by_ttl(self, principal: Principal) -> int:
+        self.acl.check_operation(principal, "delete-record-by-ttl")
+        self._wire(("delete-record-by-ttl",))
+        # Engine-side: erase everything whose Redis TTL has lapsed.
+        deleted = sum(
+            1 for key in self.engine.purge_expired() if key.startswith(_REC_PREFIX)
+        )
+        # Client-side: records tracked only by the EXP metadata field
+        # (covers engine_ttl=False deployments); full scan, as a
+        # controller without indices must.
+        now = self.clock.now()
+        for record in list(self._iter_records()):
+            fields = self.engine.hgetall(_REC_PREFIX + record.key)
+            deadline = float(fields.get("EXP", b"inf"))
+            if deadline <= now:
+                deleted += self.engine.delete(_REC_PREFIX + record.key)
+        self._wire(deleted)
+        return deleted
+
+    def delete_record_by_usr(self, principal: Principal, user: str) -> int:
+        self.acl.check_operation(principal, "delete-record-by-usr")
+        self._wire(("delete-record-by-usr", user))
+        victims = self._indexed_records(self._usr_index(user))
+        if victims is None:
+            victims = [r for r in self._iter_records() if r.user == user]
+        deleted = self._delete_records(victims)
+        self._wire(deleted)
+        return deleted
+
+    # ------------------------------------------------------------------
+    # READ-DATA
+    # ------------------------------------------------------------------
+
+    def read_data_by_key(self, principal: Principal, key: str) -> str | None:
+        self.acl.check_operation(principal, "read-data-by-key")
+        self._wire(("read-data-by-key", key))
+        record = self._fetch(key)
+        if record is None:
+            self._wire(None)
+            return None
+        self.acl.check_record_access(principal, record)
+        self._wire(record.data)
+        return record.data
+
+    def _read_data_where(self, principal: Principal, op: str, keep) -> list:
+        self.acl.check_operation(principal, op)
+        self._wire((op,))
+        out = []
+        for record in self._iter_records():
+            if keep(record):
+                self.acl.check_record_access(principal, record)
+                out.append((record.key, record.data))
+        self._wire(out)
+        return out
+
+    def _read_data_indexed(self, principal: Principal, op: str,
+                           index_key: str, keep) -> list | None:
+        """Index-assisted READ-DATA; None when indices are off."""
+        records = self._indexed_records(index_key)
+        if records is None:
+            return None
+        self.acl.check_operation(principal, op)
+        self._wire((op,))
+        out = []
+        for record in records:
+            if keep(record):
+                self.acl.check_record_access(principal, record)
+                out.append((record.key, record.data))
+        self._wire(out)
+        return out
+
+    def read_data_by_pur(self, principal: Principal, purpose: str) -> list:
+        indexed = self._read_data_indexed(
+            principal, "read-data-by-pur", self._pur_index(purpose),
+            lambda r: purpose in r.purposes,
+        )
+        if indexed is not None:
+            return indexed
+        return self._read_data_where(
+            principal, "read-data-by-pur", lambda r: purpose in r.purposes
+        )
+
+    def read_data_by_usr(self, principal: Principal, user: str) -> list:
+        indexed = self._read_data_indexed(
+            principal, "read-data-by-usr", self._usr_index(user),
+            lambda r: r.user == user,
+        )
+        if indexed is not None:
+            return indexed
+        return self._read_data_where(
+            principal, "read-data-by-usr", lambda r: r.user == user
+        )
+
+    def read_data_by_obj(self, principal: Principal, purpose: str) -> list:
+        return self._read_data_where(
+            principal, "read-data-by-obj", lambda r: purpose not in r.objections
+        )
+
+    def read_data_by_dec(self, principal: Principal, decision: str) -> list:
+        return self._read_data_where(
+            principal, "read-data-by-dec", lambda r: decision in r.decisions
+        )
+
+    # ------------------------------------------------------------------
+    # READ-METADATA
+    # ------------------------------------------------------------------
+
+    def read_metadata_by_key(self, principal: Principal, key: str) -> dict | None:
+        self.acl.check_operation(principal, "read-metadata-by-key")
+        self._wire(("read-metadata-by-key", key))
+        record = self._fetch(key)
+        if record is None:
+            self._wire(None)
+            return None
+        self.acl.check_metadata_access(principal, record)
+        metadata = record.metadata()
+        self._wire(metadata)
+        return metadata
+
+    def _read_metadata_where(self, principal: Principal, op: str, keep) -> list:
+        self.acl.check_operation(principal, op)
+        self._wire((op,))
+        out = []
+        for record in self._iter_records():
+            if keep(record):
+                self.acl.check_metadata_access(principal, record)
+                out.append((record.key, record.metadata()))
+        self._wire(out)
+        return out
+
+    def read_metadata_by_usr(self, principal: Principal, user: str) -> list:
+        records = self._indexed_records(self._usr_index(user))
+        if records is not None:
+            self.acl.check_operation(principal, "read-metadata-by-usr")
+            self._wire(("read-metadata-by-usr",))
+            out = []
+            for record in records:
+                if record.user == user:
+                    self.acl.check_metadata_access(principal, record)
+                    out.append((record.key, record.metadata()))
+            self._wire(out)
+            return out
+        return self._read_metadata_where(
+            principal, "read-metadata-by-usr", lambda r: r.user == user
+        )
+
+    def read_metadata_by_shr(self, principal: Principal, third_party: str) -> list:
+        return self._read_metadata_where(
+            principal, "read-metadata-by-shr", lambda r: third_party in r.shared_with
+        )
+
+    # ------------------------------------------------------------------
+    # UPDATE
+    # ------------------------------------------------------------------
+
+    def update_data_by_key(self, principal: Principal, key: str, data: str) -> int:
+        self.acl.check_operation(principal, "update-data-by-key")
+        self._wire(("update-data-by-key", key))
+        record = self._fetch(key)
+        if record is None:
+            self._wire(0)
+            return 0
+        self.acl.check_record_access(principal, record, write=True)
+        written = self.engine.hset_if_exists(_REC_PREFIX + key, "data", data.encode())
+        self._wire(written)
+        return written
+
+    def _apply_metadata(self, key: str, attribute: str, value,
+                        old_record: PersonalRecord | None = None) -> int:
+        attribute = attribute.upper()
+        canonical = normalise_attribute(attribute, value)
+        redis_key = _REC_PREFIX + key
+        if attribute == "TTL":
+            written = self.engine.hmset_if_exists(
+                redis_key,
+                {
+                    "TTL": format_ttl(canonical).encode(),
+                    "EXP": repr(self.clock.now() + canonical).encode(),
+                },
+            )
+            if written and self._engine_ttl and canonical > 0:
+                self.engine.expire(redis_key, canonical)
+            return written
+        if attribute in ("USR", "SRC"):
+            written = self.engine.hset_if_exists(redis_key, attribute, canonical.encode())
+        else:
+            written = self.engine.hset_if_exists(
+                redis_key, attribute, ",".join(canonical).encode()
+            )
+        # Reverse-index maintenance for the indexed attributes.
+        if written and self._client_indices and attribute in ("USR", "PUR"):
+            member = key.encode()
+            if old_record is not None:
+                if attribute == "USR":
+                    self.engine.srem(self._usr_index(old_record.user), member)
+                else:
+                    for purpose in old_record.purposes:
+                        self.engine.srem(self._pur_index(purpose), member)
+            if attribute == "USR":
+                self.engine.sadd(self._usr_index(canonical), member)
+            else:
+                for purpose in canonical:
+                    self.engine.sadd(self._pur_index(purpose), member)
+        return written
+
+    def update_metadata_by_key(self, principal: Principal, key: str, attribute: str, value) -> int:
+        self.acl.check_operation(principal, "update-metadata-by-key")
+        self._wire(("update-metadata-by-key", key, attribute))
+        record = self._fetch(key)
+        if record is None:
+            self._wire(0)
+            return 0
+        self.acl.check_metadata_access(principal, record)
+        written = self._apply_metadata(key, attribute, value, old_record=record)
+        self._wire(written)
+        return written
+
+    def _update_metadata_where(self, principal: Principal, op: str, keep, attribute: str, value,
+                               index_key: str | None = None) -> int:
+        self.acl.check_operation(principal, op)
+        self._wire((op, attribute))
+        records = self._indexed_records(index_key) if index_key is not None else None
+        if records is None:
+            records = list(self._iter_records())
+        changed = 0
+        for record in records:
+            if keep(record):
+                changed += self._apply_metadata(
+                    record.key, attribute, value, old_record=record
+                )
+        self._wire(changed)
+        return changed
+
+    def update_metadata_by_pur(self, principal: Principal, purpose: str, attribute: str, value) -> int:
+        return self._update_metadata_where(
+            principal, "update-metadata-by-pur",
+            lambda r: purpose in r.purposes, attribute, value,
+            index_key=self._pur_index(purpose),
+        )
+
+    def update_metadata_by_usr(self, principal: Principal, user: str, attribute: str, value) -> int:
+        return self._update_metadata_where(
+            principal, "update-metadata-by-usr",
+            lambda r: r.user == user, attribute, value,
+            index_key=self._usr_index(user),
+        )
+
+    def update_metadata_by_shr(self, principal: Principal, third_party: str, attribute: str, value) -> int:
+        return self._update_metadata_where(
+            principal, "update-metadata-by-shr",
+            lambda r: third_party in r.shared_with, attribute, value,
+        )
+
+    # ------------------------------------------------------------------
+    # GET-SYSTEM
+    # ------------------------------------------------------------------
+
+    def get_system_logs(self, principal: Principal, start: float | None = None,
+                        end: float | None = None, limit: int = 100) -> list[AuditEvent]:
+        self.acl.check_operation(principal, "get-system-logs")
+        if self._aof_path is None:
+            return []
+        if self.engine._aof is not None:
+            self.engine._aof.flush()
+        return events_from_aof(
+            self._aof_path, limit=limit, cipher=self.engine._file_cipher
+        )
+
+    def _record_exists(self, key: str) -> bool:
+        return self.engine.exists(_REC_PREFIX + key)
+
+    # ------------------------------------------------------------------
+    # YCSB primitives
+    # ------------------------------------------------------------------
+
+    #: GDPR requires every personal datum to expire (G 5(1e)); when the
+    #: timely-deletion feature is on, even YCSB rows carry this TTL, which
+    #: is what makes the paper's TTL bar cost ~20% on traditional workloads.
+    YCSB_TTL_SECONDS = 5 * 86400.0
+
+    def ycsb_insert(self, key: str, fields: dict) -> None:
+        self._wire(("insert", key))
+        redis_key = _YCSB_PREFIX + key
+        self.engine.hmset(redis_key, {f: v.encode() for f, v in fields.items()})
+        if self.features.timely_deletion:
+            self.engine.expire(redis_key, self.YCSB_TTL_SECONDS)
+        with self._ycsb_keys_lock:
+            idx = bisect.bisect_left(self._ycsb_keys, key)
+            if idx >= len(self._ycsb_keys) or self._ycsb_keys[idx] != key:
+                self._ycsb_keys.insert(idx, key)
+        self._wire(True)
+
+    def ycsb_read(self, key: str, fields: Sequence[str] | None = None) -> dict | None:
+        self._wire(("read", key))
+        raw = self.engine.hgetall(_YCSB_PREFIX + key)
+        if not raw:
+            self._wire(None)
+            return None
+        out = {f: v.decode() for f, v in raw.items() if fields is None or f in fields}
+        self._wire(out)
+        return out
+
+    def ycsb_update(self, key: str, fields: dict) -> int:
+        self._wire(("update", key))
+        if not self.engine.exists(_YCSB_PREFIX + key):
+            self._wire(0)
+            return 0
+        self.engine.hmset(_YCSB_PREFIX + key, {f: v.encode() for f, v in fields.items()})
+        self._wire(1)
+        return 1
+
+    def ycsb_scan(self, start_key: str, count: int) -> list:
+        self._wire(("scan", start_key, count))
+        with self._ycsb_keys_lock:
+            idx = bisect.bisect_left(self._ycsb_keys, start_key)
+            window = self._ycsb_keys[idx:idx + count]
+        out = []
+        for key in window:
+            raw = self.engine.hgetall(_YCSB_PREFIX + key)
+            if raw:
+                out.append({f: v.decode() for f, v in raw.items()})
+        self._wire(len(out))
+        return out
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+
+    def personal_data_bytes(self) -> int:
+        return sum(r.data_bytes() for r in self._iter_records())
+
+    def total_db_bytes(self) -> int:
+        return self.engine.memory_used() + self.engine.aof_size()
+
+    def record_count(self) -> int:
+        count = 0
+        cursor = 0
+        while True:
+            cursor, keys = self.engine.scan(cursor, match=_REC_PREFIX + "*", count=_SCAN_BATCH)
+            count += len(keys)
+            if cursor == 0:
+                return count
+
+    def close(self) -> None:
+        self.engine.close()
+        if self._owns_dir:
+            shutil.rmtree(self._data_dir, ignore_errors=True)

@@ -1,0 +1,455 @@
+"""GDPR client stub for minisql (the PostgreSQL-like engine).
+
+Mirrors how GDPRbench drives PostgreSQL (Section 5.2):
+
+* personal records live in one ``personal_records`` table: key, data and
+  the seven metadata attributes as typed columns (multi-valued attributes
+  are TEXT_LIST), plus an absolute ``expiry`` timestamp the paper's
+  modified INSERTs carry;
+* ``metadata_indexing`` creates secondary indices on every metadata
+  column (B-tree for scalars, inverted for lists) — the Figure 5c /
+  Table 3 "PostgreSQL w/ metadata indices" configuration;
+* ``timely_deletion`` attaches the 1-second TTL sweeper daemon;
+* ``monitoring`` turns on csvlog statement logging including SELECT
+  responses (the row-level-security policy analogue);
+* ``encryption`` seals rows at rest and wraps the client<->server hop in
+  the simulated SSL channel.
+
+Access control is enforced client-side, as in the paper.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+from typing import Iterable, Sequence
+
+from repro.common.clock import Clock, SystemClock
+from repro.crypto.tls import LoopbackSecureLink
+from repro.gdpr.acl import Principal
+from repro.gdpr.audit import AuditEvent, events_from_csvlog, split_csv_line
+from repro.gdpr.record import PersonalRecord
+from repro.minisql.database import Database, MiniSQLConfig
+from repro.minisql.expr import Cmp, Contains, Expr, Not
+from repro.minisql.schema import Column
+from repro.minisql.types import FLOAT, TEXT, TEXT_LIST, TIMESTAMP
+
+from .base import FeatureSet, GDPRClient, normalise_attribute
+
+RECORDS_TABLE = "personal_records"
+YCSB_TABLE = "usertable"
+YCSB_FIELDS = 10
+
+#: metadata column -> index name for the full-indexing configuration
+METADATA_INDEX_COLUMNS = ("usr", "pur", "obj", "dec", "shr", "src", "expiry")
+
+
+class SQLGDPRClient(GDPRClient):
+    """DB-interface stub translating GDPR queries into minisql statements."""
+
+    engine_name = "postgres"
+
+    def __init__(
+        self,
+        features: FeatureSet | None = None,
+        data_dir: str | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        super().__init__(features or FeatureSet.none())
+        self.clock = clock or SystemClock()
+        self._owns_dir = data_dir is None
+        self._data_dir = data_dir or tempfile.mkdtemp(prefix="repro-minisql-")
+        csvlog_path = None
+        if self.features.monitoring:
+            csvlog_path = os.path.join(self._data_dir, "postgresql.csv")
+        self.db = Database(
+            MiniSQLConfig(
+                encryption_at_rest=self.features.encryption,
+                csvlog_path=csvlog_path,
+                log_statements=self.features.monitoring,
+            ),
+            clock=self.clock,
+        )
+        self._link = LoopbackSecureLink(enabled=self.features.encryption)
+        self._create_records_table()
+        self._ycsb_ready = False
+        self._ycsb_ddl_lock = threading.Lock()
+
+    def _create_records_table(self) -> None:
+        self.db.create_table(
+            RECORDS_TABLE,
+            [
+                Column("key", TEXT, nullable=False),
+                Column("data", TEXT, nullable=False),
+                Column("pur", TEXT_LIST),
+                Column("ttl", FLOAT),
+                Column("usr", TEXT),
+                Column("obj", TEXT_LIST),
+                Column("dec", TEXT_LIST),
+                Column("shr", TEXT_LIST),
+                Column("src", TEXT),
+                Column("expiry", TIMESTAMP),
+            ],
+            primary_key="key",
+        )
+        if self.features.metadata_indexing:
+            for column in METADATA_INDEX_COLUMNS:
+                self.db.create_index(f"idx_{column}", RECORDS_TABLE, column)
+        if self.features.timely_deletion:
+            self.db.enable_ttl(RECORDS_TABLE, "expiry")
+
+    # ------------------------------------------------------------------
+    # Wire helper (the SSL boundary)
+    # ------------------------------------------------------------------
+
+    def _wire(self, payload) -> None:
+        """Client<->server boundary: always serialise (the wire protocol),
+        cipher only when the encryption feature is on (the SSL layer)."""
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if self._link.enabled:
+            self._link.to_server(blob)
+
+    # ------------------------------------------------------------------
+    # Record <-> row translation
+    # ------------------------------------------------------------------
+
+    def _row_from_record(self, record: PersonalRecord) -> dict:
+        return {
+            "key": record.key,
+            "data": record.data,
+            "pur": record.purposes,
+            "ttl": record.ttl_seconds,
+            "usr": record.user,
+            "obj": record.objections,
+            "dec": record.decisions,
+            "shr": record.shared_with,
+            "src": record.source,
+            "expiry": self.clock.now() + record.ttl_seconds,
+        }
+
+    @staticmethod
+    def _record_from_row(row: dict) -> PersonalRecord:
+        return PersonalRecord(
+            key=row["key"],
+            data=row["data"],
+            purposes=tuple(row["pur"] or ()),
+            ttl_seconds=row["ttl"] or 0.0,
+            user=row["usr"] or "",
+            objections=tuple(row["obj"] or ()),
+            decisions=tuple(row["dec"] or ()),
+            shared_with=tuple(row["shr"] or ()),
+            source=row["src"] or "",
+        )
+
+    # ------------------------------------------------------------------
+    # Load phase
+    # ------------------------------------------------------------------
+
+    def load_records(self, records: Iterable[PersonalRecord]) -> int:
+        loaded = 0
+        for record in records:
+            self.db.insert(RECORDS_TABLE, self._row_from_record(record))
+            loaded += 1
+        return loaded
+
+    # ------------------------------------------------------------------
+    # CREATE / DELETE
+    # ------------------------------------------------------------------
+
+    def create_record(self, principal: Principal, record: PersonalRecord) -> bool:
+        self.acl.check_operation(principal, "create-record")
+        self._wire(("create-record", record.key))
+        self.db.insert(RECORDS_TABLE, self._row_from_record(record))
+        self._wire(True)
+        return True
+
+    def delete_record_by_key(self, principal: Principal, key: str) -> int:
+        self.acl.check_operation(principal, "delete-record-by-key")
+        self._wire(("delete-record-by-key", key))
+        rows = self.db.select(RECORDS_TABLE, Cmp("key", "=", key))
+        if not rows:
+            self._wire(0)
+            return 0
+        self.acl.check_record_access(principal, self._record_from_row(rows[0]), write=True)
+        deleted = self.db.delete(RECORDS_TABLE, Cmp("key", "=", key))
+        self._wire(deleted)
+        return deleted
+
+    def delete_record_by_pur(self, principal: Principal, purpose: str) -> int:
+        self.acl.check_operation(principal, "delete-record-by-pur")
+        self._wire(("delete-record-by-pur", purpose))
+        deleted = self.db.delete(RECORDS_TABLE, Contains("pur", purpose))
+        self._wire(deleted)
+        return deleted
+
+    def delete_record_by_ttl(self, principal: Principal) -> int:
+        self.acl.check_operation(principal, "delete-record-by-ttl")
+        self._wire(("delete-record-by-ttl",))
+        deleted = self.db.delete(RECORDS_TABLE, Cmp("expiry", "<=", self.clock.now()))
+        self._wire(deleted)
+        return deleted
+
+    def delete_record_by_usr(self, principal: Principal, user: str) -> int:
+        self.acl.check_operation(principal, "delete-record-by-usr")
+        self._wire(("delete-record-by-usr", user))
+        deleted = self.db.delete(RECORDS_TABLE, Cmp("usr", "=", user))
+        self._wire(deleted)
+        return deleted
+
+    # ------------------------------------------------------------------
+    # READ-DATA
+    # ------------------------------------------------------------------
+
+    def read_data_by_key(self, principal: Principal, key: str) -> str | None:
+        self.acl.check_operation(principal, "read-data-by-key")
+        self._wire(("read-data-by-key", key))
+        rows = self.db.select(RECORDS_TABLE, Cmp("key", "=", key))
+        if not rows:
+            self._wire(None)
+            return None
+        record = self._record_from_row(rows[0])
+        self.acl.check_record_access(principal, record)
+        self._wire(record.data)
+        return record.data
+
+    def _read_data_where(self, principal: Principal, op: str, where: Expr) -> list:
+        self.acl.check_operation(principal, op)
+        self._wire((op,))
+        out = []
+        for row in self.db.select(RECORDS_TABLE, where):
+            record = self._record_from_row(row)
+            self.acl.check_record_access(principal, record)
+            out.append((record.key, record.data))
+        self._wire(out)
+        return out
+
+    def read_data_by_pur(self, principal: Principal, purpose: str) -> list:
+        return self._read_data_where(principal, "read-data-by-pur", Contains("pur", purpose))
+
+    def read_data_by_usr(self, principal: Principal, user: str) -> list:
+        return self._read_data_where(principal, "read-data-by-usr", Cmp("usr", "=", user))
+
+    def read_data_by_obj(self, principal: Principal, purpose: str) -> list:
+        return self._read_data_where(
+            principal, "read-data-by-obj", Not(Contains("obj", purpose))
+        )
+
+    def read_data_by_dec(self, principal: Principal, decision: str) -> list:
+        return self._read_data_where(principal, "read-data-by-dec", Contains("dec", decision))
+
+    # ------------------------------------------------------------------
+    # READ-METADATA
+    # ------------------------------------------------------------------
+
+    def read_metadata_by_key(self, principal: Principal, key: str) -> dict | None:
+        self.acl.check_operation(principal, "read-metadata-by-key")
+        self._wire(("read-metadata-by-key", key))
+        rows = self.db.select(RECORDS_TABLE, Cmp("key", "=", key))
+        if not rows:
+            self._wire(None)
+            return None
+        record = self._record_from_row(rows[0])
+        self.acl.check_metadata_access(principal, record)
+        metadata = record.metadata()
+        self._wire(metadata)
+        return metadata
+
+    def _read_metadata_where(self, principal: Principal, op: str, where: Expr) -> list:
+        self.acl.check_operation(principal, op)
+        self._wire((op,))
+        out = []
+        for row in self.db.select(RECORDS_TABLE, where):
+            record = self._record_from_row(row)
+            self.acl.check_metadata_access(principal, record)
+            out.append((record.key, record.metadata()))
+        self._wire(out)
+        return out
+
+    def read_metadata_by_usr(self, principal: Principal, user: str) -> list:
+        return self._read_metadata_where(principal, "read-metadata-by-usr", Cmp("usr", "=", user))
+
+    def read_metadata_by_shr(self, principal: Principal, third_party: str) -> list:
+        return self._read_metadata_where(
+            principal, "read-metadata-by-shr", Contains("shr", third_party)
+        )
+
+    # ------------------------------------------------------------------
+    # UPDATE
+    # ------------------------------------------------------------------
+
+    def update_data_by_key(self, principal: Principal, key: str, data: str) -> int:
+        self.acl.check_operation(principal, "update-data-by-key")
+        self._wire(("update-data-by-key", key))
+        rows = self.db.select(RECORDS_TABLE, Cmp("key", "=", key))
+        if not rows:
+            self._wire(0)
+            return 0
+        self.acl.check_record_access(principal, self._record_from_row(rows[0]), write=True)
+        changed = self.db.update(RECORDS_TABLE, {"data": data}, Cmp("key", "=", key))
+        self._wire(changed)
+        return changed
+
+    def _assignments_for(self, attribute: str, value) -> dict:
+        attribute = attribute.upper()
+        canonical = normalise_attribute(attribute, value)
+        if attribute == "TTL":
+            return {"ttl": canonical, "expiry": self.clock.now() + canonical}
+        return {attribute.lower(): canonical}
+
+    def update_metadata_by_key(self, principal: Principal, key: str, attribute: str, value) -> int:
+        self.acl.check_operation(principal, "update-metadata-by-key")
+        self._wire(("update-metadata-by-key", key, attribute))
+        rows = self.db.select(RECORDS_TABLE, Cmp("key", "=", key))
+        if not rows:
+            self._wire(0)
+            return 0
+        self.acl.check_metadata_access(principal, self._record_from_row(rows[0]))
+        changed = self.db.update(
+            RECORDS_TABLE, self._assignments_for(attribute, value), Cmp("key", "=", key)
+        )
+        self._wire(changed)
+        return changed
+
+    def _update_metadata_where(self, principal: Principal, op: str, where: Expr,
+                               attribute: str, value) -> int:
+        self.acl.check_operation(principal, op)
+        self._wire((op, attribute))
+        changed = self.db.update(RECORDS_TABLE, self._assignments_for(attribute, value), where)
+        self._wire(changed)
+        return changed
+
+    def update_metadata_by_pur(self, principal: Principal, purpose: str, attribute: str, value) -> int:
+        return self._update_metadata_where(
+            principal, "update-metadata-by-pur", Contains("pur", purpose), attribute, value
+        )
+
+    def update_metadata_by_usr(self, principal: Principal, user: str, attribute: str, value) -> int:
+        return self._update_metadata_where(
+            principal, "update-metadata-by-usr", Cmp("usr", "=", user), attribute, value
+        )
+
+    def update_metadata_by_shr(self, principal: Principal, third_party: str, attribute: str, value) -> int:
+        return self._update_metadata_where(
+            principal, "update-metadata-by-shr", Contains("shr", third_party), attribute, value
+        )
+
+    # ------------------------------------------------------------------
+    # GET-SYSTEM
+    # ------------------------------------------------------------------
+
+    def get_system_logs(self, principal: Principal, start: float | None = None,
+                        end: float | None = None, limit: int = 100) -> list[AuditEvent]:
+        self.acl.check_operation(principal, "get-system-logs")
+        if self.db.csvlog is None:
+            return []
+        if start is None and end is None:
+            # Fast path: recent-activity probe, bounded tail read.
+            events = []
+            for line in self.db.csvlog.tail(limit):
+                parts = split_csv_line(line)
+                if len(parts) != 5:
+                    continue
+                try:
+                    events.append(
+                        AuditEvent(
+                            timestamp=float(parts[0]),
+                            operation=parts[1],
+                            target=parts[2],
+                            detail=parts[3],
+                            rows=int(parts[4]),
+                        )
+                    )
+                except ValueError:
+                    continue
+            return events
+        events = events_from_csvlog(self.db.csvlog, start, end)
+        return events[-limit:]
+
+    def _record_exists(self, key: str) -> bool:
+        return self.db.count(RECORDS_TABLE, Cmp("key", "=", key)) > 0
+
+    # ------------------------------------------------------------------
+    # YCSB primitives
+    # ------------------------------------------------------------------
+
+    #: G 5(1e): with timely deletion on, even YCSB rows carry an expiry,
+    #: and the sweeper daemon patrols the usertable — the paper's TTL cost.
+    YCSB_TTL_SECONDS = 5 * 86400.0
+
+    def _ensure_ycsb_table(self) -> None:
+        if self._ycsb_ready:
+            return
+        with self._ycsb_ddl_lock:
+            if self._ycsb_ready:
+                return
+            self._create_ycsb_table()
+            self._ycsb_ready = True
+
+    def _create_ycsb_table(self) -> None:
+        columns = [Column("key", TEXT, nullable=False)] + [
+            Column(f"field{i}", TEXT) for i in range(YCSB_FIELDS)
+        ]
+        if self.features.timely_deletion:
+            columns.append(Column("expiry", TIMESTAMP))
+        self.db.create_table(YCSB_TABLE, columns, primary_key="key")
+        if self.features.timely_deletion:
+            self.db.enable_ttl(YCSB_TABLE, "expiry")
+
+    def ycsb_insert(self, key: str, fields: dict) -> None:
+        self._ensure_ycsb_table()
+        self._wire(("insert", key))
+        row = {"key": key, **fields}
+        if self.features.timely_deletion:
+            row["expiry"] = self.clock.now() + self.YCSB_TTL_SECONDS
+        self.db.insert(YCSB_TABLE, row)
+        self._wire(True)
+
+    def ycsb_read(self, key: str, fields: Sequence[str] | None = None) -> dict | None:
+        self._ensure_ycsb_table()
+        self._wire(("read", key))
+        rows = self.db.select(
+            YCSB_TABLE, Cmp("key", "=", key),
+            columns=list(fields) if fields is not None else None,
+        )
+        out = rows[0] if rows else None
+        self._wire(out)
+        return out
+
+    def ycsb_update(self, key: str, fields: dict) -> int:
+        self._ensure_ycsb_table()
+        self._wire(("update", key))
+        changed = self.db.update(YCSB_TABLE, fields, Cmp("key", "=", key))
+        self._wire(changed)
+        return changed
+
+    def ycsb_scan(self, start_key: str, count: int) -> list:
+        self._ensure_ycsb_table()
+        self._wire(("scan", start_key, count))
+        rows = self.db.select(
+            YCSB_TABLE, Cmp("key", ">=", start_key),
+            order_by="key", limit=count,
+        )
+        self._wire(len(rows))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+
+    def personal_data_bytes(self) -> int:
+        rows = self.db.select(RECORDS_TABLE, columns=["data"], _internal=True)
+        return sum(len(row["data"].encode()) for row in rows)
+
+    def total_db_bytes(self) -> int:
+        return self.db.disk_usage()["total_bytes"]
+
+    def record_count(self) -> int:
+        return self.db.count(RECORDS_TABLE)
+
+    def close(self) -> None:
+        self.db.close()
+        if self._owns_dir:
+            shutil.rmtree(self._data_dir, ignore_errors=True)

@@ -1,0 +1,71 @@
+"""Clock abstraction used by every time-dependent component.
+
+The engines (TTL expiry, audit batching, WAL fsync windows) never call
+``time.time()`` directly; they take a :class:`Clock`.  Production code uses
+:class:`SystemClock`; tests use :class:`VirtualClock`, which makes the lazy
+Redis expiry cycle and the minisql TTL sweeper fully deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Interface: monotonically non-decreasing seconds since an epoch."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock backed by :func:`time.monotonic`."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """A clock that only moves when told to.
+
+    ``sleep()`` advances the clock instead of blocking, which lets tests
+    fast-forward days of TTL expiry in microseconds.  Thread-safe so the
+    benchmark runtime can share one instance across worker threads.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot move a clock backwards")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def set(self, instant: float) -> None:
+        """Jump directly to ``instant`` (must not go backwards)."""
+        with self._lock:
+            if instant < self._now:
+                raise ValueError("cannot move a clock backwards")
+            self._now = float(instant)

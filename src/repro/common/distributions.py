@@ -1,0 +1,310 @@
+"""Request-distribution generators used by YCSB and GDPRbench workloads.
+
+These are faithful ports of the generators in the YCSB core package
+(Cooper et al., SoCC 2010), which GDPRbench reuses:
+
+* :class:`UniformGenerator` — every item equally likely.
+* :class:`ZipfianGenerator` — the Gray et al. "quickly generating
+  billion-record synthetic databases" rejection-free algorithm, constant
+  ``theta`` (YCSB default 0.99).
+* :class:`ScrambledZipfianGenerator` — zipfian popularity spread over the
+  whole keyspace via FNV hashing, so the hot items are not clustered.
+* :class:`LatestGenerator` — zipfian over recency (most recently inserted
+  item is the most popular); used by YCSB workload D.
+* :class:`HotspotGenerator` — fraction of operations hit a hot set.
+* :class:`CounterGenerator` — monotonically increasing ids for inserts.
+
+All generators draw from a caller-supplied :class:`random.Random` so every
+experiment is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from .errors import ConfigurationError
+
+ZIPFIAN_CONSTANT = 0.99
+
+_FNV_OFFSET_BASIS_64 = 0xCBF29CE484222325
+_FNV_PRIME_64 = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """64-bit FNV-1a hash of an integer, as used by YCSB's scrambler."""
+    data = value & 0xFFFFFFFFFFFFFFFF
+    digest = _FNV_OFFSET_BASIS_64
+    for _ in range(8):
+        octet = data & 0xFF
+        data >>= 8
+        digest = digest ^ octet
+        digest = (digest * _FNV_PRIME_64) & 0xFFFFFFFFFFFFFFFF
+    return digest
+
+
+class IntegerGenerator:
+    """Interface: produce the next integer in [lower, upper] of a scheme."""
+
+    def next_value(self) -> int:
+        raise NotImplementedError
+
+    def last_value(self) -> int:
+        raise NotImplementedError
+
+
+class CounterGenerator(IntegerGenerator):
+    """Monotonically increasing counter; thread-safe.
+
+    Used to pick the key for YCSB ``insert`` operations so each insert gets
+    a fresh id, and to track the highest id for the Latest distribution.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+        self._lock = threading.Lock()
+
+    def next_value(self) -> int:
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
+
+    def last_value(self) -> int:
+        with self._lock:
+            return self._next - 1
+
+
+class UniformGenerator(IntegerGenerator):
+    """Uniformly random integer in [lower, upper] inclusive."""
+
+    def __init__(self, lower: int, upper: int, rng: random.Random | None = None) -> None:
+        if upper < lower:
+            raise ConfigurationError(f"uniform bounds inverted: [{lower}, {upper}]")
+        self._lower = lower
+        self._upper = upper
+        self._rng = rng or random.Random()
+        self._last = lower
+
+    def next_value(self) -> int:
+        self._last = self._rng.randint(self._lower, self._upper)
+        return self._last
+
+    def last_value(self) -> int:
+        return self._last
+
+
+class ZipfianGenerator(IntegerGenerator):
+    """Zipf-distributed integers in [lower, upper]; item 0 is most popular.
+
+    Implements the Gray et al. algorithm used by YCSB: O(1) per sample after
+    an O(n)-free closed-form setup using the incomplete zeta approximation.
+    """
+
+    def __init__(
+        self,
+        lower: int,
+        upper: int,
+        theta: float = ZIPFIAN_CONSTANT,
+        rng: random.Random | None = None,
+    ) -> None:
+        if upper < lower:
+            raise ConfigurationError(f"zipfian bounds inverted: [{lower}, {upper}]")
+        if not 0 < theta < 1:
+            raise ConfigurationError("zipfian theta must be in (0, 1)")
+        self._lower = lower
+        self._items = upper - lower + 1
+        self._theta = theta
+        self._rng = rng or random.Random()
+        self._zeta2 = self._zeta_static(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = self._zeta_static(self._items, theta)
+        self._eta = self._compute_eta()
+        self._last = lower
+        # Prime the generator the way YCSB does, so the very first sample
+        # already honours the distribution.
+        self.next_value()
+
+    @staticmethod
+    def _zeta_static(n: int, theta: float) -> float:
+        # Exact for small n; Euler-Maclaurin style approximation for large n
+        # keeps setup O(1)-ish while staying within ~1e-3 of the true zeta.
+        if n <= 10000:
+            return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        head = sum(1.0 / (i ** theta) for i in range(1, 10001))
+        # integral of x^-theta from 10000 to n
+        tail = ((n ** (1.0 - theta)) - (10000 ** (1.0 - theta))) / (1.0 - theta)
+        return head + tail
+
+    def _compute_eta(self) -> float:
+        return (1 - (2.0 / self._items) ** (1 - self._theta)) / (1 - self._zeta2 / self._zetan)
+
+    def next_value(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            rank = 0
+        elif uz < 1.0 + 0.5 ** self._theta:
+            rank = 1
+        else:
+            rank = int(self._items * ((self._eta * u - self._eta + 1) ** self._alpha))
+            if rank >= self._items:  # numeric edge
+                rank = self._items - 1
+        self._last = self._lower + rank
+        return self._last
+
+    def last_value(self) -> int:
+        return self._last
+
+
+class ScrambledZipfianGenerator(IntegerGenerator):
+    """Zipfian popularity scattered over the keyspace by FNV hashing.
+
+    YCSB uses this for read-heavy workloads so that popular items are not
+    adjacent.  The rank drawn from the underlying zipfian is hashed and
+    folded back into [lower, upper].
+    """
+
+    def __init__(self, lower: int, upper: int, rng: random.Random | None = None) -> None:
+        if upper < lower:
+            raise ConfigurationError(f"scrambled-zipfian bounds inverted: [{lower}, {upper}]")
+        self._lower = lower
+        self._items = upper - lower + 1
+        self._zipf = ZipfianGenerator(0, self._items - 1, rng=rng)
+        self._last = lower
+
+    def next_value(self) -> int:
+        rank = self._zipf.next_value()
+        self._last = self._lower + fnv1a_64(rank) % self._items
+        return self._last
+
+    def last_value(self) -> int:
+        return self._last
+
+
+class LatestGenerator(IntegerGenerator):
+    """Zipfian over recency: the newest insert is the most popular item.
+
+    Follows a :class:`CounterGenerator` that tracks the highest existing id.
+    """
+
+    def __init__(self, counter: CounterGenerator, rng: random.Random | None = None) -> None:
+        self._counter = counter
+        self._rng = rng or random.Random()
+        self._last = 0
+        # Cache a zipfian sized to the current keyspace; resize lazily.
+        self._zipf_size = 0
+        self._zipf: ZipfianGenerator | None = None
+
+    def next_value(self) -> int:
+        newest = self._counter.last_value()
+        size = newest + 1
+        if size <= 0:
+            raise ConfigurationError("latest distribution over an empty keyspace")
+        if self._zipf is None or size > self._zipf_size * 2 or size < self._zipf_size // 2:
+            self._zipf = ZipfianGenerator(0, size - 1, rng=self._rng)
+            self._zipf_size = size
+        offset = self._zipf.next_value()
+        if offset > newest:
+            offset = newest
+        self._last = newest - offset
+        return self._last
+
+    def last_value(self) -> int:
+        return self._last
+
+
+class HotspotGenerator(IntegerGenerator):
+    """``hot_op_fraction`` of draws land in the first ``hot_set_fraction``."""
+
+    def __init__(
+        self,
+        lower: int,
+        upper: int,
+        hot_set_fraction: float = 0.2,
+        hot_op_fraction: float = 0.8,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not 0 <= hot_set_fraction <= 1 or not 0 <= hot_op_fraction <= 1:
+            raise ConfigurationError("hotspot fractions must be in [0, 1]")
+        self._lower = lower
+        self._upper = upper
+        items = upper - lower + 1
+        self._hot_items = max(1, int(items * hot_set_fraction))
+        self._hot_op_fraction = hot_op_fraction
+        self._rng = rng or random.Random()
+        self._last = lower
+
+    def next_value(self) -> int:
+        if self._rng.random() < self._hot_op_fraction:
+            self._last = self._lower + self._rng.randrange(self._hot_items)
+        else:
+            self._last = self._lower + self._rng.randrange(self._upper - self._lower + 1)
+        return self._last
+
+    def last_value(self) -> int:
+        return self._last
+
+
+class DiscreteGenerator:
+    """Weighted choice among named operations (the YCSB operation chooser)."""
+
+    def __init__(self, rng: random.Random | None = None) -> None:
+        self._values: list[tuple[str, float]] = []
+        self._total = 0.0
+        self._rng = rng or random.Random()
+        self._last: str | None = None
+
+    def add_value(self, value: str, weight: float) -> None:
+        if weight < 0:
+            raise ConfigurationError(f"negative weight for {value!r}")
+        if weight > 0:
+            self._values.append((value, weight))
+            self._total += weight
+
+    def next_value(self) -> str:
+        if not self._values:
+            raise ConfigurationError("discrete generator has no values")
+        point = self._rng.random() * self._total
+        acc = 0.0
+        for value, weight in self._values:
+            acc += weight
+            if point < acc:
+                self._last = value
+                return value
+        self._last = self._values[-1][0]
+        return self._last
+
+    def last_value(self) -> str | None:
+        return self._last
+
+    @property
+    def weights(self) -> dict[str, float]:
+        """Normalised weight of every value (sums to 1.0)."""
+        if not self._total:
+            return {}
+        return {v: w / self._total for v, w in self._values}
+
+
+def make_key_chooser(
+    name: str,
+    lower: int,
+    upper: int,
+    rng: random.Random | None = None,
+    insert_counter: CounterGenerator | None = None,
+) -> IntegerGenerator:
+    """Factory mapping a distribution name from a workload file to a generator."""
+    name = name.lower()
+    if name == "uniform":
+        return UniformGenerator(lower, upper, rng=rng)
+    if name == "zipfian":
+        return ScrambledZipfianGenerator(lower, upper, rng=rng)
+    if name == "rawzipfian":
+        return ZipfianGenerator(lower, upper, rng=rng)
+    if name == "latest":
+        if insert_counter is None:
+            raise ConfigurationError("latest distribution needs an insert counter")
+        return LatestGenerator(insert_counter, rng=rng)
+    if name == "hotspot":
+        return HotspotGenerator(lower, upper, rng=rng)
+    raise ConfigurationError(f"unknown request distribution {name!r}")

@@ -1,0 +1,91 @@
+"""Exception hierarchy shared by every subsystem in the reproduction.
+
+Each engine raises subclasses of :class:`ReproError` so that callers (the
+benchmark clients, the examples) can catch one family of exceptions without
+knowing which substrate they are talking to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent options."""
+
+
+# --------------------------------------------------------------------------
+# Key-value engine (minikv) errors
+# --------------------------------------------------------------------------
+
+class KVError(ReproError):
+    """Base class for errors raised by the minikv engine."""
+
+
+class WrongTypeError(KVError):
+    """Operation applied against a key holding the wrong kind of value.
+
+    Mirrors Redis' ``WRONGTYPE`` reply.
+    """
+
+
+class AOFCorruptError(KVError):
+    """The append-only file is truncated or malformed and cannot replay."""
+
+
+# --------------------------------------------------------------------------
+# Relational engine (minisql) errors
+# --------------------------------------------------------------------------
+
+class SQLError(ReproError):
+    """Base class for errors raised by the minisql engine."""
+
+
+class CatalogError(SQLError):
+    """Unknown or duplicate table / column / index."""
+
+
+class TypeMismatchError(SQLError):
+    """A value does not match the declared column type."""
+
+
+class ConstraintError(SQLError):
+    """A uniqueness or not-null constraint was violated."""
+
+
+class ParseError(SQLError):
+    """The tiny SQL front-end could not parse a statement."""
+
+
+# --------------------------------------------------------------------------
+# GDPR layer errors
+# --------------------------------------------------------------------------
+
+class GDPRError(ReproError):
+    """Base class for errors raised by the GDPR compliance layer."""
+
+
+class RecordFormatError(GDPRError):
+    """A personal-data record does not follow the GDPRbench wire format."""
+
+
+class AccessDeniedError(GDPRError):
+    """Metadata-based access control rejected the operation."""
+
+
+class UnknownQueryError(GDPRError):
+    """A GDPR query name is not part of the Section-3.3 taxonomy."""
+
+
+# --------------------------------------------------------------------------
+# Benchmark errors
+# --------------------------------------------------------------------------
+
+class BenchmarkError(ReproError):
+    """Base class for errors raised by the benchmark harness."""
+
+
+class WorkloadError(BenchmarkError):
+    """A workload definition is malformed (weights, distributions...)."""

@@ -1,0 +1,162 @@
+"""Latency / throughput statistics used by the benchmark runtime engine.
+
+GDPRbench reuses YCSB's stats machinery (per-operation histograms plus an
+overall throughput line); this module reimplements that: a fixed-bucket
+microsecond histogram (cheap, mergeable across threads) and a per-workload
+summary with the metrics GDPRbench reports — completion time foremost.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+
+class Histogram:
+    """Log-scale latency histogram in microseconds.
+
+    60 buckets cover 1us .. ~1100s with ~1.41x resolution; exact min/max
+    and sum are tracked on the side so means are not quantised.
+    """
+
+    BUCKETS = 60
+    _GROWTH = math.sqrt(2.0)
+
+    def __init__(self) -> None:
+        self._counts = [0] * self.BUCKETS
+        self._n = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    def record(self, latency_us: float) -> None:
+        if latency_us < 0:
+            raise ValueError("negative latency")
+        self._n += 1
+        self._sum += latency_us
+        self._min = min(self._min, latency_us)
+        self._max = max(self._max, latency_us)
+        bucket = 0 if latency_us < 1 else int(math.log(latency_us, self._GROWTH))
+        self._counts[min(bucket, self.BUCKETS - 1)] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        for i, c in enumerate(other._counts):
+            self._counts[i] += c
+        self._n += other._n
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean_us(self) -> float:
+        return self._sum / self._n if self._n else 0.0
+
+    @property
+    def min_us(self) -> float:
+        return 0.0 if self._n == 0 else self._min
+
+    @property
+    def max_us(self) -> float:
+        return self._max
+
+    def percentile_us(self, pct: float) -> float:
+        """Approximate percentile: upper edge of the bucket holding it."""
+        if not 0 < pct <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        if self._n == 0:
+            return 0.0
+        target = math.ceil(self._n * pct / 100.0)
+        seen = 0
+        for i, c in enumerate(self._counts):
+            seen += c
+            if seen >= target:
+                return self._GROWTH ** (i + 1)
+        return self._max
+
+
+@dataclass
+class OperationStats:
+    """Stats for one operation type (e.g. READ, delete-record-by-key)."""
+
+    name: str
+    histogram: Histogram = field(default_factory=Histogram)
+    ok: int = 0
+    failed: int = 0
+
+    def record(self, latency_us: float, success: bool = True) -> None:
+        self.histogram.record(latency_us)
+        if success:
+            self.ok += 1
+        else:
+            self.failed += 1
+
+
+class StatsCollector:
+    """Thread-safe collection of per-operation stats for one workload run."""
+
+    def __init__(self) -> None:
+        self._ops: dict[str, OperationStats] = {}
+        self._lock = threading.Lock()
+        self._started: float | None = None
+        self._finished: float | None = None
+
+    def start(self, now: float) -> None:
+        self._started = now
+
+    def finish(self, now: float) -> None:
+        self._finished = now
+
+    def record(self, op: str, latency_us: float, success: bool = True) -> None:
+        with self._lock:
+            stats = self._ops.get(op)
+            if stats is None:
+                stats = self._ops[op] = OperationStats(op)
+            stats.record(latency_us, success)
+
+    @property
+    def operations(self) -> dict[str, OperationStats]:
+        return dict(self._ops)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(s.ok + s.failed for s in self._ops.values())
+
+    @property
+    def total_ok(self) -> int:
+        return sum(s.ok for s in self._ops.values())
+
+    @property
+    def completion_time_s(self) -> float:
+        """Wall-clock time from workload start to the last operation."""
+        if self._started is None or self._finished is None:
+            return 0.0
+        return max(0.0, self._finished - self._started)
+
+    @property
+    def throughput_ops_s(self) -> float:
+        elapsed = self.completion_time_s
+        return self.total_ops / elapsed if elapsed > 0 else 0.0
+
+    def summary(self) -> dict:
+        """Plain-dict report, one row per operation plus totals."""
+        per_op = {}
+        for name, s in sorted(self._ops.items()):
+            per_op[name] = {
+                "count": s.ok + s.failed,
+                "ok": s.ok,
+                "failed": s.failed,
+                "mean_us": round(s.histogram.mean_us, 2),
+                "p99_us": round(s.histogram.percentile_us(99), 2),
+                "max_us": round(s.histogram.max_us, 2),
+            }
+        return {
+            "operations": per_op,
+            "total_ops": self.total_ops,
+            "completion_time_s": round(self.completion_time_s, 6),
+            "throughput_ops_s": round(self.throughput_ops_s, 2),
+        }

@@ -1,0 +1,33 @@
+"""One module per paper figure/table; each exposes ``run() -> ExperimentResult``.
+
+==========  =====================================================  ==============
+Experiment  Paper artefact                                         Module
+==========  =====================================================  ==============
+fig3a       Redis TTL erasure delay (lazy vs strict)               ``fig3a``
+fig3b       PostgreSQL TPS vs secondary indices                    ``fig3b``
+fig4a/4b    GDPR feature overheads on YCSB (redis / postgres)      ``fig4``
+fig5        GDPRbench completion times, three configurations       ``fig5``
+table3      Storage space overhead (metadata explosion)            ``table3``
+fig6        YCSB vs GDPRbench representative throughput            ``fig6``
+fig7        Effect of scale, Redis (YCSB-C flat, customer linear)  ``scale``
+fig8        Effect of scale, PostgreSQL (muted growth)             ``scale``
+==========  =====================================================  ==============
+"""
+
+from . import fig3a, fig3b, fig4, fig5, fig6, scale, table3
+from .base import ExperimentResult
+
+ALL_EXPERIMENTS = {
+    "fig3a": fig3a.run,
+    "fig3b": fig3b.run,
+    "fig4a": lambda **kw: fig4.run(engine="redis", **kw),
+    "fig4b": lambda **kw: fig4.run(engine="postgres", **kw),
+    "fig5": fig5.run,
+    "table3": table3.run,
+    "fig6": fig6.run,
+    "fig7": scale.run_fig7,
+    "fig8": scale.run_fig8,
+}
+
+__all__ = ["ExperimentResult", "ALL_EXPERIMENTS", "fig3a", "fig3b", "fig4",
+           "fig5", "fig6", "scale", "table3"]

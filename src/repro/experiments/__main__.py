@@ -1,0 +1,49 @@
+"""CLI for the experiment harnesses.
+
+Usage::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments all        # run everything
+    python -m repro.experiments fig3a fig6 # run a subset
+
+Exits non-zero if any experiment's shape checks fail.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("available experiments:")
+        for name in ALL_EXPERIMENTS:
+            print(f"  {name}")
+        print("\nrun with: python -m repro.experiments <name...|all>")
+        return 0
+    names = list(ALL_EXPERIMENTS) if argv == ["all"] else argv
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; "
+              f"choose from {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in names:
+        started = time.perf_counter()
+        result = ALL_EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"({elapsed:.1f}s)\n")
+        if not result.shape_ok:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) failed their shape checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

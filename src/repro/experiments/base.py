@@ -1,0 +1,61 @@
+"""Shared scaffolding for the per-figure experiment modules.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` with
+laptop-friendly default scales.  A result carries the regenerated rows,
+the paper's qualitative expectation, and a check() that asserts the
+*shape* of the result (who wins, what grows) — not absolute numbers,
+since the substrate is a simulator rather than the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerated for one paper figure/table."""
+
+    experiment: str
+    title: str
+    paper_expectation: str
+    rows: list
+    shape_checks: list = field(default_factory=list)  # [(description, bool)]
+
+    @property
+    def shape_ok(self) -> bool:
+        return all(ok for _, ok in self.shape_checks)
+
+    def check(self) -> None:
+        """Raise AssertionError naming the first failed shape check."""
+        for description, ok in self.shape_checks:
+            assert ok, f"{self.experiment}: shape check failed: {description}"
+
+    def render(self) -> str:
+        """Plain-text table in the spirit of the paper's figure."""
+        lines = [f"== {self.experiment}: {self.title} ==",
+                 f"paper: {self.paper_expectation}"]
+        if self.rows:
+            headers = list(self.rows[0].keys())
+            widths = {
+                h: max(len(h), *(len(_fmt(row.get(h))) for row in self.rows))
+                for h in headers
+            }
+            lines.append("  ".join(h.ljust(widths[h]) for h in headers))
+            for row in self.rows:
+                lines.append(
+                    "  ".join(_fmt(row.get(h)).ljust(widths[h]) for h in headers)
+                )
+        marker = "OK" if self.shape_ok else "MISMATCH"
+        lines.append(f"shape: {marker}")
+        for description, ok in self.shape_checks:
+            lines.append(f"  [{'x' if ok else ' '}] {description}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,100 @@
+"""Figure 6 — representative throughput: YCSB vs GDPRbench, both engines.
+
+Under identical hardware/software/configuration, the paper shows Redis and
+PostgreSQL reaching ~10^4 ops/sec on YCSB while GDPR workloads run 2-4
+orders of magnitude slower (Redis worst).  We reproduce the four bars:
+YCSB-on-Redis, GDPRbench-on-Redis, YCSB-on-PostgreSQL,
+GDPRbench-on-PostgreSQL, with every system in its compliant configuration.
+"""
+
+from __future__ import annotations
+
+from repro.bench.records import RecordCorpusConfig
+from repro.bench.session import (
+    GDPRBenchConfig,
+    GDPRBenchSession,
+    YCSBSession,
+    YCSBSessionConfig,
+)
+from repro.bench.ycsb import YCSBConfig
+from repro.clients.base import FeatureSet
+
+from .base import ExperimentResult
+
+WORKLOAD_ORDER = ("controller", "customer", "processor", "regulator")
+
+
+def _ycsb_throughput(engine: str, records: int, operations: int, threads: int, seed: int) -> float:
+    config = YCSBSessionConfig(
+        engine=engine,
+        features=FeatureSet.full(metadata_indexing=(engine == "postgres")),
+        ycsb=YCSBConfig(record_count=records, operation_count=operations, seed=seed),
+        threads=threads,
+    )
+    with YCSBSession(config) as session:
+        session.load()
+        report = session.run("A")  # representative mixed workload
+        return report.throughput_ops_s
+
+
+def _gdpr_throughput(engine: str, records: int, operations: int, threads: int, seed: int) -> float:
+    config = GDPRBenchConfig(
+        engine=engine,
+        features=FeatureSet.full(metadata_indexing=(engine == "postgres")),
+        corpus=RecordCorpusConfig(record_count=records, user_count=max(10, records // 10)),
+        operation_count=operations,
+        threads=threads,
+        seed=seed,
+    )
+    with GDPRBenchSession(config) as session:
+        session.load()
+        total_ops = 0
+        total_time = 0.0
+        for name in WORKLOAD_ORDER:
+            report = session.run(name, measure_space=False)
+            total_ops += report.operations
+            total_time += report.completion_time_s
+        return total_ops / total_time if total_time > 0 else 0.0
+
+
+def run(
+    records: int = 2000,
+    ycsb_operations: int = 2000,
+    gdpr_operations: int = 200,
+    threads: int = 4,
+    seed: int = 13,
+) -> ExperimentResult:
+    bars = {}
+    for engine in ("redis", "postgres"):
+        bars[f"ycsb-{engine}"] = _ycsb_throughput(engine, records, ycsb_operations, threads, seed)
+        bars[f"gdpr-{engine}"] = _gdpr_throughput(engine, records, gdpr_operations, threads, seed)
+    rows = [
+        {"series": name, "throughput_ops_s": round(value, 1)}
+        for name, value in bars.items()
+    ]
+    redis_gap = bars["ycsb-redis"] / max(bars["gdpr-redis"], 1e-9)
+    pg_gap = bars["ycsb-postgres"] / max(bars["gdpr-postgres"], 1e-9)
+    checks = [
+        # The paper's 4-orders gap needs its 100K-record corpus; at laptop
+        # scale the gap sits at ~25-60x and grows with records (Figure 7),
+        # so the check uses a conservative floor.
+        ("GDPR workloads are far slower than YCSB on Redis (>= 15x gap)",
+         redis_gap >= 15.0),
+        ("GDPR workloads are far slower than YCSB on PostgreSQL (>= 5x gap)",
+         pg_gap >= 5.0),
+        ("the GDPR gap is worse on Redis than on PostgreSQL",
+         redis_gap > pg_gap),
+        ("PostgreSQL's GDPR throughput beats Redis' GDPR throughput",
+         bars["gdpr-postgres"] > bars["gdpr-redis"]),
+    ]
+    return ExperimentResult(
+        experiment="fig6",
+        title="Representative throughput: YCSB vs GDPRbench",
+        paper_expectation=(
+            "YCSB runs at ~10^4 ops/s on both systems; GDPR workloads are 2-3 "
+            "orders of magnitude slower on PostgreSQL and ~4 orders slower on "
+            "Redis under identical conditions"
+        ),
+        rows=rows,
+        shape_checks=checks,
+    )

@@ -1,0 +1,131 @@
+"""Metadata-based access control, enforced in the client stubs.
+
+The paper defers access control to the DBMS client for both systems
+("we extend the Redis client in GDPRbench to enforce metadata-based access
+rights", Section 5.1; likewise for PostgreSQL, Section 5.2).  This module
+is that enforcement layer:
+
+* **role gate** — an operation must be permitted for the caller's role by
+  the Section-3.3 taxonomy (Figure 1's arrows);
+* **record gate** — per-record metadata checks: a customer may only touch
+  records whose USR matches their identity (G 15-18, 20-22); a processor
+  may only read records whose purposes cover its declared purpose and
+  whose owner has not objected (G 28(3c), G 21); regulators read metadata
+  and logs but never personal data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import AccessDeniedError
+
+from .queries import Role, query_spec, role_may_issue
+from .record import PersonalRecord
+
+
+@dataclass(frozen=True)
+class Principal:
+    """Who is issuing the operation.
+
+    ``identity`` is the customer id for CUSTOMER principals and the
+    processor's registered purpose for PROCESSOR principals when relevant.
+    """
+
+    role: Role
+    identity: str = ""
+
+    @classmethod
+    def controller(cls) -> "Principal":
+        return cls(Role.CONTROLLER)
+
+    @classmethod
+    def customer(cls, user: str) -> "Principal":
+        return cls(Role.CUSTOMER, user)
+
+    @classmethod
+    def processor(cls, purpose: str = "") -> "Principal":
+        return cls(Role.PROCESSOR, purpose)
+
+    @classmethod
+    def regulator(cls) -> "Principal":
+        return cls(Role.REGULATOR)
+
+
+class AccessController:
+    """Role + metadata gatekeeper used by every client stub."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.checks = 0
+        self.denials = 0
+
+    def _deny(self, message: str) -> None:
+        self.denials += 1
+        raise AccessDeniedError(message)
+
+    # -- operation gate ------------------------------------------------------
+
+    def check_operation(self, principal: Principal, query_name: str) -> None:
+        """Role gate: may this role issue this query at all?"""
+        if not self.enabled:
+            return
+        self.checks += 1
+        spec = query_spec(query_name)  # raises UnknownQueryError
+        if not role_may_issue(principal.role, query_name):
+            self._deny(
+                f"role {principal.role.value} may not issue {spec.name} "
+                f"(allowed: {[r.value for r in spec.roles]})"
+            )
+
+    # -- record gates --------------------------------------------------------
+
+    def check_record_access(
+        self,
+        principal: Principal,
+        record: PersonalRecord,
+        write: bool = False,
+    ) -> None:
+        """Record gate for data-path operations."""
+        if not self.enabled:
+            return
+        self.checks += 1
+        role = principal.role
+        if role is Role.CONTROLLER:
+            return  # controller manages the full lifecycle (Figure 1)
+        if role is Role.CUSTOMER:
+            if record.user != principal.identity:
+                self._deny(
+                    f"customer {principal.identity!r} may not access record "
+                    f"{record.key!r} owned by {record.user!r}"
+                )
+            return
+        if role is Role.PROCESSOR:
+            if write:
+                self._deny("processors have read-only access to personal data")
+            if principal.identity:
+                if not record.allows_purpose(principal.identity):
+                    self._deny(
+                        f"record {record.key!r} does not permit purpose "
+                        f"{principal.identity!r} (G 28(3c) / G 21)"
+                    )
+            return
+        if role is Role.REGULATOR:
+            self._deny("regulators may not access personal data, only metadata")
+
+    def check_metadata_access(self, principal: Principal, record: PersonalRecord) -> None:
+        """Record gate for metadata reads (G 15 / regulator investigations)."""
+        if not self.enabled:
+            return
+        self.checks += 1
+        role = principal.role
+        if role in (Role.CONTROLLER, Role.REGULATOR):
+            return
+        if role is Role.CUSTOMER:
+            if record.user != principal.identity:
+                self._deny(
+                    f"customer {principal.identity!r} may not read metadata of "
+                    f"record {record.key!r} owned by {record.user!r}"
+                )
+            return
+        self._deny(f"role {role.value} may not read GDPR metadata")

@@ -1,0 +1,116 @@
+"""Table 1 of the paper as a machine-readable registry.
+
+Maps the key GDPR articles to the database-system *attributes* (metadata
+that must be stored) and *actions* (capabilities the engine must support).
+The registry drives GET-SYSTEM-FEATURES responses and the compliance
+scoring used by tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Action(Enum):
+    """The five security-centric capabilities of Section 3.2."""
+
+    TIMELY_DELETION = "timely_deletion"
+    MONITOR_AND_LOG = "monitoring"
+    METADATA_INDEXING = "metadata_indexing"
+    ENCRYPTION = "encryption"
+    ACCESS_CONTROL = "access_control"
+
+
+@dataclass(frozen=True)
+class ArticleRequirement:
+    """One row of Table 1."""
+
+    article: str
+    title: str
+    regulates: str
+    attributes: tuple  # GDPR metadata attributes involved ('' rows = none)
+    actions: tuple     # Action members required
+
+
+_A = ArticleRequirement
+
+#: Table 1, row for row.
+TABLE_1: tuple = (
+    _A("5(1b)", "Purpose limitation", "Collect data for explicit purposes",
+       ("PUR",), (Action.METADATA_INDEXING,)),
+    _A("5(1e)", "Storage limitation", "Do not store data indefinitely",
+       ("TTL",), (Action.TIMELY_DELETION,)),
+    _A("13", "Information to be provided [collection]",
+       "Inform customers about all the GDPR metadata associated with their data",
+       ("PUR", "TTL", "SRC", "SHR"), (Action.METADATA_INDEXING,)),
+    _A("14", "Information to be provided [third-party]",
+       "Inform customers about all the GDPR metadata associated with their data",
+       ("PUR", "TTL", "SRC", "SHR"), (Action.METADATA_INDEXING,)),
+    _A("15", "Right of access by users", "Allow customers to access all their data",
+       ("USR",), (Action.METADATA_INDEXING,)),
+    _A("17", "Right to be forgotten", "Allow customers to erase their data",
+       ("TTL",), (Action.TIMELY_DELETION,)),
+    _A("21", "Right to object", "Do not use data for any objected reasons",
+       ("OBJ",), (Action.METADATA_INDEXING,)),
+    _A("22", "Automated individual decision-making",
+       "Allow customers to withdraw from fully algorithmic decision-making",
+       ("DEC",), (Action.METADATA_INDEXING,)),
+    _A("25", "Data protection by design and default",
+       "Safeguard and restrict access to data", (), (Action.ACCESS_CONTROL,)),
+    _A("28", "Processor", "Do not grant unlimited access to data",
+       (), (Action.ACCESS_CONTROL,)),
+    _A("30", "Records of processing activity",
+       "Audit all operations on personal data", ("audit",), (Action.MONITOR_AND_LOG,)),
+    _A("32", "Security of processing", "Implement appropriate data security",
+       (), (Action.ENCRYPTION,)),
+    _A("33", "Notification of personal data breach",
+       "Share audit trails from affected systems", ("audit",), (Action.MONITOR_AND_LOG,)),
+)
+
+
+def requirements_for_action(action: Action) -> list[ArticleRequirement]:
+    return [row for row in TABLE_1 if action in row.actions]
+
+
+def articles_for_attribute(attribute: str) -> list[str]:
+    return [row.article for row in TABLE_1 if attribute in row.attributes]
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """GET-SYSTEM-FEATURES output: which capabilities a deployment has."""
+
+    features: dict
+
+    @property
+    def supported(self) -> list[Action]:
+        return [a for a in Action if self.features.get(a.value, False)]
+
+    @property
+    def missing(self) -> list[Action]:
+        return [a for a in Action if not self.features.get(a.value, False)]
+
+    @property
+    def satisfied_articles(self) -> list[str]:
+        """Articles whose required actions are all supported."""
+        supported = set(self.supported)
+        return [
+            row.article for row in TABLE_1 if set(row.actions) <= supported
+        ]
+
+    @property
+    def unsatisfied_articles(self) -> list[str]:
+        supported = set(self.supported)
+        return [
+            row.article for row in TABLE_1 if not set(row.actions) <= supported
+        ]
+
+    def score(self) -> float:
+        """Fraction of Table-1 articles whose actions are supported."""
+        return len(self.satisfied_articles) / len(TABLE_1)
+
+
+def evaluate_features(features: dict) -> ComplianceReport:
+    """Build a report from an engine's ``gdpr_features`` dict."""
+    return ComplianceReport(features=dict(features))

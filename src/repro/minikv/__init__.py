@@ -1,0 +1,36 @@
+"""minikv — Redis-like in-memory key-value store (the paper's Redis stand-in)."""
+
+from .aof import AOFWriter, decode_entries, encode_entry, load_aof
+from .datatypes import HashValue, SetValue, StringValue, Value
+from .engine import MiniKV, MiniKVConfig
+from .expiry import (
+    ExpiresIndex,
+    HeapExpiryCycle,
+    LazyExpiryCycle,
+    StrictExpiryCycle,
+    MAX_ITERATIONS_PER_TICK,
+    REPEAT_THRESHOLD,
+    SAMPLE_SIZE,
+    TICK_SECONDS,
+)
+
+__all__ = [
+    "MiniKV",
+    "MiniKVConfig",
+    "AOFWriter",
+    "encode_entry",
+    "decode_entries",
+    "load_aof",
+    "Value",
+    "StringValue",
+    "HashValue",
+    "SetValue",
+    "ExpiresIndex",
+    "LazyExpiryCycle",
+    "HeapExpiryCycle",
+    "StrictExpiryCycle",
+    "TICK_SECONDS",
+    "SAMPLE_SIZE",
+    "REPEAT_THRESHOLD",
+    "MAX_ITERATIONS_PER_TICK",
+]

@@ -1,0 +1,185 @@
+"""Append-only file: persistence log and, under GDPR, the audit trail.
+
+Redis' AOF records every state-changing command; replaying the file
+rebuilds the dataset.  The paper (Section 5.1) determines that piggybacking
+the GDPR audit trail on the AOF has the least overhead, but has to extend
+it to log *reads and scans* too — which is exactly the switch
+``log_reads`` on :class:`AOFWriter`.
+
+Entries use a length-prefixed, escape-free text framing (a simplified RESP):
+
+    *<nargs>\\n$<len>\\n<arg bytes>\\n...$<len>\\n<arg bytes>\\n
+
+Fsync policy mirrors ``appendfsync``: ``always`` flushes per command,
+``everysec`` flushes when the engine clock crosses a 1-second boundary
+(the default, and what the paper benchmarks), ``no`` leaves flushing to
+the OS (here: file close).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterable, Iterator
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import AOFCorruptError, ConfigurationError
+
+FSYNC_POLICIES = ("always", "everysec", "no")
+
+#: Commands that mutate the keyspace and are always logged + replayed.
+MUTATING_COMMANDS = frozenset(
+    {
+        "SET", "DEL", "EXPIRE", "EXPIREAT", "PERSIST",
+        "HSET", "HDEL", "HMSET",
+        "SADD", "SREM",
+        "FLUSHALL",
+    }
+)
+
+
+def encode_entry(args: Iterable[bytes]) -> bytes:
+    """Serialise one command into the AOF framing."""
+    parts = list(args)
+    out = io.BytesIO()
+    out.write(b"*%d\n" % len(parts))
+    for part in parts:
+        out.write(b"$%d\n" % len(part))
+        out.write(part)
+        out.write(b"\n")
+    return out.getvalue()
+
+
+def decode_entries(data: bytes) -> Iterator[list[bytes]]:
+    """Parse the AOF back into commands; raises on a malformed prefix.
+
+    A *trailing* partial entry (torn final write after a crash) is ignored,
+    matching Redis' ``aof-load-truncated yes`` behaviour.
+    """
+    pos = 0
+    n = len(data)
+    while pos < n:
+        start = pos
+        try:
+            if data[pos:pos + 1] != b"*":
+                raise AOFCorruptError(f"expected '*' at offset {pos}")
+            eol = data.index(b"\n", pos)
+            nargs = int(data[pos + 1:eol])
+            pos = eol + 1
+            args: list[bytes] = []
+            for _ in range(nargs):
+                if data[pos:pos + 1] != b"$":
+                    raise AOFCorruptError(f"expected '$' at offset {pos}")
+                eol = data.index(b"\n", pos)
+                length = int(data[pos + 1:eol])
+                pos = eol + 1
+                if pos + length + 1 > n:
+                    raise IndexError  # torn write
+                args.append(data[pos:pos + length])
+                pos += length
+                if data[pos:pos + 1] != b"\n":
+                    raise AOFCorruptError(f"missing terminator at offset {pos}")
+                pos += 1
+            yield args
+        except (ValueError, IndexError):
+            # Torn trailing entry (crash mid-append): stop replay here,
+            # matching Redis' aof-load-truncated behaviour.  ``start`` marks
+            # where the torn entry began for diagnostics.
+            del start
+            return
+
+
+class AOFWriter:
+    """Buffered append-only log with configurable fsync policy.
+
+    With a ``cipher`` (the LUKS analogue), every byte is encrypted at its
+    absolute file offset before it is buffered — the at-rest boundary a
+    dm-crypt block device provides.  Reads of the file must decrypt from
+    offset 0 (see :func:`load_aof`).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync: str = "everysec",
+        log_reads: bool = False,
+        clock: Clock | None = None,
+        cipher=None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(f"unknown fsync policy {fsync!r}")
+        self.path = path
+        self.fsync = fsync
+        self.log_reads = log_reads
+        self._clock = clock or SystemClock()
+        self._file = open(path, "ab")
+        self._buffer = io.BytesIO()
+        self._last_flush = self._clock.now()
+        self._entries_logged = 0
+        self._cipher = cipher
+        self._offset = self._file.tell()  # absolute cipher offset
+
+    @property
+    def entries_logged(self) -> int:
+        return self._entries_logged
+
+    def should_log(self, command: str) -> bool:
+        """Mutations always; reads/scans only when auditing is on."""
+        if command in MUTATING_COMMANDS:
+            return True
+        return self.log_reads
+
+    def append(self, args: Iterable[bytes]) -> None:
+        data = encode_entry(args)
+        if self._cipher is not None:
+            data = self._cipher.apply(data, self._offset)
+        self._offset += len(data)
+        self._buffer.write(data)
+        self._entries_logged += 1
+        if self.fsync == "always":
+            self.flush()
+        elif self.fsync == "everysec":
+            now = self._clock.now()
+            if now - self._last_flush >= 1.0:
+                self.flush()
+
+    def flush(self) -> None:
+        data = self._buffer.getvalue()
+        if data:
+            self._file.write(data)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._buffer = io.BytesIO()
+        self._last_flush = self._clock.now()
+
+    def size_bytes(self) -> int:
+        """Bytes durably in the file plus bytes still buffered."""
+        return self._file.tell() + len(self._buffer.getvalue())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self.flush()
+            self._file.close()
+
+    def __enter__(self) -> "AOFWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_aof(path: str, cipher=None) -> list[list[bytes]]:
+    """Read every complete entry from an AOF file for replay.
+
+    ``cipher`` must match the :class:`AOFWriter`'s (decryption starts at
+    file offset 0).
+    """
+    if not os.path.exists(path):
+        return []
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data:
+        return []
+    if cipher is not None:
+        data = cipher.apply(data, 0)
+    return list(decode_entries(data))

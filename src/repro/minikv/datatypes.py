@@ -1,0 +1,73 @@
+"""Value containers for the minikv keyspace, with memory accounting.
+
+Redis stores everything as a typed value object behind the key; minikv
+supports the three types GDPRbench's Redis client uses: strings (plain
+payloads), hashes (field -> value, used for records with metadata) and sets
+(used for reverse indices if an application builds them).
+
+Every container reports an approximate in-memory footprint so the engine
+can answer the space-overhead metric (Table 3) the way ``redis-cli INFO
+memory`` would.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import WrongTypeError
+
+_OVERHEAD_PER_ENTRY = 48  # dict entry + object headers, rough CPython cost
+
+
+class Value:
+    """Base class for keyspace values."""
+
+    kind = "none"
+
+    def memory_bytes(self) -> int:
+        raise NotImplementedError
+
+
+class StringValue(Value):
+    kind = "string"
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+
+    def memory_bytes(self) -> int:
+        return len(self.data) + _OVERHEAD_PER_ENTRY
+
+
+class HashValue(Value):
+    kind = "hash"
+
+    __slots__ = ("fields",)
+
+    def __init__(self) -> None:
+        self.fields: dict[str, bytes] = {}
+
+    def memory_bytes(self) -> int:
+        total = _OVERHEAD_PER_ENTRY
+        for field, value in self.fields.items():
+            total += len(field) + len(value) + _OVERHEAD_PER_ENTRY
+        return total
+
+
+class SetValue(Value):
+    kind = "set"
+
+    __slots__ = ("members",)
+
+    def __init__(self) -> None:
+        self.members: set[bytes] = set()
+
+    def memory_bytes(self) -> int:
+        return _OVERHEAD_PER_ENTRY + sum(len(m) + _OVERHEAD_PER_ENTRY for m in self.members)
+
+
+def expect_type(value: Value | None, kind: str) -> None:
+    """Raise :class:`WrongTypeError` unless ``value`` is absent or ``kind``."""
+    if value is not None and value.kind != kind:
+        raise WrongTypeError(
+            f"WRONGTYPE operation against a key holding a {value.kind} value"
+        )

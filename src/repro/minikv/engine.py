@@ -1,0 +1,682 @@
+"""minikv — the Redis-like in-memory key-value engine.
+
+This is the reproduction's stand-in for Redis v5.0 (Section 5.1 of the
+paper): a hash-table keyspace holding typed values (strings, hashes, sets),
+TTL support with Redis' lazy sampling expiry cycle, and append-only-file
+persistence.  The GDPR retrofit toggles map one-to-one onto the paper's
+modifications:
+
+* ``encryption_at_rest`` — LUKS analogue: the persistence file (AOF) is
+  encrypted at the disk boundary.  In-memory values stay plaintext, just
+  as Redis' heap does on a dm-crypt volume; the in-transit half lives in
+  the client stub (the Stunnel analogue).
+* ``strict_ttl`` — replaces the lazy expiry cycle with a full scan of the
+  expires dictionary per tick (the paper's ~120-line Redis patch).
+* ``aof_path`` + ``log_reads`` — audit trail piggybacked on the AOF,
+  extended to record reads and scans (Section 5.1: "we update its internal
+  logic to log all interactions including reads and scans").
+
+Like Redis, command execution is single-threaded: a global lock serialises
+commands, so multi-threaded benchmark clients contend exactly as they would
+against one Redis event loop.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import ConfigurationError
+from repro.crypto.luks import FileCipher
+
+from . import aof as aof_mod
+from .datatypes import HashValue, SetValue, StringValue, Value, expect_type
+from .expiry import (
+    ExpiresIndex,
+    HeapExpiryCycle,
+    LazyExpiryCycle,
+    StrictExpiryCycle,
+)
+
+
+@dataclass
+class MiniKVConfig:
+    """Feature switches for the GDPR retrofit (defaults = stock Redis)."""
+
+    encryption_at_rest: bool = False
+    strict_ttl: bool = False
+    aof_path: str | None = None
+    fsync: str = "everysec"
+    log_reads: bool = False
+    expiry_seed: int = 0
+    #: 'lazy' (stock Redis), 'strict' (the paper's patch), or 'heap' (the
+    #: paper's §7.2 "efficient time-based deletion" challenge: deadline-
+    #: ordered min-heap, strict timeliness at O(k log n) per tick).
+    #: Empty string defers to ``strict_ttl`` for backwards compatibility.
+    ttl_algorithm: str = ""
+
+    def resolved_ttl_algorithm(self) -> str:
+        if self.ttl_algorithm:
+            return self.ttl_algorithm
+        return "strict" if self.strict_ttl else "lazy"
+
+    @property
+    def gdpr_features(self) -> dict[str, bool]:
+        """Feature vector reported by GET-SYSTEM-FEATURES."""
+        return {
+            "encryption": self.encryption_at_rest,
+            "timely_deletion": self.resolved_ttl_algorithm() in ("strict", "heap"),
+            "monitoring": self.aof_path is not None and self.log_reads,
+            "metadata_indexing": False,   # Redis has no secondary indices
+            "access_control": False,      # deferred to the client (paper §5.1)
+        }
+
+
+class MiniKV:
+    """The engine.  All commands are thread-safe via one global lock."""
+
+    def __init__(self, config: MiniKVConfig | None = None, clock: Clock | None = None) -> None:
+        self.config = config or MiniKVConfig()
+        self.clock = clock or SystemClock()
+        self._data: dict[str, Value] = {}
+        self._expires = ExpiresIndex()
+        self._lock = threading.RLock()
+        self._file_cipher = FileCipher() if self.config.encryption_at_rest else None
+        algorithm = self.config.resolved_ttl_algorithm()
+        cycle_classes = {
+            "lazy": LazyExpiryCycle,
+            "strict": StrictExpiryCycle,
+            "heap": HeapExpiryCycle,
+        }
+        try:
+            cycle_cls = cycle_classes[algorithm]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown ttl_algorithm {algorithm!r}; choose from {sorted(cycle_classes)}"
+            ) from None
+        self._expiry_cycle = cycle_cls(
+            self._expires, self._evict_expired_key, seed=self.config.expiry_seed
+        )
+        self._aof: aof_mod.AOFWriter | None = None
+        if self.config.aof_path is not None:
+            self._replay(self.config.aof_path)
+            self._aof = aof_mod.AOFWriter(
+                self.config.aof_path,
+                fsync=self.config.fsync,
+                log_reads=self.config.log_reads,
+                clock=self.clock,
+                cipher=self._file_cipher,
+            )
+        self._commands_processed = 0
+
+    # ------------------------------------------------------------------
+    # Internals: cron, passive expiry, logging, encryption
+    # ------------------------------------------------------------------
+
+    def _evict_expired_key(self, key: str) -> None:
+        """Deletion callback used by the active expiry cycle."""
+        self._data.pop(key, None)
+        self._expires.remove(key)
+        self._log("DEL", key.encode())
+
+    def purge_expired(self) -> list[str]:
+        """Actively erase every expired key right now; returns their names.
+
+        This is the engine-side half of DELETE-RECORD-BY-TTL: a controller
+        purging expired personal data cannot wait for the lazy cycle to
+        sample its way through the keyspace.
+        """
+        with self._lock:
+            # Deliberately skip _begin(): its expiry-cycle tick would evict
+            # keys before we can snapshot (and count) them.
+            self._commands_processed += 1
+            expired = self._expires.all_expired(self.clock.now())
+            for key in expired:
+                self._evict_expired_key(key)
+            return expired
+
+    def cron(self) -> int:
+        """Run the active expiry cycle if a tick has elapsed.
+
+        Redis calls this ``serverCron``; minikv invokes it at the top of
+        every command, and benchmarks may call it directly while
+        fast-forwarding a virtual clock.  Returns keys erased.
+        """
+        with self._lock:
+            now = self.clock.now()
+            if self._expiry_cycle.due(now):
+                return self._expiry_cycle.run(now)
+            return 0
+
+    @property
+    def expiry_stats(self):
+        return self._expiry_cycle.stats
+
+    def _expire_if_due(self, key: str) -> bool:
+        """Passive expiry: purge ``key`` if its deadline has passed."""
+        if self._expires.is_expired(key, self.clock.now()):
+            self._evict_expired_key(key)
+            return True
+        return False
+
+    def _log(self, command: str, *args: bytes) -> None:
+        if self._aof is not None and self._aof.should_log(command):
+            self._aof.append([command.encode(), *args])
+
+    def _live(self, key: str) -> Value | None:
+        """Value behind ``key`` after passive expiry, or None."""
+        if self._expire_if_due(key):
+            return None
+        return self._data.get(key)
+
+    def _begin(self) -> None:
+        self._commands_processed += 1
+        now = self.clock.now()
+        if self._expiry_cycle.due(now):
+            self._expiry_cycle.run(now)
+
+    # ------------------------------------------------------------------
+    # String commands
+    # ------------------------------------------------------------------
+
+    def set(self, key: str, value: bytes, ttl: float | None = None) -> None:
+        with self._lock:
+            self._begin()
+            self._expire_if_due(key)
+            self._data[key] = StringValue(value)
+            self._expires.remove(key)  # SET clears any previous TTL
+            self._log("SET", key.encode(), value)
+            if ttl is not None:
+                self._expire_locked(key, ttl)
+
+    def get(self, key: str) -> bytes | None:
+        with self._lock:
+            self._begin()
+            value = self._live(key)
+            if value is None:
+                self._log("GET", key.encode())
+                return None
+            expect_type(value, "string")
+            # Audit entries for reads carry the response payload: a G 33(3a)
+            # breach report must say which personal data was exposed.
+            self._log("GET", key.encode(), value.data)
+            return value.data
+
+    def delete(self, *keys: str) -> int:
+        with self._lock:
+            self._begin()
+            removed = 0
+            for key in keys:
+                self._expire_if_due(key)
+                if key in self._data:
+                    del self._data[key]
+                    self._expires.remove(key)
+                    removed += 1
+                    self._log("DEL", key.encode())
+            return removed
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            self._begin()
+            self._log("EXISTS", key.encode())
+            return self._live(key) is not None
+
+    # ------------------------------------------------------------------
+    # TTL commands
+    # ------------------------------------------------------------------
+
+    def _expire_locked(self, key: str, seconds: float) -> bool:
+        if key not in self._data:
+            return False
+        deadline = self.clock.now() + seconds
+        self._expires.set(key, deadline)
+        if isinstance(self._expiry_cycle, HeapExpiryCycle):
+            self._expiry_cycle.schedule(key, deadline)
+        self._log("EXPIREAT", key.encode(), repr(deadline).encode())
+        return True
+
+    def expire(self, key: str, seconds: float) -> bool:
+        """Set a relative TTL; returns False if the key does not exist."""
+        with self._lock:
+            self._begin()
+            self._expire_if_due(key)
+            return self._expire_locked(key, seconds)
+
+    def expireat(self, key: str, deadline: float) -> bool:
+        """Set an absolute expiry deadline (engine-clock domain)."""
+        with self._lock:
+            self._begin()
+            self._expire_if_due(key)
+            if key not in self._data:
+                return False
+            self._expires.set(key, deadline)
+            if isinstance(self._expiry_cycle, HeapExpiryCycle):
+                self._expiry_cycle.schedule(key, deadline)
+            self._log("EXPIREAT", key.encode(), repr(deadline).encode())
+            return True
+
+    def persist(self, key: str) -> bool:
+        with self._lock:
+            self._begin()
+            self._expire_if_due(key)
+            if key not in self._data or key not in self._expires:
+                return False
+            self._expires.remove(key)
+            self._log("PERSIST", key.encode())
+            return True
+
+    def ttl(self, key: str) -> float:
+        """Remaining TTL in seconds; -2 if missing, -1 if no expiry."""
+        with self._lock:
+            self._begin()
+            if self._live(key) is None:
+                return -2.0
+            deadline = self._expires.deadline(key)
+            if deadline is None:
+                return -1.0
+            return max(0.0, deadline - self.clock.now())
+
+    # ------------------------------------------------------------------
+    # Hash commands (GDPRbench stores records as hashes)
+    # ------------------------------------------------------------------
+
+    def _hash_for_write(self, key: str) -> HashValue:
+        self._expire_if_due(key)
+        value = self._data.get(key)
+        expect_type(value, "hash")
+        if value is None:
+            value = HashValue()
+            self._data[key] = value
+        return value
+
+    def hset(self, key: str, field: str, value: bytes) -> int:
+        with self._lock:
+            self._begin()
+            hash_value = self._hash_for_write(key)
+            created = 0 if field in hash_value.fields else 1
+            hash_value.fields[field] = value
+            self._log("HSET", key.encode(), field.encode(), value)
+            return created
+
+    def hmset(self, key: str, mapping: Mapping[str, bytes]) -> None:
+        with self._lock:
+            self._begin()
+            hash_value = self._hash_for_write(key)
+            log_args: list[bytes] = [key.encode()]
+            for field, value in mapping.items():
+                hash_value.fields[field] = value
+                log_args.append(field.encode())
+                log_args.append(value)
+            self._log("HMSET", *log_args)
+
+    def hset_if_exists(self, key: str, field: str, value: bytes) -> int:
+        """HSET only when the hash already exists (Lua-script analogue).
+
+        GDPR clients need read-modify-write on records without recreating
+        a concurrently-deleted record as a phantom hash; real deployments
+        use a Lua script or WATCH/MULTI for this.  Returns 1 if written.
+        """
+        with self._lock:
+            self._begin()
+            value_obj = self._live(key)
+            if value_obj is None:
+                return 0
+            expect_type(value_obj, "hash")
+            value_obj.fields[field] = value
+            self._log("HSET", key.encode(), field.encode(), value)
+            return 1
+
+    def hmset_if_exists(self, key: str, mapping: Mapping[str, bytes]) -> int:
+        """HMSET only when the hash already exists; returns 1 if written."""
+        with self._lock:
+            self._begin()
+            value_obj = self._live(key)
+            if value_obj is None:
+                return 0
+            expect_type(value_obj, "hash")
+            log_args: list[bytes] = [key.encode()]
+            for field, value in mapping.items():
+                value_obj.fields[field] = value
+                log_args.append(field.encode())
+                log_args.append(value)
+            self._log("HMSET", *log_args)
+            return 1
+
+    def hget(self, key: str, field: str) -> bytes | None:
+        with self._lock:
+            self._begin()
+            value = self._live(key)
+            if value is None:
+                self._log("HGET", key.encode(), field.encode())
+                return None
+            expect_type(value, "hash")
+            payload = value.fields.get(field)
+            self._log("HGET", key.encode(), field.encode(), payload or b"")
+            return payload
+
+    def hgetall(self, key: str) -> dict[str, bytes]:
+        with self._lock:
+            self._begin()
+            value = self._live(key)
+            if value is None:
+                self._log("HGETALL", key.encode())
+                return {}
+            expect_type(value, "hash")
+            out = dict(value.fields)
+            log_args = [key.encode()]
+            for field, payload in out.items():
+                log_args.append(field.encode())
+                log_args.append(payload)
+            self._log("HGETALL", *log_args)
+            return out
+
+    def hdel(self, key: str, *fields: str) -> int:
+        with self._lock:
+            self._begin()
+            value = self._live(key)
+            if value is None:
+                return 0
+            expect_type(value, "hash")
+            removed = 0
+            for field in fields:
+                if field in value.fields:
+                    del value.fields[field]
+                    removed += 1
+                    self._log("HDEL", key.encode(), field.encode())
+            if not value.fields:
+                del self._data[key]
+                self._expires.remove(key)
+            return removed
+
+    # ------------------------------------------------------------------
+    # Set commands
+    # ------------------------------------------------------------------
+
+    def sadd(self, key: str, *members: bytes) -> int:
+        with self._lock:
+            self._begin()
+            self._expire_if_due(key)
+            value = self._data.get(key)
+            expect_type(value, "set")
+            if value is None:
+                value = SetValue()
+                self._data[key] = value
+            added = 0
+            for member in members:
+                if member not in value.members:
+                    value.members.add(member)
+                    added += 1
+                    self._log("SADD", key.encode(), member)
+            return added
+
+    def srem(self, key: str, *members: bytes) -> int:
+        with self._lock:
+            self._begin()
+            value = self._live(key)
+            if value is None:
+                return 0
+            expect_type(value, "set")
+            removed = 0
+            for member in members:
+                if member in value.members:
+                    value.members.remove(member)
+                    removed += 1
+                    self._log("SREM", key.encode(), member)
+            if not value.members:
+                del self._data[key]
+                self._expires.remove(key)
+            return removed
+
+    def smembers(self, key: str) -> set[bytes]:
+        with self._lock:
+            self._begin()
+            value = self._live(key)
+            if value is None:
+                self._log("SMEMBERS", key.encode())
+                return set()
+            expect_type(value, "set")
+            members = set(value.members)
+            self._log("SMEMBERS", key.encode(), *sorted(members))
+            return members
+
+    def sismember(self, key: str, member: bytes) -> bool:
+        with self._lock:
+            self._begin()
+            value = self._live(key)
+            self._log("SISMEMBER", key.encode(), member)
+            if value is None:
+                return False
+            expect_type(value, "set")
+            return member in value.members
+
+    # ------------------------------------------------------------------
+    # Keyspace commands
+    # ------------------------------------------------------------------
+
+    def scan(
+        self, cursor: int = 0, match: str | None = None, count: int = 10
+    ) -> tuple[int, list[str]]:
+        """Cursor-based iteration over the keyspace, like Redis SCAN.
+
+        The cursor is an index into a stable snapshot ordering (insertion
+        order of the underlying dict); Redis makes weaker guarantees, but
+        GDPRbench only relies on full traversal, which this provides.
+        """
+        with self._lock:
+            self._begin()
+            self._log("SCAN", str(cursor).encode())
+            keys = list(self._data.keys())
+            now = self.clock.now()
+            batch: list[str] = []
+            position = cursor
+            while position < len(keys) and len(batch) < count:
+                key = keys[position]
+                position += 1
+                if self._expires.is_expired(key, now):
+                    continue
+                if match is None or fnmatch.fnmatchcase(key, match):
+                    batch.append(key)
+            next_cursor = 0 if position >= len(keys) else position
+            return next_cursor, batch
+
+    def keys(self, pattern: str = "*") -> list[str]:
+        with self._lock:
+            self._begin()
+            self._log("KEYS", pattern.encode())
+            now = self.clock.now()
+            return [
+                key
+                for key in self._data
+                if not self._expires.is_expired(key, now)
+                and fnmatch.fnmatchcase(key, pattern)
+            ]
+
+    def randomkey(self) -> str | None:
+        with self._lock:
+            self._begin()
+            for key in self._data:
+                if not self._expires.is_expired(key, self.clock.now()):
+                    return key
+            return None
+
+    def dbsize(self) -> int:
+        with self._lock:
+            self._begin()
+            now = self.clock.now()
+            return sum(
+                1 for key in self._data if not self._expires.is_expired(key, now)
+            )
+
+    def flushall(self) -> None:
+        with self._lock:
+            self._begin()
+            self._data.clear()
+            self._expires.clear()
+            self._log("FLUSHALL")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def memory_used(self) -> int:
+        """Approximate bytes held by live values (INFO memory analogue)."""
+        with self._lock:
+            return sum(v.memory_bytes() for v in self._data.values())
+
+    def aof_size(self) -> int:
+        with self._lock:
+            return self._aof.size_bytes() if self._aof else 0
+
+    def info(self) -> dict:
+        with self._lock:
+            return {
+                "keys": len(self._data),
+                "keys_with_expiry": len(self._expires),
+                "memory_used_bytes": self.memory_used(),
+                "aof_size_bytes": self.aof_size(),
+                "commands_processed": self._commands_processed,
+                "expiry_algorithm": self._expiry_cycle.name,
+                "gdpr_features": self.config.gdpr_features,
+            }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _replay(self, path: str) -> None:
+        """Rebuild the keyspace from an existing AOF before appending."""
+        for entry in aof_mod.load_aof(path, cipher=self._file_cipher):
+            if not entry:
+                continue
+            command = entry[0].decode()
+            args = entry[1:]
+            if command == "SET":
+                key = args[0].decode()
+                self._data[key] = StringValue(args[1])
+                self._expires.remove(key)
+            elif command == "DEL":
+                key = args[0].decode()
+                self._data.pop(key, None)
+                self._expires.remove(key)
+            elif command == "EXPIREAT":
+                key = args[0].decode()
+                if key in self._data:
+                    deadline = float(args[1])
+                    self._expires.set(key, deadline)
+                    if isinstance(self._expiry_cycle, HeapExpiryCycle):
+                        self._expiry_cycle.schedule(key, deadline)
+            elif command == "PERSIST":
+                self._expires.remove(args[0].decode())
+            elif command in ("HSET", "HMSET"):
+                key = args[0].decode()
+                value = self._data.get(key)
+                if not isinstance(value, HashValue):
+                    value = HashValue()
+                    self._data[key] = value
+                pairs = args[1:]
+                for i in range(0, len(pairs) - 1, 2):
+                    field = pairs[i].decode()
+                    value.fields[field] = pairs[i + 1]
+            elif command == "HDEL":
+                key = args[0].decode()
+                value = self._data.get(key)
+                if isinstance(value, HashValue):
+                    value.fields.pop(args[1].decode(), None)
+                    if not value.fields:
+                        del self._data[key]
+            elif command == "SADD":
+                key = args[0].decode()
+                value = self._data.get(key)
+                if not isinstance(value, SetValue):
+                    value = SetValue()
+                    self._data[key] = value
+                value.members.add(args[1])
+            elif command == "SREM":
+                key = args[0].decode()
+                value = self._data.get(key)
+                if isinstance(value, SetValue):
+                    value.members.discard(args[1])
+                    if not value.members:
+                        del self._data[key]
+            elif command == "FLUSHALL":
+                self._data.clear()
+                self._expires.clear()
+            # Read commands in an audit-enabled AOF are ignored on replay.
+
+    def rewrite_aof(self, archive_path: str | None = None) -> tuple[int, int]:
+        """Compact the AOF to the minimal commands rebuilding current state
+        (Redis' BGREWRITEAOF, done synchronously).
+
+        Returns ``(old_size, new_size)`` in bytes.
+
+        GDPR caveat: when the AOF doubles as the audit trail
+        (``log_reads=True``), rewriting would destroy the G 30 records of
+        processing.  Pass ``archive_path`` to move the full historical log
+        aside before compacting; without it, rewriting an audit-bearing
+        AOF raises :class:`ConfigurationError`.
+        """
+        import os as _os
+        import shutil as _shutil
+
+        with self._lock:
+            if self._aof is None:
+                raise ConfigurationError("engine has no AOF to rewrite")
+            if self.config.log_reads and archive_path is None:
+                raise ConfigurationError(
+                    "AOF carries the audit trail (log_reads=True); pass "
+                    "archive_path to preserve G 30 records before compacting"
+                )
+            path = self.config.aof_path
+            assert path is not None
+            self._aof.close()
+            old_size = _os.path.getsize(path)
+            if archive_path is not None:
+                _shutil.copy2(path, archive_path)
+
+            rewrite_path = path + ".rewrite"
+            compact = aof_mod.AOFWriter(
+                rewrite_path, fsync="always", clock=self.clock,
+                cipher=self._file_cipher,
+            )
+            now = self.clock.now()
+            for key, value in self._data.items():
+                if self._expires.is_expired(key, now):
+                    continue
+                if isinstance(value, StringValue):
+                    compact.append([b"SET", key.encode(), value.data])
+                elif isinstance(value, HashValue):
+                    args: list[bytes] = [b"HMSET", key.encode()]
+                    for field, payload in value.fields.items():
+                        args.append(field.encode())
+                        args.append(payload)
+                    compact.append(args)
+                elif isinstance(value, SetValue):
+                    for member in sorted(value.members):
+                        compact.append([b"SADD", key.encode(), member])
+                deadline = self._expires.deadline(key)
+                if deadline is not None:
+                    compact.append([b"EXPIREAT", key.encode(), repr(deadline).encode()])
+            compact.close()
+            new_size = _os.path.getsize(rewrite_path)
+            _os.replace(rewrite_path, path)
+            self._aof = aof_mod.AOFWriter(
+                path,
+                fsync=self.config.fsync,
+                log_reads=self.config.log_reads,
+                clock=self.clock,
+                cipher=self._file_cipher,
+            )
+            return old_size, new_size
+
+    def close(self) -> None:
+        if self._aof is not None:
+            self._aof.close()
+
+    def __enter__(self) -> "MiniKV":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

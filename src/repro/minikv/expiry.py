@@ -1,0 +1,207 @@
+"""Active TTL expiry cycles: Redis' lazy sampling vs the paper's strict scan.
+
+Section 5.1 of the paper pinpoints why stock Redis cannot guarantee timely
+deletion (GDPR articles 5(1e) and 17): the active expiry cycle is a lazy
+probabilistic algorithm.  Once every 100 ms it samples 20 random keys from
+the set of keys carrying an expiry; expired ones are deleted; if fewer than
+5 of the 20 were expired it waits for the next tick, otherwise it repeats
+the loop immediately.  As the fraction of expired keys shrinks, the
+expected number of deletions per tick falls towards ``20 * E/N``, so the
+time to fully erase grows with the *total* number of keys carrying TTLs —
+the Figure 3a curve.
+
+The paper's modification iterates the entire expires dictionary on every
+cycle, which erases everything expired within one tick (sub-second).
+:class:`StrictExpiryCycle` implements that.
+
+Both cycles operate on an :class:`ExpiresIndex` owned by the engine and are
+driven by ``run(now)`` calls; the engine invokes them from its command path
+(and benchmarks drive them with a virtual clock to fast-forward hours).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+TICK_SECONDS = 0.1          # Redis runs the cycle 10 times per second
+SAMPLE_SIZE = 20            # keys sampled per iteration
+REPEAT_THRESHOLD = 5        # repeat immediately if >= this many expired
+MAX_ITERATIONS_PER_TICK = 16  # Redis bounds cycle CPU; we bound iterations
+
+
+class ExpiresIndex:
+    """The ``expires`` dictionary: key -> absolute expiry time.
+
+    Keeps a parallel list so the lazy cycle can sample uniformly in O(1),
+    the same trick Redis' dict random-key primitive provides.
+    """
+
+    def __init__(self) -> None:
+        self._deadline: dict[str, float] = {}
+        self._order: list[str] = []
+        self._position: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._deadline)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._deadline
+
+    def deadline(self, key: str) -> float | None:
+        return self._deadline.get(key)
+
+    def set(self, key: str, when: float) -> None:
+        if key not in self._deadline:
+            self._position[key] = len(self._order)
+            self._order.append(key)
+        self._deadline[key] = when
+
+    def clear(self) -> None:
+        self._deadline.clear()
+        self._order.clear()
+        self._position.clear()
+
+    def remove(self, key: str) -> None:
+        if key not in self._deadline:
+            return
+        del self._deadline[key]
+        # Swap-pop keeps sampling O(1).
+        idx = self._position.pop(key)
+        last = self._order.pop()
+        if last != key:
+            self._order[idx] = last
+            self._position[last] = idx
+
+    def sample(self, count: int, rng: random.Random) -> list[str]:
+        n = len(self._order)
+        if n == 0:
+            return []
+        if n <= count:
+            return list(self._order)
+        return [self._order[rng.randrange(n)] for _ in range(count)]
+
+    def is_expired(self, key: str, now: float) -> bool:
+        deadline = self._deadline.get(key)
+        return deadline is not None and deadline <= now
+
+    def all_expired(self, now: float) -> list[str]:
+        return [k for k, d in self._deadline.items() if d <= now]
+
+
+@dataclass
+class ExpiryCycleStats:
+    ticks: int = 0
+    iterations: int = 0
+    sampled: int = 0
+    deleted: int = 0
+    last_run: float = field(default=float("-inf"))
+
+
+class LazyExpiryCycle:
+    """Redis' stock sampling expiry cycle (the Figure 3a culprit)."""
+
+    name = "lazy"
+
+    def __init__(self, index: ExpiresIndex, delete: Callable[[str], None], seed: int = 0) -> None:
+        self._index = index
+        self._delete = delete
+        self._rng = random.Random(seed)
+        self.stats = ExpiryCycleStats()
+
+    def due(self, now: float) -> bool:
+        return now - self.stats.last_run >= TICK_SECONDS
+
+    def run(self, now: float) -> int:
+        """One 100 ms tick; returns number of keys erased."""
+        self.stats.last_run = now
+        self.stats.ticks += 1
+        erased = 0
+        for _ in range(MAX_ITERATIONS_PER_TICK):
+            self.stats.iterations += 1
+            sampled = self._index.sample(SAMPLE_SIZE, self._rng)
+            self.stats.sampled += len(sampled)
+            expired = [k for k in sampled if self._index.is_expired(k, now)]
+            for key in expired:
+                self._delete(key)
+            erased += len(expired)
+            self.stats.deleted += len(expired)
+            if len(expired) < REPEAT_THRESHOLD:
+                break
+        return erased
+
+
+class HeapExpiryCycle:
+    """Deadline-ordered expiry: the paper's §7.2 "efficient time-based
+    deletion" research challenge, implemented.
+
+    The strict cycle achieves timeliness by scanning the whole expires
+    dictionary every 100 ms — O(n) per tick, which is what makes the
+    paper's TTL feature cost ~20% of Redis' throughput.  Keeping a min-heap
+    of (deadline, key) makes each tick O(k log n) for k actually-expired
+    keys: same sub-second timeliness as strict, near-zero foreground cost.
+
+    Deadline *changes* (EXPIRE on an existing key, PERSIST) are handled by
+    lazy invalidation: the heap may hold stale entries, and each popped
+    entry is checked against the authoritative :class:`ExpiresIndex`
+    before deletion.
+    """
+
+    name = "heap"
+
+    def __init__(self, index: ExpiresIndex, delete: Callable[[str], None], seed: int = 0) -> None:
+        self._index = index
+        self._delete = delete
+        self._heap: list[tuple[float, str]] = []
+        self.stats = ExpiryCycleStats()
+
+    def schedule(self, key: str, deadline: float) -> None:
+        """Record a (possibly updated) deadline for ``key``."""
+        heapq.heappush(self._heap, (deadline, key))
+
+    def due(self, now: float) -> bool:
+        return now - self.stats.last_run >= TICK_SECONDS
+
+    def run(self, now: float) -> int:
+        self.stats.last_run = now
+        self.stats.ticks += 1
+        self.stats.iterations += 1
+        erased = 0
+        while self._heap and self._heap[0][0] <= now:
+            deadline, key = heapq.heappop(self._heap)
+            self.stats.sampled += 1
+            current = self._index.deadline(key)
+            if current is None or current != deadline:
+                continue  # stale heap entry (deadline changed or key gone)
+            if current <= now:
+                self._delete(key)
+                erased += 1
+        self.stats.deleted += erased
+        return erased
+
+
+class StrictExpiryCycle:
+    """The paper's modification: full scan of the expires dict per tick."""
+
+    name = "strict"
+
+    def __init__(self, index: ExpiresIndex, delete: Callable[[str], None], seed: int = 0) -> None:
+        self._index = index
+        self._delete = delete
+        self.stats = ExpiryCycleStats()
+
+    def due(self, now: float) -> bool:
+        return now - self.stats.last_run >= TICK_SECONDS
+
+    def run(self, now: float) -> int:
+        self.stats.last_run = now
+        self.stats.ticks += 1
+        self.stats.iterations += 1
+        expired = self._index.all_expired(now)
+        self.stats.sampled += len(self._index)
+        for key in expired:
+            self._delete(key)
+        self.stats.deleted += len(expired)
+        return len(expired)

@@ -1,0 +1,77 @@
+"""minisql — PostgreSQL-like relational engine (the paper's RDBMS stand-in)."""
+
+from .btree import BTreeIndex, InvertedIndex, ORDER
+from .csvlog import CSVLogger
+from .database import Database, MiniSQLConfig
+from .expr import (
+    ALWAYS,
+    And,
+    Cmp,
+    Contains,
+    Expr,
+    In,
+    IsEmpty,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    TrueExpr,
+)
+from .heap import HeapTable, RowCodec
+from .planner import Plan, plan_scan
+from .schema import Catalog, Column, IndexInfo, TableSchema
+from .sql import execute, tokenize
+from .ttl_daemon import TTLSweeper
+from .types import (
+    BYTES,
+    FLOAT,
+    INTEGER,
+    TEXT,
+    TEXT_LIST,
+    TIMESTAMP,
+    SQLType,
+    type_by_name,
+)
+from .wal import WALWriter, load_wal
+
+__all__ = [
+    "Database",
+    "MiniSQLConfig",
+    "Column",
+    "TableSchema",
+    "Catalog",
+    "IndexInfo",
+    "BTreeIndex",
+    "InvertedIndex",
+    "ORDER",
+    "HeapTable",
+    "RowCodec",
+    "Plan",
+    "plan_scan",
+    "TTLSweeper",
+    "CSVLogger",
+    "WALWriter",
+    "load_wal",
+    "execute",
+    "tokenize",
+    "SQLType",
+    "INTEGER",
+    "FLOAT",
+    "TEXT",
+    "BYTES",
+    "TIMESTAMP",
+    "TEXT_LIST",
+    "type_by_name",
+    "Expr",
+    "Cmp",
+    "Contains",
+    "In",
+    "IsEmpty",
+    "IsNull",
+    "Like",
+    "And",
+    "Or",
+    "Not",
+    "TrueExpr",
+    "ALWAYS",
+]

@@ -1,0 +1,262 @@
+"""B+tree secondary index for minisql.
+
+A real tree, not a sorted dict: inserts split nodes, lookups descend from
+the root, range scans walk the leaf chain.  This matters for the paper's
+Figure 3b — the cost the paper measures is PostgreSQL maintaining k B-trees
+on every write, so index maintenance here must do genuine O(log n) node
+work per index per write.
+
+The tree is a multimap: each key maps to a list of row ids, since GDPR
+metadata columns (purpose, user, ...) are highly non-unique.  Deletion is
+lazy: entries are removed from leaves, but underfull leaves are not merged
+(PostgreSQL similarly leaves pages half-empty until vacuum).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from repro.common.errors import ConstraintError
+
+ORDER = 64  # max children per internal node / max keys per leaf
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list = []
+        self.values: list[list[int]] = []
+        self.next: _Leaf | None = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: list = []          # separator keys, len == len(children) - 1
+        self.children: list = []
+
+
+class BTreeIndex:
+    """Multimap B+tree: key -> [row ids]."""
+
+    def __init__(self, unique: bool = False) -> None:
+        self.unique = unique
+        self._root = _Leaf()
+        self._entries = 0     # number of (key, rid) pairs
+        self._distinct = 0    # number of distinct keys
+        self._height = 1
+        self._node_count = 1
+
+    # -- stats -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._entries
+
+    @property
+    def distinct_keys(self) -> int:
+        return self._distinct
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def size_bytes(self) -> int:
+        """Approximate footprint: 16B per slot plus page headers."""
+        return self._node_count * 64 + self._entries * 16 + self._distinct * 16
+
+    # -- search ----------------------------------------------------------
+
+    def _find_leaf(self, key) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def search(self, key) -> list[int]:
+        """Row ids for ``key`` (empty list if absent)."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return list(leaf.values[idx])
+        return []
+
+    def range_scan(self, lo=None, hi=None, inclusive: tuple[bool, bool] = (True, True)) -> Iterator[tuple[object, int]]:
+        """Yield (key, rid) for keys in [lo, hi] walking the leaf chain."""
+        if lo is None:
+            leaf: _Leaf | None = self._leftmost_leaf()
+            idx = 0
+        else:
+            leaf = self._find_leaf(lo)
+            idx = bisect.bisect_left(leaf.keys, lo)
+            if inclusive[0] is False:
+                while idx < len(leaf.keys) and leaf.keys[idx] == lo:
+                    idx += 1
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if hi is not None:
+                    if inclusive[1]:
+                        if key > hi:
+                            return
+                    elif key >= hi:
+                        return
+                for rid in leaf.values[idx]:
+                    yield key, rid
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def items(self) -> Iterator[tuple[object, list[int]]]:
+        leaf: _Leaf | None = self._leftmost_leaf()
+        while leaf is not None:
+            for key, rids in zip(leaf.keys, leaf.values):
+                yield key, list(rids)
+            leaf = leaf.next
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node
+
+    # -- insert ----------------------------------------------------------
+
+    def insert(self, key, rid: int) -> None:
+        """Add one (key, rid) pair; splits nodes on the way up as needed."""
+        if key is None:
+            return  # NULLs are not indexed, as in PostgreSQL
+        split = self._insert_into(self._root, key, rid)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+            self._node_count += 1
+
+    def _insert_into(self, node, key, rid: int):
+        if isinstance(node, _Leaf):
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                if self.unique:
+                    raise ConstraintError(f"duplicate key {key!r} in unique index")
+                node.values[idx].append(rid)
+                self._entries += 1
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, [rid])
+            self._entries += 1
+            self._distinct += 1
+            if len(node.keys) > ORDER:
+                return self._split_leaf(node)
+            return None
+        # internal
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert_into(node.children[idx], key, rid)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.children) > ORDER:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf):
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        leaf.next = right
+        self._node_count += 1
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.children) // 2
+        sep = node.keys[mid - 1]
+        right = _Internal()
+        right.keys = node.keys[mid:]
+        right.children = node.children[mid:]
+        node.keys = node.keys[: mid - 1]
+        node.children = node.children[:mid]
+        self._node_count += 1
+        return sep, right
+
+    # -- delete ----------------------------------------------------------
+
+    def remove(self, key, rid: int) -> bool:
+        """Remove one (key, rid) pair; returns True if it was present."""
+        if key is None:
+            return False
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return False
+        rids = leaf.values[idx]
+        try:
+            rids.remove(rid)
+        except ValueError:
+            return False
+        self._entries -= 1
+        if not rids:
+            leaf.keys.pop(idx)
+            leaf.values.pop(idx)
+            self._distinct -= 1
+        return True
+
+
+class InvertedIndex:
+    """Token index for TEXT_LIST columns — minisql's GIN analogue.
+
+    Maps each token of a multi-valued attribute to the set of row ids whose
+    attribute contains it; this is what makes CONTAINS predicates on GDPR
+    metadata (purpose, objections, sharing) index-assisted in Figure 5c.
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, set[int]] = {}
+        self._entries = 0
+
+    def __len__(self) -> int:
+        return self._entries
+
+    @property
+    def distinct_keys(self) -> int:
+        return len(self._postings)
+
+    def size_bytes(self) -> int:
+        return sum(len(t.encode()) + 16 + 16 * len(p) for t, p in self._postings.items())
+
+    def insert(self, tokens, rid: int) -> None:
+        if tokens is None:
+            return
+        for token in tokens:
+            postings = self._postings.setdefault(token, set())
+            if rid not in postings:
+                postings.add(rid)
+                self._entries += 1
+
+    def remove(self, tokens, rid: int) -> bool:
+        if tokens is None:
+            return False
+        removed = False
+        for token in tokens:
+            postings = self._postings.get(token)
+            if postings and rid in postings:
+                postings.remove(rid)
+                self._entries -= 1
+                removed = True
+                if not postings:
+                    del self._postings[token]
+        return removed
+
+    def search(self, token: str) -> list[int]:
+        return sorted(self._postings.get(token, ()))

@@ -1,0 +1,148 @@
+"""Heap storage for minisql tables.
+
+Rows live in a slotted array addressed by row id (rid).  DELETE leaves a
+tombstone — the slot keeps its storage accounted until VACUUM reclaims it,
+mirroring PostgreSQL's dead-tuple bloat.  UPDATE rewrites the slot in place
+(rid-stable), with the executor responsible for index maintenance.
+
+When the database runs with encryption at rest, the heap stores each row as
+a sealed pickle blob (the LUKS boundary): every fetch pays decrypt +
+deserialise, every write pays serialise + encrypt — the genuine cost
+structure behind the paper's encryption overhead measurements.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Callable, Iterator
+
+from repro.common.errors import SQLError
+
+from .schema import TableSchema
+
+_TOMBSTONE = object()
+
+
+class RowCodec:
+    """Serialise rows to sealed bytes and back (encryption-at-rest path)."""
+
+    def __init__(self, seal: Callable[[str, bytes], bytes], open_: Callable[[str, bytes], bytes], table: str) -> None:
+        self._seal = seal
+        self._open = open_
+        self._table = table
+
+    def encode(self, rid: int, row: tuple) -> bytes:
+        return self._seal(f"{self._table}#{rid}", pickle.dumps(row, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def decode(self, rid: int, blob: bytes) -> tuple:
+        return pickle.loads(self._open(f"{self._table}#{rid}", blob))
+
+
+class HeapTable:
+    """Slotted row storage with tombstones and vacuum."""
+
+    def __init__(self, schema: TableSchema, codec: RowCodec | None = None) -> None:
+        self.schema = schema
+        self._codec = codec
+        self._slots: list = []
+        self._free: list[int] = []
+        self._live = 0
+        self._dead = 0
+        self._live_bytes = 0
+        self._dead_bytes = 0
+        self._tombstone_bytes: dict[int, int] = {}
+
+    # -- size accounting ---------------------------------------------------
+
+    def _stored_bytes(self, rid: int, stored) -> int:
+        if self._codec is not None:
+            return 24 + len(stored)
+        return self.schema.row_bytes(stored)
+
+    @property
+    def live_count(self) -> int:
+        return self._live
+
+    @property
+    def dead_count(self) -> int:
+        return self._dead
+
+    @property
+    def live_bytes(self) -> int:
+        return self._live_bytes
+
+    @property
+    def dead_bytes(self) -> int:
+        return self._dead_bytes
+
+    def total_bytes(self) -> int:
+        """Heap footprint including dead tuples (pre-vacuum)."""
+        return self._live_bytes + self._dead_bytes
+
+    # -- row operations ------------------------------------------------------
+
+    def insert(self, row: tuple) -> int:
+        if self._free:
+            rid = self._free.pop()
+        else:
+            rid = len(self._slots)
+            self._slots.append(None)
+        stored = self._codec.encode(rid, row) if self._codec else row
+        self._slots[rid] = stored
+        self._live += 1
+        self._live_bytes += self._stored_bytes(rid, stored)
+        return rid
+
+    def fetch(self, rid: int) -> tuple | None:
+        """The live row at ``rid`` or None (absent / tombstoned)."""
+        if rid < 0 or rid >= len(self._slots):
+            return None
+        stored = self._slots[rid]
+        if stored is None or stored is _TOMBSTONE:
+            return None
+        return self._codec.decode(rid, stored) if self._codec else stored
+
+    def update(self, rid: int, row: tuple) -> tuple:
+        """Replace the row at ``rid`` in place; returns the old row."""
+        old = self.fetch(rid)
+        if old is None:
+            raise SQLError(f"update of missing rid {rid}")
+        old_size = self._stored_bytes(rid, self._slots[rid])
+        stored = self._codec.encode(rid, row) if self._codec else row
+        self._slots[rid] = stored
+        self._live_bytes += self._stored_bytes(rid, stored) - old_size
+        return old
+
+    def delete(self, rid: int) -> tuple:
+        """Tombstone the row at ``rid``; returns the old row."""
+        old = self.fetch(rid)
+        if old is None:
+            raise SQLError(f"delete of missing rid {rid}")
+        size = self._stored_bytes(rid, self._slots[rid])
+        self._slots[rid] = _TOMBSTONE
+        self._tombstone_bytes[rid] = size
+        self._live -= 1
+        self._dead += 1
+        self._live_bytes -= size
+        self._dead_bytes += size
+        return old
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield (rid, row) for every live row — the sequential scan."""
+        for rid, stored in enumerate(self._slots):
+            if stored is None or stored is _TOMBSTONE:
+                continue
+            yield rid, (self._codec.decode(rid, stored) if self._codec else stored)
+
+    def vacuum(self) -> int:
+        """Reclaim tombstoned slots for reuse; returns slots reclaimed."""
+        reclaimed = 0
+        for rid, stored in enumerate(self._slots):
+            if stored is _TOMBSTONE:
+                self._slots[rid] = None
+                self._free.append(rid)
+                reclaimed += 1
+        self._dead = 0
+        self._dead_bytes = 0
+        self._tombstone_bytes.clear()
+        return reclaimed

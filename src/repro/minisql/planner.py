@@ -1,0 +1,104 @@
+"""Access-path selection for minisql: sequential scan vs index scan.
+
+The planner walks the conjuncts of a WHERE clause looking for constraints
+an existing index can serve:
+
+* ``Cmp(col, '=', v)`` on a column with a B-tree index → point index scan;
+* ``Cmp(col, '<='|'<'|'>='|'>', v)`` on a B-tree column → range index scan
+  (this is how the TTL sweeper finds expired rows);
+* ``Contains(col, token)`` on a TEXT_LIST column with an inverted index →
+  posting-list scan.
+
+Whichever conjunct matched becomes the driving constraint; the *full*
+predicate is always re-checked against fetched rows (residual filter), so
+a wrong cardinality guess can never return wrong answers.  With several
+candidates the planner prefers equality over contains over range —
+PostgreSQL's selectivity ordering for this schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .expr import ALWAYS, Cmp, Contains, Expr
+from .schema import Catalog, IndexInfo
+
+_RANGE_OPS = ("<", "<=", ">", ">=")
+_PREFERENCE = {"eq": 0, "contains": 1, "range": 2}
+
+
+@dataclass
+class Plan:
+    """The chosen access path for one statement."""
+
+    kind: str                       # 'seqscan' | 'indexscan'
+    table: str
+    predicate: Expr
+    index: IndexInfo | None = None
+    op: str | None = None           # 'eq' | 'contains' | 'range'
+    value: object = None            # constant for eq/contains
+    lo: object = None               # bounds for range
+    hi: object = None
+    lo_inclusive: bool = True
+    hi_inclusive: bool = True
+
+    def describe(self) -> str:
+        if self.kind == "seqscan":
+            return f"SeqScan({self.table})"
+        assert self.index is not None
+        if self.op == "range":
+            return (
+                f"IndexScan({self.table} via {self.index.name}: "
+                f"{self.lo!r}..{self.hi!r})"
+            )
+        return f"IndexScan({self.table} via {self.index.name}: {self.op} {self.value!r})"
+
+
+def _candidates(predicate: Expr, indices_by_column: dict[str, IndexInfo]):
+    for conjunct in predicate.conjuncts():
+        if isinstance(conjunct, Cmp) and conjunct.column in indices_by_column:
+            info = indices_by_column[conjunct.column]
+            if info.kind != "btree":
+                continue
+            if conjunct.op == "=":
+                yield "eq", conjunct, info
+            elif conjunct.op in _RANGE_OPS:
+                yield "range", conjunct, info
+        elif isinstance(conjunct, Contains) and conjunct.column in indices_by_column:
+            info = indices_by_column[conjunct.column]
+            if info.kind == "inverted":
+                yield "contains", conjunct, info
+
+
+def plan_scan(catalog: Catalog, table: str, predicate: Expr | None) -> Plan:
+    """Pick the cheapest access path for ``predicate`` on ``table``."""
+    predicate = predicate if predicate is not None else ALWAYS
+    indices_by_column = {info.column: info for info in catalog.indices_for(table)}
+    best: tuple[int, str, Expr, IndexInfo] | None = None
+    for op, conjunct, info in _candidates(predicate, indices_by_column):
+        rank = _PREFERENCE[op]
+        if best is None or rank < best[0]:
+            best = (rank, op, conjunct, info)
+    if best is None:
+        return Plan(kind="seqscan", table=table, predicate=predicate)
+    _, op, conjunct, info = best
+    if op == "eq":
+        return Plan(
+            kind="indexscan", table=table, predicate=predicate,
+            index=info, op="eq", value=conjunct.value,
+        )
+    if op == "contains":
+        return Plan(
+            kind="indexscan", table=table, predicate=predicate,
+            index=info, op="contains", value=conjunct.token,
+        )
+    # range
+    assert isinstance(conjunct, Cmp)
+    plan = Plan(kind="indexscan", table=table, predicate=predicate, index=info, op="range")
+    if conjunct.op in ("<", "<="):
+        plan.hi = conjunct.value
+        plan.hi_inclusive = conjunct.op == "<="
+    else:
+        plan.lo = conjunct.value
+        plan.lo_inclusive = conjunct.op == ">="
+    return plan

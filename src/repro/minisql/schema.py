@@ -1,0 +1,148 @@
+"""Table schemas and the system catalog for minisql."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import CatalogError, TypeMismatchError
+
+from .types import SQLType
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name, type, nullability."""
+
+    name: str
+    type: SQLType
+    nullable: bool = True
+
+    def validate(self, value):
+        if value is None:
+            if not self.nullable:
+                raise TypeMismatchError(f"column {self.name!r} is NOT NULL")
+            return None
+        return self.type.validate(value)
+
+
+class TableSchema:
+    """Ordered column collection with name lookup and row validation."""
+
+    def __init__(self, name: str, columns: list[Column], primary_key: str | None = None):
+        if not columns:
+            raise CatalogError(f"table {name!r} needs at least one column")
+        seen: set[str] = set()
+        for column in columns:
+            if column.name in seen:
+                raise CatalogError(f"duplicate column {column.name!r} in {name!r}")
+            seen.add(column.name)
+        if primary_key is not None and primary_key not in seen:
+            raise CatalogError(f"primary key {primary_key!r} is not a column of {name!r}")
+        self.name = name
+        self.columns = list(columns)
+        self.primary_key = primary_key
+        self._index_of = {c.name: i for i, c in enumerate(self.columns)}
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index_of[name]
+        except KeyError:
+            raise CatalogError(f"no column {name!r} in table {self.name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def validate_row(self, values: dict) -> tuple:
+        """dict -> positional tuple, validating every column.
+
+        Missing columns become NULL (subject to nullability); unknown
+        column names are an error, as in PostgreSQL.
+        """
+        unknown = set(values) - set(self._index_of)
+        if unknown:
+            raise CatalogError(
+                f"unknown column(s) {sorted(unknown)!r} for table {self.name!r}"
+            )
+        row = []
+        for column in self.columns:
+            row.append(column.validate(values.get(column.name)))
+        return tuple(row)
+
+    def row_bytes(self, row: tuple) -> int:
+        """Approximate heap footprint of one row (24B header like PG)."""
+        total = 24
+        for column, value in zip(self.columns, row):
+            total += 1 if value is None else column.type.storage_bytes(value)
+        return total
+
+
+@dataclass
+class IndexInfo:
+    """Catalog entry describing one secondary index."""
+
+    name: str
+    table: str
+    column: str
+    kind: str  # 'btree' for scalars, 'inverted' for TEXT_LIST
+    unique: bool = False
+
+
+class Catalog:
+    """System catalog: tables and indices by name."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableSchema] = {}
+        self._indices: dict[str, IndexInfo] = {}
+        self._indices_by_table: dict[str, list[IndexInfo]] = {}
+
+    def add_table(self, schema: TableSchema) -> None:
+        if schema.name in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        self._tables[schema.name] = schema
+        self._indices_by_table.setdefault(schema.name, [])
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"no table {name!r}")
+        del self._tables[name]
+        for info in self._indices_by_table.pop(name, []):
+            self._indices.pop(info.name, None)
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no table {name!r}") from None
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def add_index(self, info: IndexInfo) -> None:
+        if info.name in self._indices:
+            raise CatalogError(f"index {info.name!r} already exists")
+        schema = self.table(info.table)  # validates table
+        schema.column_index(info.column)  # validates column
+        self._indices[info.name] = info
+        self._indices_by_table[info.table].append(info)
+
+    def drop_index(self, name: str) -> IndexInfo:
+        if name not in self._indices:
+            raise CatalogError(f"no index {name!r}")
+        info = self._indices.pop(name)
+        self._indices_by_table[info.table].remove(info)
+        return info
+
+    def indices_for(self, table: str) -> list[IndexInfo]:
+        return list(self._indices_by_table.get(table, []))
+
+    def index(self, name: str) -> IndexInfo:
+        try:
+            return self._indices[name]
+        except KeyError:
+            raise CatalogError(f"no index {name!r}") from None

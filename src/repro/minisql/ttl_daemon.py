@@ -1,0 +1,56 @@
+"""Periodic TTL sweeper — the paper's PostgreSQL timely-deletion retrofit.
+
+Section 5.2: "since PostgreSQL does not offer native support for time-based
+expiry of rows, we modify the INSERT queries to include the expiry
+timestamp and then implement a daemon that checks for expired rows
+periodically (currently set to 1 sec)."
+
+:class:`TTLSweeper` is that daemon.  It is cooperative rather than a
+thread: the database pokes ``maybe_run(now)`` at the top of every
+statement (and benchmarks can call it while advancing a virtual clock).
+The sweep itself is an ordinary DELETE with a ``column <= now`` predicate,
+so it uses a B-tree range scan when the expiry column is indexed and a
+sequential scan otherwise — the same cost profile the paper's cron job had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .expr import Cmp
+
+
+@dataclass
+class SweepStats:
+    sweeps: int = 0
+    rows_deleted: int = 0
+    last_run: float = field(default=float("-inf"))
+
+
+class TTLSweeper:
+    """Deletes rows whose ``column`` timestamp has passed, every interval."""
+
+    def __init__(self, database, table: str, column: str, interval: float = 1.0) -> None:
+        self._db = database
+        self.table = table
+        self.column = column
+        self.interval = interval
+        self.stats = SweepStats()
+
+    def due(self, now: float) -> bool:
+        return now - self.stats.last_run >= self.interval
+
+    def maybe_run(self, now: float) -> int:
+        if not self.due(now):
+            return 0
+        return self.run(now)
+
+    def run(self, now: float) -> int:
+        """One sweep: delete everything expired as of ``now``."""
+        self.stats.last_run = now
+        self.stats.sweeps += 1
+        deleted = self._db.delete(
+            self.table, Cmp(self.column, "<=", now), _internal=True
+        )
+        self.stats.rows_deleted += deleted
+        return deleted

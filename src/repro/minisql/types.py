@@ -1,0 +1,138 @@
+"""Column types for the minisql engine.
+
+A deliberately small but strict type system: INTEGER, FLOAT, TEXT, BYTES,
+TIMESTAMP (float seconds) and TEXT_LIST (comma-separated multi-valued
+attribute, the shape GDPR metadata such as purposes and sharing lists
+take).  Values are validated on INSERT/UPDATE, mirroring PostgreSQL's
+strictness, and each type knows its approximate on-disk width so the
+engine can answer the Table-3 space questions.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import TypeMismatchError
+
+
+class SQLType:
+    """Base class: validation + storage sizing for one column type."""
+
+    name = "unknown"
+
+    def validate(self, value):
+        """Return the canonical stored form of ``value`` or raise."""
+        raise NotImplementedError
+
+    def storage_bytes(self, value) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return self.name
+
+
+class IntegerType(SQLType):
+    name = "INTEGER"
+
+    def validate(self, value):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeMismatchError(f"expected INTEGER, got {value!r}")
+        return value
+
+    def storage_bytes(self, value) -> int:
+        return 8
+
+
+class FloatType(SQLType):
+    name = "FLOAT"
+
+    def validate(self, value):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(f"expected FLOAT, got {value!r}")
+        return float(value)
+
+    def storage_bytes(self, value) -> int:
+        return 8
+
+
+class TextType(SQLType):
+    name = "TEXT"
+
+    def validate(self, value):
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"expected TEXT, got {value!r}")
+        return value
+
+    def storage_bytes(self, value) -> int:
+        return 4 + len(value.encode())
+
+
+class BytesType(SQLType):
+    name = "BYTES"
+
+    def validate(self, value):
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeMismatchError(f"expected BYTES, got {value!r}")
+        return bytes(value)
+
+    def storage_bytes(self, value) -> int:
+        return 4 + len(value)
+
+
+class TimestampType(SQLType):
+    """Absolute instant in engine-clock seconds; NULL-friendly deadline."""
+
+    name = "TIMESTAMP"
+
+    def validate(self, value):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(f"expected TIMESTAMP, got {value!r}")
+        return float(value)
+
+    def storage_bytes(self, value) -> int:
+        return 8
+
+
+class TextListType(SQLType):
+    """Multi-valued text attribute stored as a tuple of tokens.
+
+    This is minisql's equivalent of a PostgreSQL text[] column; GDPR
+    metadata fields like purposes, objections and sharing lists use it.
+    Accepts a list/tuple of strings or a single comma-separated string.
+    """
+
+    name = "TEXT_LIST"
+
+    def validate(self, value):
+        if isinstance(value, str):
+            tokens = tuple(t for t in value.split(",") if t)
+        elif isinstance(value, (list, tuple)):
+            tokens = tuple(value)
+        else:
+            raise TypeMismatchError(f"expected TEXT_LIST, got {value!r}")
+        for token in tokens:
+            if not isinstance(token, str):
+                raise TypeMismatchError(f"TEXT_LIST token must be str, got {token!r}")
+            if "," in token:
+                raise TypeMismatchError(f"TEXT_LIST token may not contain ',': {token!r}")
+        return tokens
+
+    def storage_bytes(self, value) -> int:
+        return 4 + sum(4 + len(t.encode()) for t in value)
+
+
+INTEGER = IntegerType()
+FLOAT = FloatType()
+TEXT = TextType()
+BYTES = BytesType()
+TIMESTAMP = TimestampType()
+TEXT_LIST = TextListType()
+
+_BY_NAME = {
+    t.name: t for t in (INTEGER, FLOAT, TEXT, BYTES, TIMESTAMP, TEXT_LIST)
+}
+
+
+def type_by_name(name: str) -> SQLType:
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise TypeMismatchError(f"unknown type {name!r}") from None

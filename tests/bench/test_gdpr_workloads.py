@@ -1,0 +1,101 @@
+"""Tests for the four GDPRbench core workloads (Table 2a)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.bench.gdpr_workloads import (
+    CONTROLLER,
+    CORE_WORKLOADS,
+    CUSTOMER,
+    PROCESSOR,
+    REGULATOR,
+    make_operations,
+)
+from repro.bench.records import RecordCorpusConfig, generate_corpus
+from repro.clients import FeatureSet, make_client
+
+
+class TestTable2a:
+    def test_four_core_workloads(self):
+        assert set(CORE_WORKLOADS) == {"controller", "customer", "processor", "regulator"}
+
+    def test_controller_weights(self):
+        weights = CONTROLLER.weights()
+        assert weights["create-record"] == 25.0
+        deletes = sum(w for op, w in weights.items() if op.startswith("delete"))
+        updates = sum(w for op, w in weights.items() if op.startswith("update"))
+        assert deletes == pytest.approx(25.0)
+        assert updates == pytest.approx(50.0)
+        assert CONTROLLER.distribution == "uniform"
+
+    def test_customer_equal_weights_zipf(self):
+        weights = set(CUSTOMER.weights().values())
+        assert weights == {20.0}
+        assert CUSTOMER.distribution == "zipfian"
+
+    def test_processor_80_20(self):
+        weights = PROCESSOR.weights()
+        assert weights["read-data-by-key"] == 80.0
+        emerging = sum(w for op, w in weights.items() if op != "read-data-by-key")
+        assert emerging == pytest.approx(20.0)
+
+    def test_regulator_edpb_proportions(self):
+        weights = REGULATOR.weights()
+        assert weights["read-metadata-by-usr"] == 46.0
+        assert weights["get-system-logs"] == 31.0
+        assert weights["verify-deletion"] == 23.0
+
+    def test_all_workload_ops_in_taxonomy(self):
+        from repro.gdpr.queries import query_spec
+        for spec in CORE_WORKLOADS.values():
+            for op, _ in spec.mix:
+                query_spec(op)  # raises if unknown
+
+
+class TestOperationGeneration:
+    CORPUS = RecordCorpusConfig(record_count=200, user_count=20)
+
+    def test_mix_proportions_hold(self):
+        ops = make_operations(CONTROLLER, self.CORPUS, 4000, seed=1)
+        counts = Counter(op.name for op in ops)
+        assert 0.20 < counts["create-record"] / 4000 < 0.30
+        update_total = sum(v for k, v in counts.items() if k.startswith("update"))
+        assert 0.44 < update_total / 4000 < 0.56
+
+    def test_deterministic(self):
+        a = [op.name for op in make_operations(CUSTOMER, self.CORPUS, 100, seed=9)]
+        b = [op.name for op in make_operations(CUSTOMER, self.CORPUS, 100, seed=9)]
+        assert a == b
+
+    def test_unknown_workload_rejected(self):
+        from repro.bench.gdpr_workloads import GDPRWorkloadSpec
+        from repro.common.errors import WorkloadError
+        bogus = GDPRWorkloadSpec("bogus", "", (("create-record", 1.0),), "uniform")
+        with pytest.raises(WorkloadError):
+            make_operations(bogus, self.CORPUS, 10)
+
+    @pytest.mark.parametrize("engine", ["redis", "postgres"])
+    @pytest.mark.parametrize("workload", ["controller", "customer", "processor", "regulator"])
+    def test_all_operations_valid_against_engine(self, engine, workload):
+        client = make_client(engine, FeatureSet.full(metadata_indexing=(engine == "postgres")))
+        try:
+            client.load_records(generate_corpus(self.CORPUS))
+            ops = make_operations(CORE_WORKLOADS[workload], self.CORPUS, 60, seed=13)
+            for op in ops:
+                response, ok = op.run(client)
+                assert ok, (workload, op.name, response)
+        finally:
+            client.close()
+
+    def test_create_record_keys_never_collide_with_corpus(self):
+        ops = make_operations(CONTROLLER, self.CORPUS, 500, seed=2)
+        client = make_client("postgres", FeatureSet.none())
+        try:
+            client.load_records(generate_corpus(self.CORPUS))
+            for op in ops:
+                if op.name == "create-record":
+                    _, ok = op.run(client)
+                    assert ok  # duplicate pkey would raise -> ok False
+        finally:
+            client.close()

@@ -1,0 +1,165 @@
+"""Tests for the runtime engine, metrics, and session orchestration."""
+
+import pytest
+
+from repro.bench.metrics import space_report
+from repro.bench.operations import Operation
+from repro.bench.records import RecordCorpusConfig
+from repro.bench.runtime import RunReport, run_workload
+from repro.bench.session import (
+    GDPRBenchConfig,
+    GDPRBenchSession,
+    YCSBSession,
+    YCSBSessionConfig,
+)
+from repro.bench.ycsb import YCSBConfig
+from repro.clients import FeatureSet, make_client
+from repro.common.errors import BenchmarkError
+
+
+class _StubClient:
+    engine_name = "stub"
+
+    def space_overhead(self):
+        return 2.5
+
+
+def _ok_op(name="op"):
+    return Operation(name, execute=lambda c: 1, validate=lambda r: r == 1)
+
+
+class TestRunWorkload:
+    def test_basic_run(self):
+        report = run_workload(_StubClient(), [_ok_op() for _ in range(10)],
+                              workload_name="w")
+        assert report.operations == 10
+        assert report.correct == 10
+        assert report.failed == 0
+        assert report.correctness_pct == 100.0
+        assert report.completion_time_s > 0
+        assert report.engine == "stub"
+
+    def test_invalid_responses_counted(self):
+        bad = Operation("bad", execute=lambda c: 2, validate=lambda r: r == 1)
+        report = run_workload(_StubClient(), [bad, _ok_op()])
+        assert report.correct == 1
+        assert report.correctness_pct == 50.0
+
+    def test_exceptions_are_failures_not_crashes(self):
+        def boom(c):
+            raise RuntimeError("op exploded")
+
+        report = run_workload(_StubClient(), [Operation("boom", execute=boom), _ok_op()])
+        assert report.failed == 1
+        assert report.correct == 1
+
+    def test_multithreaded_runs_everything_once(self):
+        import threading
+
+        counter = {"n": 0}
+        lock = threading.Lock()
+
+        def bump(c):
+            with lock:
+                counter["n"] += 1
+            return 1
+
+        ops = [Operation("bump", execute=bump, validate=lambda r: True) for _ in range(200)]
+        report = run_workload(_StubClient(), ops, threads=8)
+        assert counter["n"] == 200
+        assert report.operations == 200
+
+    def test_measure_space(self):
+        report = run_workload(_StubClient(), [_ok_op()], measure_space=True)
+        assert report.space_overhead == 2.5
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(BenchmarkError):
+            run_workload(_StubClient(), [], threads=0)
+
+    def test_empty_run_is_100_percent_correct(self):
+        report = run_workload(_StubClient(), [])
+        assert report.correctness_pct == 100.0
+
+    def test_summary_shape(self):
+        report = run_workload(_StubClient(), [_ok_op("read"), _ok_op("read")])
+        summary = report.summary()
+        assert summary["operations"] == 2
+        assert "read" in summary["per_operation"]
+
+
+class TestSpaceReport:
+    @pytest.mark.parametrize("engine", ["redis", "postgres"])
+    def test_content_factor_matches_corpus_definition(self, engine):
+        from repro.bench.records import generate_corpus, logical_space_factor
+        corpus_cfg = RecordCorpusConfig(record_count=200)
+        corpus = generate_corpus(corpus_cfg)
+        client = make_client(engine, FeatureSet.none())
+        try:
+            client.load_records(corpus)
+            report = space_report(client)
+            assert report.record_count == 200
+            assert report.space_factor == pytest.approx(
+                logical_space_factor(corpus), abs=0.01
+            )
+            assert report.physical_factor > report.space_factor * 0  # defined
+        finally:
+            client.close()
+
+    def test_indexing_raises_factor(self):
+        corpus = RecordCorpusConfig(record_count=200)
+        from repro.bench.records import generate_corpus
+        plain = make_client("postgres", FeatureSet.none())
+        indexed = make_client("postgres", FeatureSet(metadata_indexing=True, access_control=False))
+        try:
+            plain.load_records(generate_corpus(corpus))
+            indexed.load_records(generate_corpus(corpus))
+            assert (space_report(indexed).space_factor
+                    > space_report(plain).space_factor * 1.3)
+        finally:
+            plain.close()
+            indexed.close()
+
+
+class TestSessions:
+    def test_gdprbench_session_end_to_end(self):
+        config = GDPRBenchConfig(
+            engine="postgres",
+            features=FeatureSet.full(metadata_indexing=True),
+            corpus=RecordCorpusConfig(record_count=150, user_count=15),
+            operation_count=40,
+            threads=2,
+        )
+        with GDPRBenchSession(config) as session:
+            assert session.load() == 150
+            reports = session.run_all()
+            assert set(reports) == {"controller", "customer", "processor", "regulator"}
+            for report in reports.values():
+                assert report.correctness_pct == 100.0
+            assert session.logical_space_factor() > 3.0
+
+    def test_session_auto_loads_on_first_run(self):
+        config = GDPRBenchConfig(
+            engine="redis",
+            features=FeatureSet.none(),
+            corpus=RecordCorpusConfig(record_count=50, user_count=5),
+            operation_count=10,
+            threads=1,
+        )
+        with GDPRBenchSession(config) as session:
+            report = session.run("processor")
+            assert session.loaded
+            assert report.operations == 10
+
+    def test_ycsb_session_sequential_workloads(self):
+        config = YCSBSessionConfig(
+            engine="postgres",
+            features=FeatureSet.none(),
+            ycsb=YCSBConfig(record_count=60, operation_count=50, seed=2),
+            threads=2,
+        )
+        with YCSBSession(config) as session:
+            session.load()
+            for name in ("A", "D", "E"):
+                report = session.run(name)
+                assert report.failed == 0, name

@@ -1,0 +1,89 @@
+"""Tests for the YCSB workload implementation (Table 2 of the paper)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.bench.ycsb import (
+    WORKLOADS,
+    YCSBConfig,
+    YCSBSpec,
+    load_operations,
+    run_load,
+    transaction_operations,
+    ycsb_key,
+)
+from repro.common.errors import WorkloadError
+
+
+class TestSpecs:
+    def test_paper_table_2_mixes(self):
+        assert WORKLOADS["A"].read == 0.5 and WORKLOADS["A"].update == 0.5
+        assert WORKLOADS["B"].read == 0.95 and WORKLOADS["B"].update == 0.05
+        assert WORKLOADS["C"].read == 1.0
+        assert WORKLOADS["D"].insert == 0.05 and WORKLOADS["D"].distribution == "latest"
+        assert WORKLOADS["E"].scan == 0.95
+        assert WORKLOADS["F"].read_modify_write == 1.0
+
+    def test_proportions_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            YCSBSpec("bad", read=0.5, update=0.4)
+
+    def test_key_format_sorts_numerically(self):
+        assert ycsb_key(9) < ycsb_key(10) < ycsb_key(100)
+
+
+class TestOperationGeneration:
+    def test_load_phase_is_ordered_inserts(self):
+        ops = load_operations(YCSBConfig(record_count=20))
+        assert len(ops) == 20
+        assert all(op.name == "insert" for op in ops)
+
+    def test_transaction_mix_close_to_spec(self):
+        config = YCSBConfig(record_count=100, operation_count=4000)
+        ops = transaction_operations(WORKLOADS["A"], config)
+        counts = Counter(op.name for op in ops)
+        assert 0.45 < counts["read"] / 4000 < 0.55
+        assert 0.45 < counts["update"] / 4000 < 0.55
+
+    def test_deterministic_given_seed(self):
+        config = YCSBConfig(record_count=50, operation_count=100, seed=3)
+        a = [op.name for op in transaction_operations(WORKLOADS["B"], config)]
+        b = [op.name for op in transaction_operations(WORKLOADS["B"], config)]
+        assert a == b
+
+    def test_insert_start_prevents_key_reuse(self):
+        config = YCSBConfig(record_count=10, operation_count=200, seed=4)
+        first = transaction_operations(WORKLOADS["D"], config, insert_start=10)
+        second = transaction_operations(WORKLOADS["D"], config, insert_start=50)
+        # distinct key ranges for the insert portion
+        assert first is not second
+
+
+class TestExecution:
+    @pytest.fixture(params=["redis", "postgres"])
+    def client(self, request):
+        from repro.clients import FeatureSet, make_client
+        c = make_client(request.param, FeatureSet.none())
+        yield c
+        c.close()
+
+    def test_load_then_each_workload_runs_clean(self, client):
+        config = YCSBConfig(record_count=50, operation_count=60, seed=5)
+        assert run_load(client, config) == 50
+        insert_base = 50
+        for name in "ABCDEF":
+            ops = transaction_operations(WORKLOADS[name], config, insert_start=insert_base)
+            insert_base += sum(1 for op in ops if op.name == "insert")
+            for op in ops:
+                response, ok = op.run(client)
+                assert ok, (name, op.name, response)
+
+    def test_rmw_on_missing_key_returns_zero(self, client):
+        assert client.ycsb_read_modify_write("user9999999999", {"field0": "x"}) == 0
+
+    def test_scan_returns_ordered_window(self, client):
+        config = YCSBConfig(record_count=30, field_length=4)
+        run_load(client, config)
+        rows = client.ycsb_scan(ycsb_key(10), 5)
+        assert len(rows) == 5

@@ -1,0 +1,231 @@
+"""Parity tests: both client stubs must implement every GDPR query
+identically (modulo engine), plus per-engine specifics."""
+
+import pytest
+
+from repro.common.errors import AccessDeniedError, GDPRError
+from repro.clients import FeatureSet, make_client
+from repro.clients.base import normalise_attribute
+from repro.gdpr import PersonalRecord, Principal
+
+CTRL = Principal.controller()
+REG = Principal.regulator()
+PROC = Principal.processor()
+
+
+def corpus():
+    records = []
+    for i in range(60):
+        records.append(PersonalRecord(
+            key=f"k{i:03d}",
+            data=f"u{i % 6}:data{i:03d}",
+            purposes=("ads",) if i % 2 == 0 else ("billing",),
+            ttl_seconds=3600.0,
+            user=f"u{i % 6}",
+            objections=("analytics",) if i % 3 == 0 else (),
+            decisions=("profiling",) if i % 4 == 0 else (),
+            shared_with=("acme",) if i % 5 == 0 else (),
+            source="first-party",
+        ))
+    return records
+
+
+@pytest.fixture(params=["redis", "postgres"])
+def client(request):
+    features = FeatureSet.full(metadata_indexing=(request.param == "postgres"))
+    c = make_client(request.param, features)
+    c.load_records(corpus())
+    yield c
+    c.close()
+
+
+class TestReads:
+    def test_read_data_by_key(self, client):
+        assert client.read_data_by_key(PROC, "k003") == "u3:data003"
+        assert client.read_data_by_key(PROC, "ghost") is None
+
+    def test_read_data_by_pur(self, client):
+        rows = client.read_data_by_pur(PROC, "ads")
+        assert len(rows) == 30
+        assert all(key.startswith("k") for key, _ in rows)
+
+    def test_read_data_by_usr(self, client):
+        rows = client.read_data_by_usr(Principal.customer("u2"), "u2")
+        assert len(rows) == 10
+        assert all(data.startswith("u2:") for _, data in rows)
+
+    def test_read_data_by_obj(self, client):
+        rows = client.read_data_by_obj(PROC, "analytics")
+        assert len(rows) == 40  # records NOT objecting
+
+    def test_read_data_by_dec(self, client):
+        assert len(client.read_data_by_dec(PROC, "profiling")) == 15
+
+    def test_read_metadata_by_key(self, client):
+        md = client.read_metadata_by_key(Principal.customer("u0"), "k000")
+        assert md["USR"] == "u0"
+        assert md["PUR"] == ("ads",)
+        assert md["TTL"] == 3600.0
+        assert client.read_metadata_by_key(REG, "ghost") is None
+
+    def test_read_metadata_by_usr(self, client):
+        rows = client.read_metadata_by_usr(REG, "u1")
+        assert len(rows) == 10
+        assert all(md["USR"] == "u1" for _, md in rows)
+
+    def test_read_metadata_by_shr(self, client):
+        rows = client.read_metadata_by_shr(REG, "acme")
+        assert len(rows) == 12
+        assert all("acme" in md["SHR"] for _, md in rows)
+
+
+class TestWrites:
+    def test_create_record(self, client):
+        record = PersonalRecord(key="new1", data="u0:fresh", purposes=("ads",),
+                                ttl_seconds=60.0, user="u0")
+        assert client.create_record(CTRL, record) is True
+        assert client.read_data_by_key(PROC, "new1") == "u0:fresh"
+
+    def test_update_data_by_key(self, client):
+        cust = Principal.customer("u1")
+        assert client.update_data_by_key(cust, "k001", "u1:corrected") == 1
+        assert client.read_data_by_key(cust, "k001") == "u1:corrected"
+        assert client.update_data_by_key(cust, "ghost", "x") == 0
+
+    def test_update_metadata_by_key_objection(self, client):
+        cust = Principal.customer("u1")
+        assert client.update_metadata_by_key(cust, "k001", "OBJ", ("ads",)) == 1
+        md = client.read_metadata_by_key(cust, "k001")
+        assert md["OBJ"] == ("ads",)
+
+    def test_update_metadata_ttl_changes_expiry(self, client):
+        assert client.update_metadata_by_key(CTRL, "k002", "TTL", 7200.0) == 1
+        md = client.read_metadata_by_key(REG, "k002")
+        assert md["TTL"] == 7200.0
+
+    def test_update_metadata_by_pur(self, client):
+        changed = client.update_metadata_by_pur(CTRL, "billing", "SHR", ("globex",))
+        assert changed == 30
+        rows = client.read_metadata_by_shr(REG, "globex")
+        assert len(rows) == 30
+
+    def test_update_metadata_by_usr(self, client):
+        assert client.update_metadata_by_usr(CTRL, "u3", "SRC", "third-party") == 10
+
+    def test_update_metadata_by_shr(self, client):
+        changed = client.update_metadata_by_shr(CTRL, "acme", "DEC", ("scoring",))
+        assert changed == 12
+
+
+class TestDeletes:
+    def test_delete_by_key_and_verify(self, client):
+        cust = Principal.customer("u5")
+        assert client.delete_record_by_key(cust, "k005") == 1
+        assert client.verify_deletion(REG, "k005") is True
+        assert client.verify_deletion(REG, "k006") is False
+        assert client.delete_record_by_key(cust, "k005") == 0
+
+    def test_delete_by_usr(self, client):
+        assert client.delete_record_by_usr(CTRL, "u4") == 10
+        assert client.read_data_by_usr(Principal.customer("u4"), "u4") == []
+
+    def test_delete_by_pur(self, client):
+        assert client.delete_record_by_pur(CTRL, "ads") == 30
+        assert client.read_data_by_pur(PROC, "ads") == []
+        assert client.record_count() == 30
+
+    def test_delete_by_ttl_purges_expired(self):
+        from repro.common.clock import VirtualClock
+        for engine in ("redis", "postgres"):
+            clock = VirtualClock()
+            c = make_client(engine, FeatureSet(access_control=True), clock=clock)
+            short = PersonalRecord(key="s", data="u0:x", purposes=("ads",),
+                                   ttl_seconds=10.0, user="u0")
+            long = PersonalRecord(key="l", data="u0:y", purposes=("ads",),
+                                  ttl_seconds=10000.0, user="u0")
+            c.load_records([short, long])
+            clock.advance(60)
+            deleted = c.delete_record_by_ttl(CTRL)
+            assert deleted >= 1, engine
+            assert c._record_exists("l"), engine
+            c.close()
+
+
+class TestACLIntegration:
+    def test_customer_cannot_touch_others_records(self, client):
+        smith = Principal.customer("u5")
+        with pytest.raises(AccessDeniedError):
+            client.read_data_by_key(smith, "k000")  # owned by u0
+        with pytest.raises(AccessDeniedError):
+            client.update_data_by_key(smith, "k000", "u0:hacked")
+        with pytest.raises(AccessDeniedError):
+            client.delete_record_by_key(smith, "k000")
+
+    def test_role_gates(self, client):
+        with pytest.raises(AccessDeniedError):
+            client.delete_record_by_pur(Principal.customer("u0"), "ads")
+        with pytest.raises(AccessDeniedError):
+            client.read_data_by_key(REG, "k000")
+        with pytest.raises(AccessDeniedError):
+            client.create_record(PROC, corpus()[0])
+
+    def test_processor_purpose_identity_enforced(self, client):
+        scoped = Principal.processor("billing")
+        with pytest.raises(AccessDeniedError):
+            client.read_data_by_key(scoped, "k000")  # k000 is an 'ads' record
+        assert client.read_data_by_key(scoped, "k001") == "u1:data001"
+
+
+class TestSystemQueries:
+    def test_get_system_logs(self, client):
+        client.read_data_by_key(PROC, "k000")
+        logs = client.get_system_logs(REG, limit=20)
+        assert logs
+        assert len(logs) <= 20
+
+    def test_get_system_features(self, client):
+        report = client.get_system_features(REG)
+        assert report.features["encryption"] is True
+        assert report.features["monitoring"] is True
+        if client.engine_name == "postgres":
+            assert report.score() == 1.0
+
+    def test_logs_require_regulator_role(self, client):
+        with pytest.raises(AccessDeniedError):
+            client.get_system_logs(PROC)
+
+
+class TestSpaceAccounting:
+    def test_space_overhead_positive(self, client):
+        assert client.space_overhead() > 1.0
+        assert client.personal_data_bytes() > 0
+        assert client.total_db_bytes() > client.personal_data_bytes()
+
+    def test_record_count(self, client):
+        assert client.record_count() == 60
+
+
+class TestNormaliseAttribute:
+    def test_list_attributes(self):
+        assert normalise_attribute("PUR", "ads") == ("ads",)
+        assert normalise_attribute("obj", ["a", "b"]) == ("a", "b")
+        assert normalise_attribute("SHR", "") == ()
+
+    def test_ttl(self):
+        assert normalise_attribute("TTL", 60) == 60.0
+        assert normalise_attribute("TTL", "5min") == 300.0
+
+    def test_scalars(self):
+        assert normalise_attribute("USR", "neo") == "neo"
+        with pytest.raises(GDPRError):
+            normalise_attribute("USR", 42)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(GDPRError):
+            normalise_attribute("XYZ", "v")
+
+
+class TestMakeClient:
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            make_client("oracle")

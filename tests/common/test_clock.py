@@ -1,0 +1,74 @@
+"""Tests for repro.common.clock."""
+
+import threading
+
+import pytest
+
+from repro.common.clock import SystemClock, VirtualClock
+
+
+class TestSystemClock:
+    def test_starts_near_zero(self):
+        clock = SystemClock()
+        assert 0 <= clock.now() < 1.0
+
+    def test_monotonically_increases(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_sleep_advances_time(self):
+        clock = SystemClock()
+        before = clock.now()
+        clock.sleep(0.01)
+        assert clock.now() - before >= 0.01
+
+    def test_sleep_zero_or_negative_is_noop(self):
+        clock = SystemClock()
+        clock.sleep(0)
+        clock.sleep(-1)  # must not raise
+
+
+class TestVirtualClock:
+    def test_starts_at_given_origin(self):
+        assert VirtualClock().now() == 0.0
+        assert VirtualClock(start=42.5).now() == 42.5
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        assert clock.advance(10) == 10.0
+        assert clock.now() == 10.0
+
+    def test_sleep_is_advance(self):
+        clock = VirtualClock()
+        clock.sleep(3.5)
+        assert clock.now() == 3.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_set_jumps_forward(self):
+        clock = VirtualClock()
+        clock.set(100.0)
+        assert clock.now() == 100.0
+
+    def test_set_rejects_backwards(self):
+        clock = VirtualClock(start=50)
+        with pytest.raises(ValueError):
+            clock.set(49.9)
+
+    def test_thread_safe_advance(self):
+        clock = VirtualClock()
+
+        def spin():
+            for _ in range(1000):
+                clock.advance(0.001)
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clock.now() == pytest.approx(4.0, abs=1e-6)

@@ -1,0 +1,201 @@
+"""Tests for the YCSB request-distribution generators."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.distributions import (
+    CounterGenerator,
+    DiscreteGenerator,
+    HotspotGenerator,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a_64,
+    make_key_chooser,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestCounterGenerator:
+    def test_sequence(self):
+        counter = CounterGenerator(5)
+        assert [counter.next_value() for _ in range(3)] == [5, 6, 7]
+        assert counter.last_value() == 7
+
+    def test_thread_safety_yields_unique_values(self):
+        import threading
+
+        counter = CounterGenerator()
+        seen = []
+
+        def pull():
+            local = [counter.next_value() for _ in range(500)]
+            seen.extend(local)
+
+        threads = [threading.Thread(target=pull) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen)) == 2000
+
+
+class TestUniformGenerator:
+    def test_bounds_inclusive(self):
+        gen = UniformGenerator(3, 5, rng=random.Random(1))
+        values = {gen.next_value() for _ in range(200)}
+        assert values == {3, 4, 5}
+
+    def test_last_value_tracks(self):
+        gen = UniformGenerator(0, 10, rng=random.Random(2))
+        v = gen.next_value()
+        assert gen.last_value() == v
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformGenerator(5, 3)
+
+    @given(st.integers(0, 100), st.integers(0, 100), st.integers())
+    @settings(max_examples=50)
+    def test_always_in_bounds(self, lower, span, seed):
+        gen = UniformGenerator(lower, lower + span, rng=random.Random(seed))
+        for _ in range(20):
+            assert lower <= gen.next_value() <= lower + span
+
+
+class TestZipfianGenerator:
+    def test_item_zero_most_popular(self):
+        gen = ZipfianGenerator(0, 999, rng=random.Random(3))
+        counts = Counter(gen.next_value() for _ in range(20000))
+        assert counts[0] == max(counts.values())
+
+    def test_skew_top_items_dominate(self):
+        gen = ZipfianGenerator(0, 9999, rng=random.Random(4))
+        counts = Counter(gen.next_value() for _ in range(20000))
+        top10 = sum(counts[i] for i in range(10))
+        # YCSB's 0.99-theta zipfian puts a large mass on the head.
+        assert top10 / 20000 > 0.3
+
+    def test_respects_lower_bound_offset(self):
+        gen = ZipfianGenerator(100, 199, rng=random.Random(5))
+        for _ in range(500):
+            assert 100 <= gen.next_value() <= 199
+
+    def test_invalid_theta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfianGenerator(0, 10, theta=1.0)
+        with pytest.raises(ConfigurationError):
+            ZipfianGenerator(0, 10, theta=0.0)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfianGenerator(9, 3)
+
+    def test_large_keyspace_setup_is_fast_and_valid(self):
+        gen = ZipfianGenerator(0, 10_000_000, rng=random.Random(6))
+        for _ in range(100):
+            assert 0 <= gen.next_value() <= 10_000_000
+
+
+class TestScrambledZipfian:
+    def test_spreads_hot_items(self):
+        gen = ScrambledZipfianGenerator(0, 999, rng=random.Random(7))
+        counts = Counter(gen.next_value() for _ in range(20000))
+        hottest = counts.most_common(3)
+        # Hot items exist but are not clustered at the low end.
+        assert any(item > 100 for item, _ in hottest)
+
+    def test_bounds(self):
+        gen = ScrambledZipfianGenerator(50, 149, rng=random.Random(8))
+        for _ in range(1000):
+            assert 50 <= gen.next_value() <= 149
+
+    def test_fnv_is_deterministic(self):
+        assert fnv1a_64(12345) == fnv1a_64(12345)
+        assert fnv1a_64(1) != fnv1a_64(2)
+
+
+class TestLatestGenerator:
+    def test_prefers_recent_items(self):
+        counter = CounterGenerator(1000)
+        for _ in range(1000):
+            counter.next_value()
+        gen = LatestGenerator(counter, rng=random.Random(9))
+        counts = Counter(gen.next_value() for _ in range(10000))
+        newest = counter.last_value()
+        recent_mass = sum(counts[k] for k in range(newest - 50, newest + 1))
+        assert recent_mass / 10000 > 0.25
+
+    def test_never_exceeds_newest(self):
+        counter = CounterGenerator(10)
+        counter.next_value()
+        gen = LatestGenerator(counter, rng=random.Random(10))
+        for i in range(500):
+            value = gen.next_value()
+            assert 0 <= value <= counter.last_value()
+            if i % 50 == 0:
+                counter.next_value()  # keyspace grows while sampling
+
+
+class TestHotspotGenerator:
+    def test_hot_set_receives_hot_fraction(self):
+        gen = HotspotGenerator(0, 999, hot_set_fraction=0.1, hot_op_fraction=0.9,
+                               rng=random.Random(11))
+        hits = sum(1 for _ in range(10000) if gen.next_value() < 100)
+        assert hits / 10000 > 0.8
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotspotGenerator(0, 10, hot_set_fraction=1.5)
+
+
+class TestDiscreteGenerator:
+    def test_weights_respected(self):
+        gen = DiscreteGenerator(rng=random.Random(12))
+        gen.add_value("a", 80)
+        gen.add_value("b", 20)
+        counts = Counter(gen.next_value() for _ in range(10000))
+        assert 0.75 < counts["a"] / 10000 < 0.85
+
+    def test_zero_weight_never_drawn(self):
+        gen = DiscreteGenerator(rng=random.Random(13))
+        gen.add_value("a", 1)
+        gen.add_value("never", 0)
+        assert all(gen.next_value() == "a" for _ in range(100))
+
+    def test_negative_weight_rejected(self):
+        gen = DiscreteGenerator()
+        with pytest.raises(ConfigurationError):
+            gen.add_value("x", -1)
+
+    def test_empty_generator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiscreteGenerator().next_value()
+
+    def test_normalised_weights(self):
+        gen = DiscreteGenerator()
+        gen.add_value("a", 1)
+        gen.add_value("b", 3)
+        assert gen.weights == {"a": 0.25, "b": 0.75}
+
+
+class TestMakeKeyChooser:
+    @pytest.mark.parametrize("name", ["uniform", "zipfian", "rawzipfian", "hotspot"])
+    def test_known_names(self, name):
+        gen = make_key_chooser(name, 0, 99, rng=random.Random(14))
+        assert 0 <= gen.next_value() <= 99
+
+    def test_latest_needs_counter(self):
+        with pytest.raises(ConfigurationError):
+            make_key_chooser("latest", 0, 99)
+        gen = make_key_chooser("latest", 0, 99, insert_counter=CounterGenerator(100))
+        assert 0 <= gen.next_value() <= 99
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_key_chooser("pareto", 0, 99)

@@ -1,0 +1,129 @@
+"""Tests for the latency histogram and stats collector."""
+
+import threading
+
+import pytest
+
+from repro.common.stats import Histogram, OperationStats, StatsCollector
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean_us == 0.0
+        assert h.min_us == 0.0
+        assert h.max_us == 0.0
+
+    def test_mean_min_max_exact(self):
+        h = Histogram()
+        for v in (10, 20, 30):
+            h.record(v)
+        assert h.count == 3
+        assert h.mean_us == pytest.approx(20.0)
+        assert h.min_us == 10
+        assert h.max_us == 30
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().record(-1)
+
+    def test_percentile_bounds(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.record(float(v))
+        p50 = h.percentile_us(50)
+        p99 = h.percentile_us(99)
+        assert p50 <= p99
+        # log-bucketed: within one growth factor of the true value
+        assert 30 <= p50 <= 110
+        assert 60 <= p99 <= 220
+
+    def test_percentile_validation(self):
+        h = Histogram()
+        h.record(1)
+        with pytest.raises(ValueError):
+            h.percentile_us(0)
+        with pytest.raises(ValueError):
+            h.percentile_us(101)
+
+    def test_percentile_empty_is_zero(self):
+        assert Histogram().percentile_us(99) == 0.0
+
+    def test_merge_combines(self):
+        a, b = Histogram(), Histogram()
+        a.record(10)
+        b.record(1000)
+        a.merge(b)
+        assert a.count == 2
+        assert a.min_us == 10
+        assert a.max_us == 1000
+        assert a.mean_us == pytest.approx(505.0)
+
+    def test_huge_latency_clamps_to_last_bucket(self):
+        h = Histogram()
+        h.record(1e12)  # beyond bucket range
+        assert h.count == 1
+        assert h.max_us == 1e12
+
+
+class TestOperationStats:
+    def test_success_failure_tally(self):
+        stats = OperationStats("read")
+        stats.record(5.0, success=True)
+        stats.record(7.0, success=False)
+        assert stats.ok == 1
+        assert stats.failed == 1
+        assert stats.histogram.count == 2
+
+
+class TestStatsCollector:
+    def test_records_per_operation(self):
+        collector = StatsCollector()
+        collector.record("read", 10)
+        collector.record("read", 20)
+        collector.record("update", 30, success=False)
+        ops = collector.operations
+        assert ops["read"].ok == 2
+        assert ops["update"].failed == 1
+        assert collector.total_ops == 3
+        assert collector.total_ok == 2
+
+    def test_completion_time_and_throughput(self):
+        collector = StatsCollector()
+        collector.start(0.0)
+        for _ in range(100):
+            collector.record("op", 1.0)
+        collector.finish(2.0)
+        assert collector.completion_time_s == 2.0
+        assert collector.throughput_ops_s == pytest.approx(50.0)
+
+    def test_unstarted_run_reports_zero(self):
+        collector = StatsCollector()
+        collector.record("op", 1.0)
+        assert collector.completion_time_s == 0.0
+        assert collector.throughput_ops_s == 0.0
+
+    def test_summary_shape(self):
+        collector = StatsCollector()
+        collector.start(0.0)
+        collector.record("read", 15.0)
+        collector.finish(1.0)
+        summary = collector.summary()
+        assert summary["total_ops"] == 1
+        assert summary["operations"]["read"]["count"] == 1
+        assert summary["operations"]["read"]["mean_us"] == 15.0
+
+    def test_thread_safe_recording(self):
+        collector = StatsCollector()
+
+        def hammer():
+            for _ in range(1000):
+                collector.record("op", 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert collector.total_ops == 4000

@@ -1,0 +1,20 @@
+"""Tests for the experiments CLI (python -m repro.experiments)."""
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_no_args_lists_experiments(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out and "table3" in out
+
+    def test_unknown_name_rejected(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_named_experiment(self, capsys):
+        assert main(["fig3a"]) == 0
+        out = capsys.readouterr().out
+        assert "shape: OK" in out
+        assert "lazy_erasure_s" in out

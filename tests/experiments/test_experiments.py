@@ -1,0 +1,111 @@
+"""Smoke tests: every experiment regenerates its figure at tiny scale.
+
+Full-scale shape checks live in benchmarks/; here we verify the harnesses
+run end to end, produce the right row structure, and (for the cheap ones)
+hold their shape even at the reduced scale.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, fig3a, fig3b, fig4, fig5, fig6, scale, table3
+from repro.experiments.base import ExperimentResult
+
+
+class TestExperimentResult:
+    def test_render_contains_rows_and_checks(self):
+        result = ExperimentResult(
+            experiment="x", title="t", paper_expectation="p",
+            rows=[{"a": 1, "b": 2.5}],
+            shape_checks=[("holds", True)],
+        )
+        text = result.render()
+        assert "== x: t ==" in text
+        assert "2.5" in text
+        assert "[x] holds" in text
+        assert result.shape_ok
+        result.check()  # must not raise
+
+    def test_check_raises_with_description(self):
+        result = ExperimentResult("x", "t", "p", rows=[],
+                                  shape_checks=[("broken claim", False)])
+        assert not result.shape_ok
+        with pytest.raises(AssertionError, match="broken claim"):
+            result.check()
+
+    def test_registry_covers_every_figure_and_table(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "fig3a", "fig3b", "fig4a", "fig4b", "fig5",
+            "table3", "fig6", "fig7", "fig8",
+        }
+
+
+class TestFig3a:
+    def test_shape_holds_at_small_scale(self):
+        result = fig3a.run(counts=(400, 800, 1600))
+        result.check()
+        assert [row["total_keys"] for row in result.rows] == [400, 800, 1600]
+
+    def test_erasure_delay_helpers(self):
+        lazy = fig3a.erasure_delay(300, strict=False)
+        strict = fig3a.erasure_delay(300, strict=True)
+        assert strict < 1.0
+        assert lazy > strict
+
+
+class TestFig3b:
+    def test_rows_structure(self):
+        result = fig3b.run(rows=400, ops=200, repeats=1)
+        assert [row["secondary_indices"] for row in result.rows] == [0, 1, 2]
+        assert result.rows[0]["relative_pct"] == 100.0
+
+
+class TestTable3:
+    def test_shape_holds_at_small_scale(self):
+        result = table3.run(records=300)
+        result.check()
+        configs = [row["config"] for row in result.rows]
+        assert configs == ["redis", "postgres", "postgres-metadata-index"]
+
+
+class TestFig4:
+    def test_tiny_run_produces_full_grid(self):
+        result = fig4.run(engine="redis", workloads=("A", "C"),
+                          records=120, operations=120, threads=1)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            for column in ("encrypt_pct", "ttl_pct", "log_pct", "combined_pct"):
+                assert row[column] > 0
+
+
+class TestFig5:
+    def test_tiny_run_structure(self):
+        result = fig5.run(records=200, operations=30, threads=2)
+        assert len(result.rows) == 3
+        assert all(row["min_correct_pct"] == 100.0 for row in result.rows)
+
+
+class TestFig6:
+    def test_tiny_run_structure(self):
+        result = fig6.run(records=200, ycsb_operations=150,
+                          gdpr_operations=30, threads=1)
+        assert {row["series"] for row in result.rows} == {
+            "ycsb-redis", "gdpr-redis", "ycsb-postgres", "gdpr-postgres",
+        }
+
+
+class TestScale:
+    def test_tiny_redis_sweep(self):
+        result = scale.run_engine(
+            "redis", ycsb_scales=(200, 400), gdpr_scales=(200, 400),
+            ycsb_operations=100, gdpr_operations=20, threads=1,
+        )
+        series = {row["series"] for row in result.rows}
+        assert series == {"ycsb-C", "gdpr-customer"}
+        assert result.experiment == "fig7"
+
+    def test_fig8_name(self):
+        result = scale.run_engine(
+            "postgres", ycsb_scales=(200,), gdpr_scales=(200, 400),
+            ycsb_operations=50, gdpr_operations=10, threads=1,
+        )
+        assert result.experiment == "fig8"

@@ -1,0 +1,108 @@
+"""Tests for audit-trail parsing and breach reporting."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.crypto.luks import FileCipher
+from repro.gdpr.audit import (
+    AuditEvent,
+    breach_report,
+    events_from_aof,
+    events_from_csvlog,
+    split_csv_line,
+)
+from repro.minikv.aof import AOFWriter
+from repro.minisql.csvlog import CSVLogger
+
+
+class TestSplitCsvLine:
+    def test_plain(self):
+        assert split_csv_line("a,b,c") == ["a", "b", "c"]
+
+    def test_quoted_commas(self):
+        assert split_csv_line('a,"b,c",d') == ["a", "b,c", "d"]
+
+    def test_escaped_quotes(self):
+        assert split_csv_line('a,"say ""hi""",c') == ["a", 'say "hi"', "c"]
+
+
+class TestEventsFromAOF:
+    def test_missing_file(self, tmp_path):
+        assert events_from_aof(str(tmp_path / "none.aof")) == []
+
+    def test_parses_operations(self, tmp_path):
+        path = str(tmp_path / "a.aof")
+        writer = AOFWriter(path, fsync="always", log_reads=True)
+        writer.append([b"SET", b"k1", b"v"])
+        writer.append([b"GET", b"k1"])
+        writer.append([b"DEL", b"k1"])
+        writer.close()
+        events = events_from_aof(path)
+        assert [e.operation for e in events] == ["SET", "GET", "DEL"]
+        assert events[0].target == "k1"
+        assert events[0].timestamp is None
+
+    def test_limit_returns_most_recent(self, tmp_path):
+        path = str(tmp_path / "a.aof")
+        writer = AOFWriter(path, fsync="always")
+        for i in range(10):
+            writer.append([b"SET", f"k{i}".encode(), b"v"])
+        writer.close()
+        events = events_from_aof(path, limit=3)
+        assert [e.target for e in events] == ["k7", "k8", "k9"]
+
+    def test_tail_window_on_large_file(self, tmp_path):
+        path = str(tmp_path / "big.aof")
+        writer = AOFWriter(path, fsync="always")
+        for i in range(5000):
+            writer.append([b"SET", f"key-{i:08d}".encode(), b"x" * 40])
+        writer.close()
+        events = events_from_aof(path, limit=5)
+        # only the tail is parsed, and the newest entries are present
+        assert events[-1].target == "key-00004999"
+        assert len(events) == 5
+
+    def test_encrypted_tail(self, tmp_path):
+        path = str(tmp_path / "enc.aof")
+        cipher = FileCipher()
+        writer = AOFWriter(path, fsync="always", cipher=cipher)
+        for i in range(2000):
+            writer.append([b"SET", f"key-{i:06d}".encode(), b"y" * 50])
+        writer.close()
+        events = events_from_aof(path, limit=2, cipher=cipher)
+        assert events[-1].target == "key-001999"
+
+
+class TestEventsFromCsvlog:
+    def test_time_bounded(self, tmp_path):
+        clock = VirtualClock()
+        logger = CSVLogger(str(tmp_path / "l.csv"), clock=clock)
+        logger.log("INSERT", "t", "early", 1)
+        clock.advance(100)
+        logger.log("SELECT", "t", "late", 2)
+        events = events_from_csvlog(logger, start=50.0, end=150.0)
+        assert len(events) == 1
+        assert events[0].operation == "SELECT"
+        assert events[0].rows == 2
+        logger.close()
+
+    def test_unbounded_returns_all(self, tmp_path):
+        logger = CSVLogger(str(tmp_path / "l.csv"))
+        for i in range(4):
+            logger.log("INSERT", "t", f"d{i}", 1)
+        assert len(events_from_csvlog(logger)) == 4
+        logger.close()
+
+
+class TestBreachReport:
+    def test_counts(self):
+        events = [
+            AuditEvent(1.0, "SELECT", "t", rows=3),
+            AuditEvent(2.0, "INSERT", "t", rows=1),
+            AuditEvent(3.0, "HGETALL", "rec:k1"),
+            AuditEvent(4.0, "GET", "k2"),
+        ]
+        report = breach_report(events, affected_users={"u1", "u2"})
+        assert report["events_in_window"] == 4
+        assert report["read_events_in_window"] == 3
+        assert report["approximate_affected_users"] == 2

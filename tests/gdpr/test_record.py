@@ -1,0 +1,183 @@
+"""Tests for the personal-data record model and its wire format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import RecordFormatError
+from repro.gdpr.record import (
+    ATTRIBUTE_ARTICLES,
+    ATTRIBUTE_NAMES,
+    PersonalRecord,
+    format_ttl,
+    parse_ttl,
+)
+
+
+def make(**overrides):
+    base = dict(
+        key="ph-1x4b",
+        data="123-456-7890",
+        purposes=("ads", "2fa"),
+        ttl_seconds=365 * 86400.0,
+        user="neo",
+        objections=(),
+        decisions=(),
+        shared_with=(),
+        source="first-party",
+    )
+    base.update(overrides)
+    return PersonalRecord(**base)
+
+
+class TestTTLFormat:
+    @pytest.mark.parametrize("seconds,text", [
+        (365 * 86400.0, "365days"),
+        (2 * 3600.0, "2hours"),
+        (5 * 60.0, "5min"),
+        (42.0, "42s"),
+    ])
+    def test_format(self, seconds, text):
+        assert format_ttl(seconds) == text
+
+    @pytest.mark.parametrize("text,seconds", [
+        ("365days", 365 * 86400.0),
+        ("1day", 86400.0),
+        ("2hours", 7200.0),
+        ("5min", 300.0),
+        ("300s", 300.0),
+        ("300", 300.0),
+        ("1.5min", 90.0),
+    ])
+    def test_parse(self, text, seconds):
+        assert parse_ttl(text) == seconds
+
+    @pytest.mark.parametrize("bad", ["", "days", "5lightyears", "  "])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(RecordFormatError):
+            parse_ttl(bad)
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(RecordFormatError):
+            format_ttl(-1)
+
+    @given(st.integers(0, 10**7))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, seconds):
+        assert parse_ttl(format_ttl(float(seconds))) == float(seconds)
+
+
+class TestValidation:
+    def test_empty_key_rejected(self):
+        with pytest.raises(RecordFormatError):
+            make(key="")
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(RecordFormatError):
+            make(data="données")
+
+    def test_separator_in_field_rejected(self):
+        with pytest.raises(RecordFormatError):
+            make(data="has;semicolon")
+        with pytest.raises(RecordFormatError):
+            make(user="has,comma")
+        with pytest.raises(RecordFormatError):
+            make(purposes=("ok", "bad,token"))
+
+    def test_list_attrs_must_be_tuples(self):
+        with pytest.raises(RecordFormatError):
+            make(purposes=["ads"])
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(RecordFormatError):
+            make(ttl_seconds=-5)
+
+
+class TestSemantics:
+    def test_metadata_has_all_seven_attributes(self):
+        assert set(make().metadata()) == set(ATTRIBUTE_NAMES)
+
+    def test_attribute_articles_registry_covers_all(self):
+        assert set(ATTRIBUTE_ARTICLES) == set(ATTRIBUTE_NAMES)
+
+    def test_objections_and_purpose_check(self):
+        record = make(purposes=("ads",), objections=("analytics",))
+        assert record.allows_purpose("ads")
+        assert not record.allows_purpose("analytics")   # objected
+        assert not record.allows_purpose("billing")     # never declared
+        assert record.objects_to("analytics")
+
+    def test_objection_overrides_declared_purpose(self):
+        record = make(purposes=("ads",), objections=("ads",))
+        assert not record.allows_purpose("ads")
+
+    def test_with_metadata_copies(self):
+        record = make()
+        changed = record.with_metadata(user="trinity")
+        assert changed.user == "trinity"
+        assert record.user == "neo"  # frozen original untouched
+
+    def test_size_accounting(self):
+        record = make()
+        assert record.data_bytes() == len("123-456-7890")
+        assert record.metadata_bytes() > 0
+        bigger = make(shared_with=("acme", "globex"))
+        assert bigger.metadata_bytes() > record.metadata_bytes()
+
+
+class TestWireFormat:
+    def test_paper_example_roundtrip(self):
+        record = make()
+        wire = record.to_wire()
+        assert wire.startswith("ph-1x4b;123-456-7890;PUR=ads,2fa;TTL=365days;USR=neo;")
+        assert wire.endswith("SRC=first-party;")
+        assert PersonalRecord.from_wire(wire) == record
+
+    def test_empty_attributes_roundtrip(self):
+        record = make(purposes=(), objections=(), decisions=(), shared_with=(), user="")
+        assert PersonalRecord.from_wire(record.to_wire()) == record
+
+    def test_accepts_papers_empty_set_glyph(self):
+        wire = ("k;d;PUR=ads;TTL=1days;USR=neo;OBJ=∅;DEC=∅;SHR=∅;SRC=first-party;")
+        record = PersonalRecord.from_wire(wire)
+        assert record.objections == ()
+        assert record.decisions == ()
+
+    def test_missing_trailing_semicolon_rejected(self):
+        with pytest.raises(RecordFormatError):
+            PersonalRecord.from_wire("k;d;PUR=;TTL=1s;USR=;OBJ=;DEC=;SHR=;SRC=x")
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(RecordFormatError):
+            PersonalRecord.from_wire("k;d;PUR=;TTL=1s;")
+
+    def test_attribute_order_enforced(self):
+        wire = "k;d;TTL=1s;PUR=;USR=;OBJ=;DEC=;SHR=;SRC=x;"
+        with pytest.raises(RecordFormatError):
+            PersonalRecord.from_wire(wire)
+
+    def test_attribute_missing_equals_rejected(self):
+        wire = "k;d;PUR;TTL=1s;USR=;OBJ=;DEC=;SHR=;SRC=x;"
+        with pytest.raises(RecordFormatError):
+            PersonalRecord.from_wire(wire)
+
+    _token = st.text(
+        alphabet=st.characters(min_codepoint=48, max_codepoint=122,
+                               blacklist_characters=";,=\\"),
+        min_size=1, max_size=8,
+    ).filter(lambda s: s.isascii() and s not in ("", "∅"))
+
+    @given(
+        key=_token,
+        data=_token,
+        purposes=st.lists(_token, max_size=3),
+        user=_token,
+        ttl_days=st.integers(1, 3650),
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, key, data, purposes, user, ttl_days):
+        record = PersonalRecord(
+            key=key, data=data, purposes=tuple(purposes),
+            ttl_seconds=ttl_days * 86400.0, user=user,
+        )
+        assert PersonalRecord.from_wire(record.to_wire()) == record

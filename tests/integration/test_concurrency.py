@@ -1,0 +1,157 @@
+"""Concurrency stress: many threads hammering the clients must never
+corrupt state, deadlock, or raise unexpected errors."""
+
+import threading
+
+import pytest
+
+from repro.bench.records import RecordCorpusConfig, generate_corpus
+from repro.clients import FeatureSet, make_client
+from repro.common.errors import ReproError
+from repro.gdpr import PersonalRecord, Principal
+
+CTRL = Principal.controller()
+PROC = Principal.processor()
+REG = Principal.regulator()
+
+
+def _hammer(threads, fn, rounds):
+    errors = []
+
+    def worker(tid):
+        try:
+            for i in range(rounds):
+                fn(tid, i)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    pool = [threading.Thread(target=worker, args=(t,)) for t in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    return errors
+
+
+@pytest.mark.parametrize("engine", ["redis", "postgres"])
+class TestConcurrentClients:
+    def test_mixed_gdpr_traffic(self, engine):
+        client = make_client(engine, FeatureSet.full(metadata_indexing=(engine == "postgres")))
+        try:
+            client.load_records(
+                generate_corpus(RecordCorpusConfig(record_count=200, user_count=20))
+            )
+
+            def op(tid, i):
+                kind = (tid + i) % 5
+                key = f"k{(i * 7 + tid) % 200:08d}"
+                user = f"u{(i + tid) % 20:05d}"
+                if kind == 0:
+                    client.read_data_by_key(PROC, key)
+                elif kind == 1:
+                    client.read_metadata_by_usr(REG, user)
+                elif kind == 2:
+                    client.update_metadata_by_usr(CTRL, user, "SHR", ("acme",))
+                elif kind == 3:
+                    client.delete_record_by_key(
+                        Principal.customer(f"u{int(key[1:]) % 20:05d}"), key)
+                else:
+                    client.create_record(CTRL, PersonalRecord(
+                        key=f"new-{tid}-{i}", data=f"{user}:fresh",
+                        purposes=("ads",), ttl_seconds=600.0, user=user,
+                    ))
+
+            errors = _hammer(6, op, 60)
+            assert errors == []
+            # Engine is still coherent afterwards.
+            assert client.record_count() >= 0
+            assert client.get_system_features(REG).features
+        finally:
+            client.close()
+
+    def test_concurrent_inserts_unique_keys(self, engine):
+        client = make_client(engine, FeatureSet.none())
+        try:
+            def op(tid, i):
+                client.ycsb_insert(f"user{tid:02d}{i:06d}", {"field0": "x"})
+
+            errors = _hammer(8, op, 100)
+            assert errors == []
+            rows = client.ycsb_scan("user", 1000)
+            assert len(rows) == 800
+        finally:
+            client.close()
+
+    def test_readers_with_concurrent_deleter(self, engine):
+        """Readers racing a deleter see either the record or nothing —
+        never a partial record (the phantom-recreation regression test)."""
+        client = make_client(engine, FeatureSet(access_control=False))
+        try:
+            client.load_records(
+                generate_corpus(RecordCorpusConfig(record_count=100, user_count=10))
+            )
+            bad = []
+
+            def reader(tid, i):
+                rows = client.read_data_by_usr(PROC, f"u{i % 10:05d}")
+                for _, data in rows:
+                    if ":" not in data:
+                        bad.append(data)
+
+            def deleter(tid, i):
+                client.delete_record_by_key(CTRL, f"k{(i * 3) % 100:08d}")
+                if i % 10 == 0:
+                    client.update_metadata_by_usr(CTRL, f"u{i % 10:05d}", "TTL", 900.0)
+
+            errors = []
+            threads = (
+                [threading.Thread(target=lambda: [reader(0, i) for i in range(40)])]
+                + [threading.Thread(target=lambda: [deleter(1, i) for i in range(40)])]
+            )
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert bad == []
+            assert errors == []
+        finally:
+            client.close()
+
+
+class TestEngineThreadSafety:
+    def test_minikv_concurrent_commands(self):
+        from repro.minikv import MiniKV
+
+        kv = MiniKV()
+
+        def op(tid, i):
+            key = f"t{tid}-k{i % 20}"
+            kv.set(key, b"v", ttl=100.0 if i % 3 == 0 else None)
+            kv.get(key)
+            if i % 5 == 0:
+                kv.delete(key)
+
+        errors = _hammer(8, op, 200)
+        assert errors == []
+        kv.close()
+
+    def test_minisql_concurrent_statements(self):
+        from repro.minisql import Cmp, Column, Database, INTEGER, TEXT
+
+        db = Database()
+        db.create_table(
+            "t", [Column("id", INTEGER, nullable=False), Column("v", TEXT)],
+            primary_key="id",
+        )
+
+        def op(tid, i):
+            row_id = tid * 1000 + i
+            db.insert("t", {"id": row_id, "v": "a"})
+            db.update("t", {"v": "b"}, Cmp("id", "=", row_id))
+            db.select("t", Cmp("id", "=", row_id))
+            if i % 4 == 0:
+                db.delete("t", Cmp("id", "=", row_id))
+
+        errors = _hammer(8, op, 100)
+        assert errors == []
+        db.close()

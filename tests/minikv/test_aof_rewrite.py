@@ -1,0 +1,108 @@
+"""AOF rewrite (compaction) and its GDPR audit-trail guard."""
+
+import os
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import ConfigurationError
+from repro.gdpr.audit import events_from_aof
+from repro.minikv import MiniKV, MiniKVConfig
+
+
+def _engine(tmp_path, **kw):
+    return MiniKV(
+        MiniKVConfig(aof_path=str(tmp_path / "kv.aof"), fsync="always", **kw),
+        clock=kw.pop("clock", None) or VirtualClock(),
+    )
+
+
+class TestRewrite:
+    def test_compaction_shrinks_churned_log(self, tmp_path):
+        kv = _engine(tmp_path)
+        for round_ in range(20):
+            for i in range(20):
+                kv.set(f"k{i}", f"v{round_}".encode())
+        old, new = kv.rewrite_aof()
+        assert new < old / 5  # 20 rounds of churn collapse to one SET each
+        kv.close()
+
+    def test_state_identical_after_rewrite_and_replay(self, tmp_path):
+        clock = VirtualClock()
+        kv = MiniKV(MiniKVConfig(aof_path=str(tmp_path / "kv.aof"), fsync="always"),
+                    clock=clock)
+        kv.set("s", b"string", ttl=500)
+        kv.hmset("h", {"f1": b"a", "f2": b"b"})
+        kv.sadd("set", b"m1", b"m2")
+        kv.set("churn", b"1")
+        kv.set("churn", b"2")
+        kv.delete("churn")
+        kv.rewrite_aof()
+        # append after the rewrite still works
+        kv.set("post", b"yes")
+        kv.close()
+
+        kv2 = MiniKV(MiniKVConfig(aof_path=str(tmp_path / "kv.aof"), fsync="always"),
+                     clock=clock)
+        assert kv2.get("s") == b"string"
+        assert 0 < kv2.ttl("s") <= 500
+        assert kv2.hgetall("h") == {"f1": b"a", "f2": b"b"}
+        assert kv2.smembers("set") == {b"m1", b"m2"}
+        assert not kv2.exists("churn")
+        assert kv2.get("post") == b"yes"
+        kv2.close()
+
+    def test_expired_keys_not_rewritten(self, tmp_path):
+        clock = VirtualClock()
+        kv = MiniKV(MiniKVConfig(aof_path=str(tmp_path / "kv.aof"), fsync="always"),
+                    clock=clock)
+        kv.set("dead", b"x", ttl=1)
+        kv.set("live", b"y")
+        clock.advance(5)
+        kv.rewrite_aof()
+        kv.close()
+        kv2 = MiniKV(MiniKVConfig(aof_path=str(tmp_path / "kv.aof"), fsync="always"),
+                     clock=clock)
+        assert not kv2.exists("dead")
+        assert kv2.get("live") == b"y"
+        kv2.close()
+
+    def test_encrypted_rewrite(self, tmp_path):
+        kv = _engine(tmp_path, encryption_at_rest=True)
+        kv.set("secret", b"classified-value")
+        kv.rewrite_aof()
+        raw = open(str(tmp_path / "kv.aof"), "rb").read()
+        assert b"classified-value" not in raw
+        kv.close()
+        kv2 = _engine(tmp_path, encryption_at_rest=True)
+        assert kv2.get("secret") == b"classified-value"
+        kv2.close()
+
+    def test_audit_bearing_aof_refuses_silent_rewrite(self, tmp_path):
+        kv = _engine(tmp_path, log_reads=True)
+        kv.set("k", b"v")
+        kv.get("k")
+        with pytest.raises(ConfigurationError):
+            kv.rewrite_aof()
+        kv.close()
+
+    def test_audit_archive_preserves_history(self, tmp_path):
+        kv = _engine(tmp_path, log_reads=True)
+        kv.set("k", b"v")
+        for _ in range(5):
+            kv.get("k")
+        archive = str(tmp_path / "audit-archive.aof")
+        kv.rewrite_aof(archive_path=archive)
+        kv.close()
+        # The archive still shows the reads (G 30 records of processing)...
+        archived_ops = [e.operation for e in events_from_aof(archive)]
+        assert archived_ops.count("GET") == 5
+        # ...while the live AOF is compact.
+        live_ops = [e.operation for e in events_from_aof(str(tmp_path / "kv.aof"))]
+        assert "GET" not in live_ops
+
+    def test_rewrite_without_aof_rejected(self):
+        kv = MiniKV()
+        with pytest.raises(ConfigurationError):
+            kv.rewrite_aof()
+        kv.close()

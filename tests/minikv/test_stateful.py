@@ -1,0 +1,116 @@
+"""Model-based stateful testing: minikv vs a plain dict model with TTLs.
+
+Hypothesis drives random command sequences (set/hset/delete/expire/persist/
+clock advances/active expiry ticks) against the engine and a dict model;
+visible state must agree after every step for all three TTL algorithms.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.common.clock import VirtualClock
+from repro.minikv import MiniKV, MiniKVConfig
+
+_KEYS = tuple(f"k{i}" for i in range(8))
+
+
+class _Machine(RuleBasedStateMachine):
+    algorithm = "lazy"
+
+    @initialize()
+    def setup(self):
+        self.clock = VirtualClock()
+        self.kv = MiniKV(MiniKVConfig(ttl_algorithm=self.algorithm), clock=self.clock)
+        self.values: dict[str, bytes] = {}
+        self.deadlines: dict[str, float] = {}
+
+    def _expire_model(self):
+        now = self.clock.now()
+        for key in [k for k, d in self.deadlines.items() if d <= now]:
+            del self.deadlines[key]
+            self.values.pop(key, None)
+
+    @rule(key=st.sampled_from(_KEYS), value=st.binary(min_size=1, max_size=8))
+    def set(self, key, value):
+        self._expire_model()
+        self.kv.set(key, value)
+        self.values[key] = value
+        self.deadlines.pop(key, None)
+
+    @rule(key=st.sampled_from(_KEYS), value=st.binary(min_size=1, max_size=8),
+          ttl=st.floats(0.5, 50))
+    def set_with_ttl(self, key, value, ttl):
+        self._expire_model()
+        self.kv.set(key, value, ttl=ttl)
+        self.values[key] = value
+        self.deadlines[key] = self.clock.now() + ttl
+
+    @rule(key=st.sampled_from(_KEYS))
+    def delete(self, key):
+        self._expire_model()
+        deleted = self.kv.delete(key)
+        assert deleted == (1 if key in self.values else 0)
+        self.values.pop(key, None)
+        self.deadlines.pop(key, None)
+
+    @rule(key=st.sampled_from(_KEYS), ttl=st.floats(0.5, 50))
+    def expire(self, key, ttl):
+        self._expire_model()
+        ok = self.kv.expire(key, ttl)
+        assert ok == (key in self.values)
+        if ok:
+            self.deadlines[key] = self.clock.now() + ttl
+
+    @rule(key=st.sampled_from(_KEYS))
+    def persist(self, key):
+        self._expire_model()
+        ok = self.kv.persist(key)
+        assert ok == (key in self.deadlines)
+        self.deadlines.pop(key, None)
+
+    @rule(seconds=st.floats(0.1, 30))
+    def advance(self, seconds):
+        self.clock.advance(seconds)
+
+    @rule()
+    def tick(self):
+        self.kv.cron()
+
+    @invariant()
+    def visible_state_matches_model(self):
+        self._expire_model()
+        for key in _KEYS:
+            assert self.kv.get(key) == self.values.get(key), key
+        assert self.kv.dbsize() == len(self.values)
+
+    def teardown(self):
+        if hasattr(self, "kv"):
+            self.kv.close()
+
+
+class LazyMachine(_Machine):
+    algorithm = "lazy"
+
+
+class StrictMachine(_Machine):
+    algorithm = "strict"
+
+
+class HeapMachine(_Machine):
+    algorithm = "heap"
+
+
+_SETTINGS = settings(max_examples=25, stateful_step_count=25, deadline=None)
+
+TestLazyModel = LazyMachine.TestCase
+TestLazyModel.settings = _SETTINGS
+TestStrictModel = StrictMachine.TestCase
+TestStrictModel.settings = _SETTINGS
+TestHeapModel = HeapMachine.TestCase
+TestHeapModel.settings = _SETTINGS

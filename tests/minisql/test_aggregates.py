@@ -1,0 +1,111 @@
+"""Aggregate queries (COUNT/SUM/MIN/MAX/AVG, GROUP BY)."""
+
+import pytest
+
+from repro.common.errors import ParseError, SQLError
+from repro.minisql import Cmp, Column, Database, FLOAT, INTEGER, TEXT
+from repro.minisql.sql import execute
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "sales",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("region", TEXT),
+            Column("amount", FLOAT),
+        ],
+        primary_key="id",
+    )
+    rows = [
+        (0, "eu", 10.0), (1, "eu", 20.0), (2, "us", 5.0),
+        (3, "us", 15.0), (4, "eu", 30.0), (5, "apac", None),
+    ]
+    for row_id, region, amount in rows:
+        database.insert("sales", {"id": row_id, "region": region, "amount": amount})
+    yield database
+    database.close()
+
+
+class TestProgrammaticAggregates:
+    def test_count_star_counts_rows(self, db):
+        assert db.aggregate("sales", "count") == 6
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.aggregate("sales", "count", column="amount") == 5
+
+    def test_sum_min_max_avg(self, db):
+        assert db.aggregate("sales", "sum", column="amount") == 80.0
+        assert db.aggregate("sales", "min", column="amount") == 5.0
+        assert db.aggregate("sales", "max", column="amount") == 30.0
+        assert db.aggregate("sales", "avg", column="amount") == 16.0
+
+    def test_where_filter(self, db):
+        assert db.aggregate("sales", "sum", column="amount",
+                            where=Cmp("region", "=", "eu")) == 60.0
+
+    def test_group_by(self, db):
+        grouped = db.aggregate("sales", "count", group_by="region")
+        assert grouped == {"eu": 3, "us": 2, "apac": 1}
+        sums = db.aggregate("sales", "sum", column="amount", group_by="region")
+        assert sums == {"eu": 60.0, "us": 20.0, "apac": None}
+
+    def test_empty_aggregates(self, db):
+        assert db.aggregate("sales", "count", where=Cmp("id", "=", 999)) == 0
+        assert db.aggregate("sales", "sum", column="amount",
+                            where=Cmp("id", "=", 999)) is None
+
+    def test_sum_requires_column(self, db):
+        with pytest.raises(SQLError):
+            db.aggregate("sales", "sum")
+
+    def test_unknown_aggregate(self, db):
+        with pytest.raises(SQLError):
+            db.aggregate("sales", "median", column="amount")
+
+
+class TestSQLAggregates:
+    def test_count_star(self, db):
+        assert execute(db, "SELECT COUNT(*) FROM sales") == 6
+
+    def test_count_column(self, db):
+        assert execute(db, "SELECT COUNT(amount) FROM sales") == 5
+
+    def test_sum_with_where(self, db):
+        assert execute(db, "SELECT SUM(amount) FROM sales WHERE region = 'eu'") == 60.0
+
+    def test_group_by(self, db):
+        got = execute(db, "SELECT COUNT(*) FROM sales GROUP BY region")
+        assert got == {"eu": 3, "us": 2, "apac": 1}
+
+    def test_avg(self, db):
+        assert execute(db, "SELECT AVG(amount) FROM sales") == 16.0
+
+    def test_sum_star_rejected(self, db):
+        with pytest.raises(ParseError):
+            execute(db, "SELECT SUM(*) FROM sales")
+
+    def test_group_by_without_aggregate_rejected(self, db):
+        with pytest.raises(ParseError):
+            execute(db, "SELECT region FROM sales GROUP BY region")
+
+
+class TestRegulatorCensus:
+    """The GDPR use case: records-per-customer without reading data."""
+
+    def test_records_held_per_user(self):
+        from repro.bench.records import RecordCorpusConfig, generate_corpus
+        from repro.clients import FeatureSet, SQLGDPRClient
+
+        client = SQLGDPRClient(FeatureSet.none())
+        try:
+            client.load_records(
+                generate_corpus(RecordCorpusConfig(record_count=60, user_count=6))
+            )
+            census = client.db.aggregate("personal_records", "count", group_by="usr")
+            assert len(census) == 6
+            assert all(count == 10 for count in census.values())
+        finally:
+            client.close()

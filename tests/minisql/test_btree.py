@@ -1,0 +1,188 @@
+"""B+tree and inverted index tests, including a model-based property test."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConstraintError
+from repro.minisql.btree import BTreeIndex, InvertedIndex, ORDER
+
+
+class TestBTreeBasics:
+    def test_search_empty(self):
+        assert BTreeIndex().search("x") == []
+
+    def test_insert_search(self):
+        tree = BTreeIndex()
+        tree.insert("b", 1)
+        tree.insert("a", 2)
+        tree.insert("b", 3)
+        assert tree.search("a") == [2]
+        assert sorted(tree.search("b")) == [1, 3]
+        assert len(tree) == 3
+        assert tree.distinct_keys == 2
+
+    def test_none_keys_not_indexed(self):
+        tree = BTreeIndex()
+        tree.insert(None, 1)
+        assert len(tree) == 0
+        assert tree.remove(None, 1) is False
+
+    def test_remove(self):
+        tree = BTreeIndex()
+        tree.insert("a", 1)
+        tree.insert("a", 2)
+        assert tree.remove("a", 1) is True
+        assert tree.search("a") == [2]
+        assert tree.remove("a", 99) is False
+        assert tree.remove("ghost", 1) is False
+        assert tree.remove("a", 2) is True
+        assert tree.distinct_keys == 0
+
+    def test_unique_rejects_duplicates(self):
+        tree = BTreeIndex(unique=True)
+        tree.insert("k", 1)
+        with pytest.raises(ConstraintError):
+            tree.insert("k", 2)
+
+    def test_splits_grow_height(self):
+        tree = BTreeIndex()
+        for i in range(ORDER * ORDER):
+            tree.insert(i, i)
+        assert tree.height >= 2
+        for i in range(0, ORDER * ORDER, 97):
+            assert tree.search(i) == [i]
+
+    def test_size_bytes_grows(self):
+        tree = BTreeIndex()
+        empty = tree.size_bytes()
+        for i in range(1000):
+            tree.insert(i, i)
+        assert tree.size_bytes() > empty + 1000 * 16
+
+
+class TestBTreeRangeScan:
+    def _tree(self, n=500):
+        tree = BTreeIndex()
+        order = list(range(n))
+        random.Random(1).shuffle(order)
+        for i in order:
+            tree.insert(i, i * 10)
+        return tree
+
+    def test_full_scan_sorted(self):
+        tree = self._tree(300)
+        keys = [k for k, _ in tree.range_scan()]
+        assert keys == sorted(keys) == list(range(300))
+
+    def test_bounded_scan_inclusive(self):
+        tree = self._tree()
+        got = [k for k, _ in tree.range_scan(10, 20)]
+        assert got == list(range(10, 21))
+
+    def test_bounded_scan_exclusive(self):
+        tree = self._tree()
+        got = [k for k, _ in tree.range_scan(10, 20, inclusive=(False, False))]
+        assert got == list(range(11, 20))
+
+    def test_open_ended_scans(self):
+        tree = self._tree(100)
+        assert [k for k, _ in tree.range_scan(lo=95)] == [95, 96, 97, 98, 99]
+        assert [k for k, _ in tree.range_scan(hi=4)] == [0, 1, 2, 3, 4]
+
+    def test_scan_with_duplicates(self):
+        tree = BTreeIndex()
+        for rid in range(5):
+            tree.insert("dup", rid)
+        got = [(k, r) for k, r in tree.range_scan()]
+        assert len(got) == 5
+        assert all(k == "dup" for k, _ in got)
+
+    def test_items_iterates_all(self):
+        tree = self._tree(50)
+        assert len(list(tree.items())) == 50
+
+
+@st.composite
+def _operations(draw):
+    ops = draw(st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "remove"]),
+            st.integers(0, 30),   # key
+            st.integers(0, 5),    # rid
+        ),
+        max_size=200,
+    ))
+    return ops
+
+
+class TestBTreeModelBased:
+    @given(_operations())
+    @settings(max_examples=100)
+    def test_matches_dict_of_lists_model(self, ops):
+        tree = BTreeIndex()
+        model: dict = {}
+        for op, key, rid in ops:
+            if op == "insert":
+                tree.insert(key, rid)
+                model.setdefault(key, []).append(rid)
+            else:
+                removed = tree.remove(key, rid)
+                expect = key in model and rid in model[key]
+                assert removed == expect
+                if expect:
+                    model[key].remove(rid)
+                    if not model[key]:
+                        del model[key]
+        for key, rids in model.items():
+            assert sorted(tree.search(key)) == sorted(rids)
+        assert len(tree) == sum(len(v) for v in model.values())
+        assert tree.distinct_keys == len(model)
+        scanned = [k for k, _ in tree.range_scan()]
+        assert scanned == sorted(scanned)
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=300, unique=True))
+    @settings(max_examples=50)
+    def test_sorted_iteration_after_bulk_insert(self, keys):
+        tree = BTreeIndex()
+        for key in keys:
+            tree.insert(key, key)
+        assert [k for k, _ in tree.range_scan()] == sorted(keys)
+
+
+class TestInvertedIndex:
+    def test_insert_search(self):
+        index = InvertedIndex()
+        index.insert(("ads", "2fa"), 1)
+        index.insert(("ads",), 2)
+        assert index.search("ads") == [1, 2]
+        assert index.search("2fa") == [1]
+        assert index.search("ghost") == []
+        assert len(index) == 3
+        assert index.distinct_keys == 2
+
+    def test_none_and_duplicate_tolerant(self):
+        index = InvertedIndex()
+        index.insert(None, 1)
+        assert len(index) == 0
+        index.insert(("a",), 1)
+        index.insert(("a",), 1)  # same (token, rid) counted once
+        assert len(index) == 1
+
+    def test_remove(self):
+        index = InvertedIndex()
+        index.insert(("a", "b"), 1)
+        assert index.remove(("a",), 1) is True
+        assert index.search("a") == []
+        assert index.search("b") == [1]
+        assert index.remove(("ghost",), 1) is False
+        assert index.remove(None, 1) is False
+
+    def test_size_bytes_scales_with_postings(self):
+        index = InvertedIndex()
+        empty = index.size_bytes()
+        for rid in range(100):
+            index.insert(("token",), rid)
+        assert index.size_bytes() > empty + 100 * 16

@@ -1,0 +1,234 @@
+"""End-to-end tests for the minisql Database facade."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import CatalogError, ConstraintError, TypeMismatchError
+from repro.minisql import (
+    Cmp,
+    Column,
+    Contains,
+    Database,
+    MiniSQLConfig,
+    INTEGER,
+    TEXT,
+    TEXT_LIST,
+    TIMESTAMP,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database(clock=VirtualClock())
+    database.create_table(
+        "users",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("name", TEXT),
+            Column("tags", TEXT_LIST),
+            Column("expiry", TIMESTAMP),
+        ],
+        primary_key="id",
+    )
+    yield database
+    database.close()
+
+
+def _fill(db, n=20):
+    for i in range(n):
+        db.insert("users", {
+            "id": i,
+            "name": f"user{i % 4}",
+            "tags": ["even" if i % 2 == 0 else "odd"],
+            "expiry": 100.0 + i,
+        })
+
+
+class TestDDL:
+    def test_pkey_index_created_automatically(self, db):
+        assert any(i.name == "users_pkey" for i in db.catalog.indices_for("users"))
+
+    def test_create_index_kind_inference(self, db):
+        db.create_index("idx_tags", "users", "tags")
+        db.create_index("idx_name", "users", "name")
+        assert db.catalog.index("idx_tags").kind == "inverted"
+        assert db.catalog.index("idx_name").kind == "btree"
+
+    def test_index_built_from_existing_rows(self, db):
+        _fill(db)
+        db.create_index("idx_name", "users", "name")
+        rows = db.select("users", Cmp("name", "=", "user1"))
+        assert len(rows) == 5
+        assert "idx_name" in db.explain("users", Cmp("name", "=", "user1"))
+
+    def test_unique_inverted_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_index("u", "users", "tags", unique=True)
+
+    def test_drop_table_and_index(self, db):
+        db.create_index("idx_name", "users", "name")
+        db.drop_index("idx_name")
+        assert db.explain("users", Cmp("name", "=", "x")).startswith("SeqScan")
+        db.drop_table("users")
+        with pytest.raises(CatalogError):
+            db.select("users")
+
+
+class TestDML:
+    def test_insert_select_roundtrip(self, db):
+        _fill(db, 5)
+        rows = db.select("users", Cmp("id", "=", 3))
+        assert rows == [{"id": 3, "name": "user3", "tags": ("odd",), "expiry": 103.0}]
+
+    def test_insert_validates_types(self, db):
+        with pytest.raises(TypeMismatchError):
+            db.insert("users", {"id": "not-an-int"})
+
+    def test_pk_uniqueness_enforced(self, db):
+        db.insert("users", {"id": 1, "name": "a"})
+        with pytest.raises(ConstraintError):
+            db.insert("users", {"id": 1, "name": "b"})
+        # failed insert leaves no trace
+        assert db.count("users", Cmp("id", "=", 1)) == 1
+        assert db.count("users") == 1
+
+    def test_projection_and_limit(self, db):
+        _fill(db)
+        rows = db.select("users", columns=["id"], limit=3)
+        assert len(rows) == 3
+        assert all(set(r) == {"id"} for r in rows)
+        with pytest.raises(CatalogError):
+            db.select("users", columns=["ghost"])
+
+    def test_order_by(self, db):
+        _fill(db, 10)
+        rows = db.select("users", order_by="id", descending=True, limit=2)
+        assert [r["id"] for r in rows] == [9, 8]
+
+    def test_order_by_puts_nulls_last(self, db):
+        db.insert("users", {"id": 1, "name": None})
+        db.insert("users", {"id": 2, "name": "a"})
+        rows = db.select("users", order_by="name")
+        assert rows[0]["name"] == "a"
+        assert rows[-1]["name"] is None
+
+    def test_update_changes_matching_rows(self, db):
+        _fill(db)
+        changed = db.update("users", {"name": "renamed"}, Contains("tags", "even"))
+        assert changed == 10
+        assert db.count("users", Cmp("name", "=", "renamed")) == 10
+
+    def test_update_maintains_indices(self, db):
+        _fill(db)
+        db.create_index("idx_name", "users", "name")
+        db.update("users", {"name": "zzz"}, Cmp("id", "=", 0))
+        assert db.select("users", Cmp("name", "=", "zzz"))[0]["id"] == 0
+        # old index entry gone
+        assert all(r["id"] != 0 for r in db.select("users", Cmp("name", "=", "user0")))
+
+    def test_update_rejects_pk_collision(self, db):
+        _fill(db, 3)
+        with pytest.raises(ConstraintError):
+            db.update("users", {"id": 1}, Cmp("id", "=", 2))
+
+    def test_update_same_pk_value_allowed(self, db):
+        _fill(db, 3)
+        assert db.update("users", {"id": 2, "name": "kept"}, Cmp("id", "=", 2)) == 1
+
+    def test_delete(self, db):
+        _fill(db)
+        assert db.delete("users", Cmp("id", "<", 5)) == 5
+        assert db.count("users") == 15
+        assert db.delete("users") == 15
+        assert db.count("users") == 0
+
+    def test_mvcc_updates_create_dead_tuples(self, db):
+        _fill(db, 10)
+        db.update("users", {"name": "x"}, Cmp("id", "<", 5))
+        stats = db.table_stats("users")
+        assert stats["dead_rows"] == 5
+        assert db.vacuum("users") >= 5
+        assert db.table_stats("users")["dead_rows"] == 0
+
+    def test_autovacuum_kicks_in(self, db):
+        _fill(db, 10)
+        # Default thresholds: 50 + 0.2*live dead tuples trigger autovacuum.
+        for round_ in range(10):
+            db.update("users", {"name": f"r{round_}"})
+        assert db.table_stats("users")["dead_rows"] < 100
+
+    def test_count_and_explain(self, db):
+        _fill(db)
+        assert db.count("users", Contains("tags", "odd")) == 10
+        assert db.explain("users", Cmp("id", "=", 1)).startswith("IndexScan")
+
+
+class TestTTLSweeper:
+    def test_sweeper_deletes_expired(self):
+        clock = VirtualClock()
+        db = Database(clock=clock)
+        db.create_table("t", [Column("id", INTEGER), Column("expiry", TIMESTAMP)])
+        sweeper = db.enable_ttl("t", "expiry")
+        for i in range(10):
+            db.insert("t", {"id": i, "expiry": 5.0 if i < 4 else 100.0})
+        clock.advance(10)
+        db.select("t", limit=1)  # any statement runs due sweepers
+        assert db.count("t") == 6
+        assert sweeper.stats.rows_deleted == 4
+        db.close()
+
+    def test_sweeper_respects_interval(self):
+        clock = VirtualClock()
+        db = Database(MiniSQLConfig(ttl_interval=5.0), clock=clock)
+        db.create_table("t", [Column("id", INTEGER), Column("expiry", TIMESTAMP)])
+        sweeper = db.enable_ttl("t", "expiry")
+        db.insert("t", {"id": 1, "expiry": 0.5})
+        clock.advance(1)
+        db.select("t")
+        first_sweeps = sweeper.stats.sweeps
+        db.select("t")
+        assert sweeper.stats.sweeps == first_sweeps  # not due again yet
+        clock.advance(5)
+        db.select("t")
+        assert sweeper.stats.sweeps == first_sweeps + 1
+        db.close()
+
+    def test_sweeper_uses_index_when_available(self):
+        clock = VirtualClock()
+        db = Database(clock=clock)
+        db.create_table("t", [Column("id", INTEGER), Column("expiry", TIMESTAMP)])
+        db.create_index("idx_expiry", "t", "expiry")
+        db.enable_ttl("t", "expiry")
+        plan = db.explain("t", Cmp("expiry", "<=", 1.0))
+        assert "idx_expiry" in plan
+        db.close()
+
+    def test_enable_ttl_validates_column(self, db):
+        with pytest.raises(CatalogError):
+            db.enable_ttl("users", "ghost")
+
+
+class TestIntrospection:
+    def test_table_stats_shape(self, db):
+        _fill(db, 5)
+        stats = db.table_stats("users")
+        assert stats["live_rows"] == 5
+        assert stats["heap_bytes"] > 0
+        assert "users_pkey" in stats["index_bytes"]
+
+    def test_disk_usage_totals(self, db):
+        _fill(db, 5)
+        usage = db.disk_usage()
+        assert usage["total_bytes"] == (
+            usage["heap_bytes"] + usage["index_bytes"]
+            + usage["wal_bytes"] + usage["csvlog_bytes"]
+        )
+
+    def test_info_features(self):
+        db = Database(MiniSQLConfig())
+        db.create_table("t", [Column("id", INTEGER)])
+        info = db.info()
+        assert info["gdpr_features"]["metadata_indexing"] is False
+        db.create_index("idx", "t", "id")
+        assert db.info()["gdpr_features"]["metadata_indexing"] is True
+        db.close()

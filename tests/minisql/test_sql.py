@@ -1,0 +1,133 @@
+"""Tests for the tiny SQL front-end."""
+
+import pytest
+
+from repro.common.errors import CatalogError, ParseError
+from repro.minisql import Database
+from repro.minisql.sql import execute, tokenize
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    execute(database, "CREATE TABLE t (id INTEGER NOT NULL, name TEXT, "
+                      "tags TEXT_LIST, score FLOAT, PRIMARY KEY (id))")
+    yield database
+    database.close()
+
+
+class TestTokenizer:
+    def test_basic_statement(self):
+        assert tokenize("SELECT a FROM t WHERE x = 1") == \
+            ["SELECT", "a", "FROM", "t", "WHERE", "x", "=", "1"]
+
+    def test_string_literals_with_escapes(self):
+        tokens = tokenize("x = 'it''s'")
+        assert tokens == ["x", "=", "'it''s'"]
+
+    def test_numbers_and_operators(self):
+        assert tokenize("a <= -2.5") == ["a", "<=", "-2.5"]
+        assert tokenize("a != 3") == ["a", "!=", "3"]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @ FROM t")
+
+
+class TestStatements:
+    def test_insert_and_select(self, db):
+        rid = execute(db, "INSERT INTO t (id, name, score) VALUES (1, 'alice', 9.5)")
+        assert isinstance(rid, int)
+        rows = execute(db, "SELECT name, score FROM t WHERE id = 1")
+        assert rows == [{"name": "alice", "score": 9.5}]
+
+    def test_select_star_and_count(self, db):
+        execute(db, "INSERT INTO t (id, name) VALUES (1, 'a')")
+        execute(db, "INSERT INTO t (id, name) VALUES (2, 'b')")
+        assert len(execute(db, "SELECT * FROM t")[0]) == 4
+        assert execute(db, "SELECT COUNT(*) FROM t") == 2
+        assert execute(db, "SELECT COUNT(*) FROM t WHERE name = 'a'") == 1
+
+    def test_order_limit(self, db):
+        for i in range(5):
+            execute(db, f"INSERT INTO t (id, name) VALUES ({i}, 'u{i}')")
+        rows = execute(db, "SELECT id FROM t ORDER BY id DESC LIMIT 2")
+        assert [r["id"] for r in rows] == [4, 3]
+
+    def test_update_delete(self, db):
+        execute(db, "INSERT INTO t (id, name) VALUES (1, 'a')")
+        execute(db, "INSERT INTO t (id, name) VALUES (2, 'b')")
+        assert execute(db, "UPDATE t SET name = 'z' WHERE id = 2") == 1
+        assert execute(db, "DELETE FROM t WHERE name = 'z'") == 1
+        assert execute(db, "SELECT COUNT(*) FROM t") == 1
+
+    def test_where_grammar(self, db):
+        for i in range(10):
+            execute(db, f"INSERT INTO t (id, name, score) VALUES ({i}, 'u{i % 2}', {i}.0)")
+        assert execute(db, "SELECT COUNT(*) FROM t WHERE id >= 5 AND name = 'u1'") == 3
+        assert execute(db, "SELECT COUNT(*) FROM t WHERE id = 0 OR id = 9") == 2
+        assert execute(db, "SELECT COUNT(*) FROM t WHERE NOT (id < 8)") == 2
+        assert execute(db, "SELECT COUNT(*) FROM t WHERE id IN (1, 2, 99)") == 2
+        assert execute(db, "SELECT COUNT(*) FROM t WHERE name LIKE 'u*'") == 10
+        assert execute(db, "SELECT COUNT(*) FROM t WHERE score IS NOT NULL") == 10
+
+    def test_is_null(self, db):
+        execute(db, "INSERT INTO t (id) VALUES (1)")
+        assert execute(db, "SELECT COUNT(*) FROM t WHERE name IS NULL") == 1
+
+    def test_contains_on_text_list(self, db):
+        execute(db, "INSERT INTO t (id, tags) VALUES (1, 'ads,2fa')")
+        execute(db, "INSERT INTO t (id, tags) VALUES (2, 'ads')")
+        assert execute(db, "SELECT COUNT(*) FROM t WHERE CONTAINS(tags, '2fa')") == 1
+
+    def test_create_drop_index_and_explain(self, db):
+        execute(db, "CREATE INDEX idx_name ON t (name)")
+        plan = execute(db, "EXPLAIN SELECT * FROM t WHERE name = 'a'")
+        assert "idx_name" in plan
+        execute(db, "DROP INDEX idx_name")
+        plan = execute(db, "EXPLAIN SELECT * FROM t WHERE name = 'a'")
+        assert plan.startswith("SeqScan")
+
+    def test_unique_index(self, db):
+        execute(db, "CREATE UNIQUE INDEX uq_name ON t (name)")
+        execute(db, "INSERT INTO t (id, name) VALUES (1, 'solo')")
+        from repro.common.errors import ConstraintError
+        with pytest.raises(ConstraintError):
+            execute(db, "INSERT INTO t (id, name) VALUES (2, 'solo')")
+
+    def test_vacuum(self, db):
+        execute(db, "INSERT INTO t (id) VALUES (1)")
+        execute(db, "DELETE FROM t WHERE id = 1")
+        assert execute(db, "VACUUM t") == 1
+        assert execute(db, "VACUUM") == 0
+
+    def test_drop_table(self, db):
+        execute(db, "DROP TABLE t")
+        with pytest.raises(CatalogError):
+            execute(db, "SELECT * FROM t")
+
+    def test_null_literal(self, db):
+        execute(db, "INSERT INTO t (id, name) VALUES (1, NULL)")
+        assert execute(db, "SELECT name FROM t WHERE id = 1") == [{"name": None}]
+
+
+class TestParseErrors:
+    def test_mismatched_insert_counts(self, db):
+        with pytest.raises(ParseError):
+            execute(db, "INSERT INTO t (id, name) VALUES (1)")
+
+    def test_unknown_statement(self, db):
+        with pytest.raises(ParseError):
+            execute(db, "TRUNCATE t")
+
+    def test_unterminated_where(self, db):
+        with pytest.raises(ParseError):
+            execute(db, "SELECT * FROM t WHERE id =")
+
+    def test_bad_limit(self, db):
+        with pytest.raises(ParseError):
+            execute(db, "SELECT * FROM t LIMIT 'five'")
+
+    def test_bad_operator(self, db):
+        with pytest.raises(ParseError):
+            execute(db, "SELECT * FROM t WHERE id ~ 3")

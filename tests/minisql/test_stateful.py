@@ -1,0 +1,153 @@
+"""Model-based stateful testing: minisql Database vs a plain-Python model.
+
+Hypothesis drives random DML sequences (insert / update / delete / vacuum /
+index DDL) against a real Database and a dict model simultaneously; after
+every step the visible state must match, regardless of which access path
+the planner picked.  This is the strongest correctness net over the
+planner + index-maintenance + MVCC + autovacuum machinery.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.common.errors import ConstraintError
+from repro.minisql import (
+    Cmp,
+    Column,
+    Contains,
+    Database,
+    INTEGER,
+    TEXT,
+    TEXT_LIST,
+)
+
+_TAGS = ("red", "green", "blue")
+_NAMES = ("ann", "bob", "cyd")
+
+
+class DatabaseModelMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.db = Database()
+        self.db.create_table(
+            "t",
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("name", TEXT),
+                Column("tags", TEXT_LIST),
+            ],
+            primary_key="id",
+        )
+        self.model: dict[int, tuple] = {}  # id -> (name, tags)
+        self.indexed = set()
+
+    # -- DDL ----------------------------------------------------------------
+
+    @rule(column=st.sampled_from(["name", "tags"]))
+    def create_index(self, column):
+        name = f"idx_{column}"
+        if name in self.indexed:
+            return
+        self.db.create_index(name, "t", column)
+        self.indexed.add(name)
+
+    @rule(column=st.sampled_from(["name", "tags"]))
+    def drop_index(self, column):
+        name = f"idx_{column}"
+        if name not in self.indexed:
+            return
+        self.db.drop_index(name)
+        self.indexed.remove(name)
+
+    # -- DML ----------------------------------------------------------------
+
+    @rule(
+        row_id=st.integers(0, 25),
+        name=st.sampled_from(_NAMES),
+        tags=st.lists(st.sampled_from(_TAGS), max_size=2, unique=True),
+    )
+    def insert(self, row_id, name, tags):
+        if row_id in self.model:
+            with pytest.raises(ConstraintError):
+                self.db.insert("t", {"id": row_id, "name": name, "tags": tags})
+        else:
+            self.db.insert("t", {"id": row_id, "name": name, "tags": tags})
+            self.model[row_id] = (name, tuple(tags))
+
+    @rule(name=st.sampled_from(_NAMES), new_name=st.sampled_from(_NAMES))
+    def update_by_name(self, name, new_name):
+        changed = self.db.update("t", {"name": new_name}, Cmp("name", "=", name))
+        expected = [rid for rid, (n, _) in self.model.items() if n == name]
+        assert changed == len(expected)
+        for rid in expected:
+            self.model[rid] = (new_name, self.model[rid][1])
+
+    @rule(tag=st.sampled_from(_TAGS), tags=st.lists(st.sampled_from(_TAGS), max_size=2, unique=True))
+    def update_tags_by_tag(self, tag, tags):
+        changed = self.db.update("t", {"tags": tags}, Contains("tags", tag))
+        expected = [rid for rid, (_, t) in self.model.items() if tag in t]
+        assert changed == len(expected)
+        for rid in expected:
+            self.model[rid] = (self.model[rid][0], tuple(tags))
+
+    @rule(row_id=st.integers(0, 25))
+    def delete_by_id(self, row_id):
+        deleted = self.db.delete("t", Cmp("id", "=", row_id))
+        assert deleted == (1 if row_id in self.model else 0)
+        self.model.pop(row_id, None)
+
+    @rule(name=st.sampled_from(_NAMES))
+    def delete_by_name(self, name):
+        deleted = self.db.delete("t", Cmp("name", "=", name))
+        expected = [rid for rid, (n, _) in self.model.items() if n == name]
+        assert deleted == len(expected)
+        for rid in expected:
+            del self.model[rid]
+
+    @rule()
+    def vacuum(self):
+        self.db.vacuum("t")
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def full_table_matches_model(self):
+        rows = {
+            row["id"]: (row["name"], tuple(row["tags"] or ()))
+            for row in self.db.select("t")
+        }
+        assert rows == self.model
+
+    @invariant()
+    def point_lookups_match_model(self):
+        for probe in (0, 7, 25):
+            rows = self.db.select("t", Cmp("id", "=", probe))
+            if probe in self.model:
+                assert len(rows) == 1
+                assert rows[0]["name"] == self.model[probe][0]
+            else:
+                assert rows == []
+
+    @invariant()
+    def tag_queries_match_model(self):
+        for tag in _TAGS:
+            got = {row["id"] for row in self.db.select("t", Contains("tags", tag))}
+            expected = {rid for rid, (_, tags) in self.model.items() if tag in tags}
+            assert got == expected
+
+    def teardown(self):
+        if hasattr(self, "db"):
+            self.db.close()
+
+
+TestDatabaseModel = DatabaseModelMachine.TestCase
+TestDatabaseModel.settings = settings(max_examples=40, stateful_step_count=30,
+                                      deadline=None)

@@ -1,0 +1,172 @@
+"""Tests for minisql column types, schemas and the catalog."""
+
+import pytest
+
+from repro.common.errors import CatalogError, TypeMismatchError
+from repro.minisql.schema import Catalog, Column, IndexInfo, TableSchema
+from repro.minisql.types import (
+    BYTES,
+    FLOAT,
+    INTEGER,
+    TEXT,
+    TEXT_LIST,
+    TIMESTAMP,
+    type_by_name,
+)
+
+
+class TestTypes:
+    def test_integer_accepts_ints_only(self):
+        assert INTEGER.validate(5) == 5
+        for bad in (5.0, "5", True, None):
+            with pytest.raises(TypeMismatchError):
+                INTEGER.validate(bad)
+
+    def test_float_coerces_ints(self):
+        assert FLOAT.validate(5) == 5.0
+        assert FLOAT.validate(2.5) == 2.5
+        with pytest.raises(TypeMismatchError):
+            FLOAT.validate("2.5")
+        with pytest.raises(TypeMismatchError):
+            FLOAT.validate(True)
+
+    def test_text(self):
+        assert TEXT.validate("hello") == "hello"
+        with pytest.raises(TypeMismatchError):
+            TEXT.validate(b"hello")
+
+    def test_bytes(self):
+        assert BYTES.validate(b"x") == b"x"
+        assert BYTES.validate(bytearray(b"x")) == b"x"
+        with pytest.raises(TypeMismatchError):
+            BYTES.validate("x")
+
+    def test_timestamp(self):
+        assert TIMESTAMP.validate(5) == 5.0
+        with pytest.raises(TypeMismatchError):
+            TIMESTAMP.validate("5")
+
+    def test_text_list_from_string_and_sequence(self):
+        assert TEXT_LIST.validate("a,b") == ("a", "b")
+        assert TEXT_LIST.validate(["a", "b"]) == ("a", "b")
+        assert TEXT_LIST.validate("") == ()
+        assert TEXT_LIST.validate(()) == ()
+
+    def test_text_list_rejects_commas_in_tokens(self):
+        with pytest.raises(TypeMismatchError):
+            TEXT_LIST.validate(["a,b"])
+        with pytest.raises(TypeMismatchError):
+            TEXT_LIST.validate([1, 2])
+
+    def test_storage_bytes_scale_with_content(self):
+        assert TEXT.storage_bytes("abcd") > TEXT.storage_bytes("a")
+        assert TEXT_LIST.storage_bytes(("abc", "de")) > TEXT_LIST.storage_bytes(("a",))
+        assert INTEGER.storage_bytes(1) == 8
+
+    def test_type_by_name(self):
+        assert type_by_name("integer") is INTEGER
+        assert type_by_name("TEXT_LIST") is TEXT_LIST
+        with pytest.raises(TypeMismatchError):
+            type_by_name("VARCHAR")
+
+
+class TestColumn:
+    def test_nullable_accepts_none(self):
+        assert Column("c", TEXT).validate(None) is None
+
+    def test_not_null_rejects_none(self):
+        with pytest.raises(TypeMismatchError):
+            Column("c", TEXT, nullable=False).validate(None)
+
+
+class TestTableSchema:
+    def _schema(self):
+        return TableSchema(
+            "t",
+            [Column("id", INTEGER, nullable=False), Column("name", TEXT)],
+            primary_key="id",
+        )
+
+    def test_column_lookup(self):
+        schema = self._schema()
+        assert schema.column_index("id") == 0
+        assert schema.column("name").type is TEXT
+        with pytest.raises(CatalogError):
+            schema.column_index("missing")
+
+    def test_validate_row_fills_missing_with_null(self):
+        schema = self._schema()
+        assert schema.validate_row({"id": 1}) == (1, None)
+
+    def test_validate_row_rejects_unknown_columns(self):
+        with pytest.raises(CatalogError):
+            self._schema().validate_row({"id": 1, "ghost": 2})
+
+    def test_validate_row_enforces_not_null(self):
+        with pytest.raises(TypeMismatchError):
+            self._schema().validate_row({"name": "x"})  # id missing
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", TEXT), Column("a", TEXT)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [])
+
+    def test_pk_must_be_a_column(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", TEXT)], primary_key="b")
+
+    def test_row_bytes_counts_header_and_values(self):
+        schema = self._schema()
+        small = schema.row_bytes((1, "a"))
+        big = schema.row_bytes((1, "a" * 100))
+        assert big - small == 99
+        assert small >= 24  # header
+
+
+class TestCatalog:
+    def test_table_lifecycle(self):
+        catalog = Catalog()
+        schema = TableSchema("t", [Column("a", TEXT)])
+        catalog.add_table(schema)
+        assert catalog.table("t") is schema
+        assert catalog.tables() == ["t"]
+        with pytest.raises(CatalogError):
+            catalog.add_table(schema)
+        catalog.drop_table("t")
+        with pytest.raises(CatalogError):
+            catalog.table("t")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+
+    def test_index_lifecycle(self):
+        catalog = Catalog()
+        catalog.add_table(TableSchema("t", [Column("a", TEXT)]))
+        info = IndexInfo("idx_a", "t", "a", "btree")
+        catalog.add_index(info)
+        assert catalog.index("idx_a") is info
+        assert catalog.indices_for("t") == [info]
+        with pytest.raises(CatalogError):
+            catalog.add_index(info)
+        catalog.drop_index("idx_a")
+        assert catalog.indices_for("t") == []
+        with pytest.raises(CatalogError):
+            catalog.drop_index("idx_a")
+
+    def test_index_validates_table_and_column(self):
+        catalog = Catalog()
+        catalog.add_table(TableSchema("t", [Column("a", TEXT)]))
+        with pytest.raises(CatalogError):
+            catalog.add_index(IndexInfo("i", "ghost", "a", "btree"))
+        with pytest.raises(CatalogError):
+            catalog.add_index(IndexInfo("i", "t", "ghost", "btree"))
+
+    def test_drop_table_drops_its_indices(self):
+        catalog = Catalog()
+        catalog.add_table(TableSchema("t", [Column("a", TEXT)]))
+        catalog.add_index(IndexInfo("idx_a", "t", "a", "btree"))
+        catalog.drop_table("t")
+        with pytest.raises(CatalogError):
+            catalog.index("idx_a")
