@@ -2,6 +2,9 @@
 
 Paper: (a) YCSB-C completion is flat from 10K to 10M records; (b) GDPR
 customer-workload completion grows linearly from 100K to 500K records.
+
+Extension: a thread-count sweep comparing the paper's single-event-loop
+execution model against the lock-striped + pipelined minikv hot path.
 """
 
 from conftest import report, run_once
@@ -37,3 +40,14 @@ def test_fig7b_gdpr_point(benchmark):
         rounds=1, iterations=1,
     )
     assert seconds > 0
+
+
+def test_fig7_thread_scaling_striped_vs_single_lock(benchmark):
+    result = run_once(benchmark, scale.redis_thread_scaling)
+    report(result)
+    by_series = {}
+    for row in result.rows:
+        by_series.setdefault(row["series"], {})[row["threads"]] = row["ops_s"]
+    # The striped + pipelined engine must clearly beat the single event
+    # loop once the bench drives it with the paper's thread counts.
+    assert by_series["striped+pipelined"][8] > by_series["single-lock"][8]

@@ -68,42 +68,122 @@ def run_workload(
     threads: int = 1,
     workload_name: str = "unnamed",
     measure_space: bool = False,
+    batch_size: int = 1,
 ) -> RunReport:
     """Execute pre-generated operations against ``client`` with a thread pool.
 
     Exceptions raised by an operation count as failures (and incorrect
     responses), mirroring how YCSB tallies errored operations; the run
     itself always completes.
+
+    ``batch_size > 1`` enables command pipelining: when the client exposes
+    a ``pipeline()`` factory and declares the operation batchable (its
+    name is in ``client.PIPELINE_OP_NAMES``), each worker drains up to
+    ``batch_size`` operations, queues them on one pipeline, and executes
+    the batch as a single round-trip.  Non-batchable operations flush the
+    pending batch and run singly, so mixed workloads stay correct.  Batch
+    latency is apportioned evenly across its operations.
     """
     if threads < 1:
         raise BenchmarkError("need at least one thread")
+    if batch_size < 1:
+        raise BenchmarkError("batch_size must be >= 1")
     stats = StatsCollector()
-    work: queue.SimpleQueue = queue.SimpleQueue()
-    for op in operations:
-        work.put(op)
     correct_lock = threading.Lock()
     tally = {"correct": 0, "failed": 0}
+
+    batchable_names = (
+        getattr(client, "PIPELINE_OP_NAMES", frozenset())
+        if batch_size > 1 and hasattr(client, "pipeline")
+        else frozenset()
+    )
+
+    # Pre-chunk pipelineable stretches so workers dequeue whole batches
+    # (one queue round-trip per batch, preserving per-chunk issue order);
+    # non-batchable operations stay single items.
+    work: queue.SimpleQueue = queue.SimpleQueue()
+    if batchable_names:
+        chunk: list[Operation] = []
+        for op in operations:
+            if op.name in batchable_names:
+                chunk.append(op)
+                if len(chunk) >= batch_size:
+                    work.put(chunk)
+                    chunk = []
+            else:
+                if chunk:
+                    work.put(chunk)
+                    chunk = []
+                work.put(op)
+        if chunk:
+            work.put(chunk)
+    else:
+        for op in operations:
+            work.put(op)
+
+    def tally_result(op: Operation, latency_us: float, ok: bool, error: bool) -> None:
+        stats.record(op.name, latency_us, success=not error)
+        with correct_lock:
+            if ok:
+                tally["correct"] += 1
+            if error:
+                tally["failed"] += 1
+
+    def run_single(op: Operation) -> None:
+        started = time.perf_counter()
+        try:
+            _, ok = op.run(client)
+            error = False
+        except Exception:
+            ok = False
+            error = True
+        tally_result(op, (time.perf_counter() - started) * 1e6, ok, error)
+
+    def run_batch(batch: list[Operation]) -> None:
+        if len(batch) == 1:
+            return run_single(batch[0])
+        started = time.perf_counter()
+        try:
+            pipe = client.pipeline()
+            for op in batch:
+                op.execute(pipe)
+            responses = pipe.execute()
+            errored = False
+        except Exception:
+            responses = ()
+            errored = True
+        per_op_us = (time.perf_counter() - started) * 1e6 / len(batch)
+        # One stats/tally update per operation type, not per operation.
+        if errored:
+            per_name: dict[str, int] = {}
+            for op in batch:
+                per_name[op.name] = per_name.get(op.name, 0) + 1
+            for name, failed_count in per_name.items():
+                stats.record_batch(name, per_op_us, 0, failed_count)
+            with correct_lock:
+                tally["failed"] += len(batch)
+            return
+        correct = 0
+        per_name = {}
+        for op, response in zip(batch, responses):
+            per_name[op.name] = per_name.get(op.name, 0) + 1
+            if op.validate(response):
+                correct += 1
+        for name, ok_count in per_name.items():
+            stats.record_batch(name, per_op_us, ok_count)
+        with correct_lock:
+            tally["correct"] += correct
 
     def worker() -> None:
         while True:
             try:
-                op = work.get_nowait()
+                item = work.get_nowait()
             except queue.Empty:
                 return
-            started = time.perf_counter()
-            try:
-                _, ok = op.run(client)
-                error = False
-            except Exception:
-                ok = False
-                error = True
-            latency_us = (time.perf_counter() - started) * 1e6
-            stats.record(op.name, latency_us, success=not error)
-            with correct_lock:
-                if ok:
-                    tally["correct"] += 1
-                if error:
-                    tally["failed"] += 1
+            if type(item) is list:
+                run_batch(item)
+            else:
+                run_single(item)
 
     began = time.perf_counter()
     stats.start(0.0)
@@ -128,3 +208,36 @@ def run_workload(
         stats=stats,
         space_overhead=client.space_overhead() if measure_space else None,
     )
+
+
+def run_thread_sweep(
+    client_factory,
+    operations_factory,
+    thread_counts=(1, 2, 4, 8),
+    batch_size: int = 1,
+    workload_name: str = "sweep",
+) -> list[RunReport]:
+    """Run the same workload across a thread-count sweep (Figure 7 style).
+
+    ``client_factory()`` builds (and loads) a fresh client per point so
+    runs don't contaminate each other; ``operations_factory(client)``
+    returns the pre-generated operation list for that client.  Returns one
+    :class:`RunReport` per thread count, in order.
+    """
+    reports = []
+    for threads in thread_counts:
+        client = client_factory()
+        try:
+            operations = operations_factory(client)
+            reports.append(
+                run_workload(
+                    client,
+                    operations,
+                    threads=threads,
+                    workload_name=f"{workload_name}@{threads}t",
+                    batch_size=batch_size,
+                )
+            )
+        finally:
+            client.close()
+    return reports

@@ -27,6 +27,8 @@ class GDPRBenchConfig:
     operation_count: int = 1000
     threads: int = 8       # the paper runs GDPRbench with 8 threads
     seed: int = 11
+    #: extra client-constructor knobs (e.g. ``stripes``/``client_indices``)
+    client_kwargs: dict = field(default_factory=dict)
 
 
 class GDPRBenchSession:
@@ -34,7 +36,9 @@ class GDPRBenchSession:
 
     def __init__(self, config: GDPRBenchConfig, client=None) -> None:
         self.config = config
-        self.client = client or make_client(config.engine, config.features)
+        self.client = client or make_client(
+            config.engine, config.features, **config.client_kwargs
+        )
         self.records = generate_corpus(config.corpus)
         self.loaded = False
 
@@ -86,6 +90,11 @@ class YCSBSessionConfig:
     features: FeatureSet = field(default_factory=FeatureSet.none)
     ycsb: ycsb_mod.YCSBConfig = field(default_factory=ycsb_mod.YCSBConfig)
     threads: int = 16
+    #: command-pipelining batch per worker (1 = one round trip per op)
+    batch_size: int = 1
+    #: extra client-constructor knobs (e.g. ``stripes``/``aof_batch_size``
+    #: for the lock-striped minikv engine)
+    client_kwargs: dict = field(default_factory=dict)
 
 
 class YCSBSession:
@@ -93,14 +102,17 @@ class YCSBSession:
 
     def __init__(self, config: YCSBSessionConfig, client=None) -> None:
         self.config = config
-        self.client = client or make_client(config.engine, config.features)
+        self.client = client or make_client(
+            config.engine, config.features, **config.client_kwargs
+        )
         self.loaded = False
         self._next_insert_key = config.ycsb.record_count
 
     def load(self) -> RunReport:
         operations = ycsb_mod.load_operations(self.config.ycsb)
         report = run_workload(
-            self.client, operations, threads=self.config.threads, workload_name="load"
+            self.client, operations, threads=self.config.threads,
+            workload_name="load", batch_size=self.config.batch_size,
         )
         self.loaded = True
         return report
@@ -118,7 +130,7 @@ class YCSBSession:
         self._next_insert_key += inserts
         return run_workload(
             self.client, operations, threads=self.config.threads,
-            workload_name=f"ycsb-{spec.name}",
+            workload_name=f"ycsb-{spec.name}", batch_size=self.config.batch_size,
         )
 
     def close(self) -> None:

@@ -16,6 +16,20 @@ Mirrors how GDPRbench drives Redis (Section 5.1):
 
 YCSB rows live in hashes at ``user:<key>``; an in-client sorted key list
 plays the role the YCSB Redis binding gives to a ZSET index for scans.
+
+Scaling retrofits (the ROADMAP's production-engine track):
+
+* ``client_indices=True`` maintains SET reverse indices on USR, PUR, OBJ,
+  DEC, and SHR (plus a ``midx:keys`` master set so negative queries like
+  READ-DATA-BY-OBJ resolve as a set difference), the §7.2
+  "efficient metadata indexing" challenge;
+* multi-record queries (delete-by-usr/pur, indexed reads, metadata group
+  updates) run through engine **pipelines**: one multi-stripe lock
+  acquisition, one AOF group commit, and one wire round-trip per batch
+  instead of per record;
+* :meth:`RedisGDPRClient.pipeline` exposes the same batching for YCSB
+  read/update/insert streams, and ``stripes``/``aof_batch_size`` forward
+  the engine's lock-striping and fsync group-commit knobs.
 """
 
 from __future__ import annotations
@@ -40,12 +54,99 @@ from .base import FeatureSet, GDPRClient, normalise_attribute
 _REC_PREFIX = "rec:"
 _YCSB_PREFIX = "user:"
 _SCAN_BATCH = 256
+#: Max commands per engine pipeline: bounds multi-stripe lock hold time.
+_PIPELINE_CHUNK = 256
+
+
+class RedisClientPipeline:
+    """Client-side command batch over the engine pipeline.
+
+    Queues YCSB primitives and executes them as one engine pipeline with a
+    single request and a single response crossing the (possibly TLS) wire
+    — the client half of Redis pipelining.  Queueing methods return
+    ``None`` placeholders; :meth:`execute` returns the real responses in
+    queue order.
+    """
+
+    def __init__(self, client: "RedisGDPRClient") -> None:
+        self._client = client
+        self._ops: list[tuple[str, str, object]] = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def ycsb_read(self, key: str, fields: Sequence[str] | None = None) -> None:
+        self._ops.append(("read", key, fields))
+
+    def ycsb_update(self, key: str, fields: dict) -> None:
+        self._ops.append(("update", key, fields))
+
+    def ycsb_insert(self, key: str, fields: dict) -> None:
+        self._ops.append(("insert", key, fields))
+
+    def execute(self) -> list:
+        ops, self._ops = self._ops, []
+        if not ops:
+            return []
+        client = self._client
+        # One request round-trip carries the whole batch.
+        client._wire([(kind, key) for kind, key, _ in ops])
+        arm_ttl = client.features.timely_deletion
+        pipe = client.engine.pipeline()
+        for kind, key, payload in ops:
+            redis_key = _YCSB_PREFIX + key
+            if kind == "read":
+                pipe.hgetall(redis_key)
+            elif kind == "update":
+                pipe.hmset_if_exists(
+                    redis_key, {f: v.encode() for f, v in payload.items()}
+                )
+            else:  # insert
+                pipe.hmset(redis_key, {f: v.encode() for f, v in payload.items()})
+                if arm_ttl:
+                    pipe.expire(redis_key, client.YCSB_TTL_SECONDS)
+        raw = pipe.execute()
+        responses: list = []
+        inserted: list[str] = []
+        slot = 0
+        for kind, key, payload in ops:
+            result = raw[slot]
+            slot += 1
+            if kind == "read":
+                if not result:
+                    responses.append(None)
+                elif payload is None:
+                    responses.append({f: v.decode() for f, v in result.items()})
+                else:
+                    responses.append({
+                        f: v.decode() for f, v in result.items() if f in payload
+                    })
+            elif kind == "update":
+                responses.append(result)
+            else:
+                if arm_ttl:
+                    slot += 1  # the paired EXPIRE result
+                inserted.append(key)
+                responses.append(None)
+        if inserted:
+            with client._ycsb_keys_lock:
+                for key in inserted:
+                    idx = bisect.bisect_left(client._ycsb_keys, key)
+                    if idx >= len(client._ycsb_keys) or client._ycsb_keys[idx] != key:
+                        client._ycsb_keys.insert(idx, key)
+        # ...and one response round-trip carries every result back.
+        client._wire(responses)
+        return responses
 
 
 class RedisGDPRClient(GDPRClient):
     """DB-interface stub translating GDPR queries into minikv commands."""
 
     engine_name = "redis"
+
+    #: Operation names the benchmark runtime may route through
+    #: :meth:`pipeline` (see :class:`RedisClientPipeline`).
+    PIPELINE_OP_NAMES = frozenset({"read", "update", "insert"})
 
     def __init__(
         self,
@@ -56,6 +157,8 @@ class RedisGDPRClient(GDPRClient):
         engine_ttl: bool = True,
         ttl_algorithm: str = "",
         client_indices: bool = False,
+        stripes: int = 1,
+        aof_batch_size: int = 1,
     ) -> None:
         super().__init__(features or FeatureSet.none())
         self.clock = clock or SystemClock()
@@ -74,6 +177,8 @@ class RedisGDPRClient(GDPRClient):
                 log_reads=self.features.monitoring,
                 expiry_seed=expiry_seed,
                 ttl_algorithm=ttl_algorithm,
+                stripes=stripes,
+                aof_batch_size=aof_batch_size,
             ),
             clock=self.clock,
         )
@@ -81,13 +186,18 @@ class RedisGDPRClient(GDPRClient):
         self._ycsb_keys: list[str] = []  # sorted; the ZSET-index analogue
         self._ycsb_keys_lock = threading.Lock()
         #: §7.2 "efficient metadata indexing" for a KV store: client-
-        #: maintained SET reverse indices on USR and PUR (how production
-        #: Redis deployments index secondary attributes).  Lookups fall
-        #: back to SCAN for unindexed attributes; stale entries left by
-        #: engine-side TTL expiry are cleaned lazily on read.
+        #: maintained SET reverse indices on USR, PUR, OBJ, DEC, and SHR
+        #: (how production Redis deployments index secondary attributes),
+        #: plus a master key set for negative queries.  Lookups fall back
+        #: to SCAN when indices are off; stale entries left by engine-side
+        #: TTL expiry are cleaned lazily on read.
         self._client_indices = client_indices
         if client_indices:
             self.features.metadata_indexing = True
+
+    def pipeline(self) -> RedisClientPipeline:
+        """A client command batch (one engine pipeline + one wire trip)."""
+        return RedisClientPipeline(self)
 
     # ------------------------------------------------------------------
     # Wire helpers (the Stunnel boundary)
@@ -155,36 +265,90 @@ class RedisGDPRClient(GDPRClient):
     def _pur_index(purpose: str) -> str:
         return f"midx:pur:{purpose}"
 
-    def _index_add(self, record: PersonalRecord) -> None:
-        member = record.key.encode()
-        self.engine.sadd(self._usr_index(record.user), member)
-        for purpose in record.purposes:
-            self.engine.sadd(self._pur_index(purpose), member)
+    @staticmethod
+    def _obj_index(purpose: str) -> str:
+        return f"midx:obj:{purpose}"
 
-    def _index_remove(self, record: PersonalRecord) -> None:
+    @staticmethod
+    def _dec_index(decision: str) -> str:
+        return f"midx:dec:{decision}"
+
+    @staticmethod
+    def _shr_index(third_party: str) -> str:
+        return f"midx:shr:{third_party}"
+
+    @staticmethod
+    def _all_index() -> str:
+        """Master SET of every record key: the universe for negative
+        queries (READ-DATA-BY-OBJ keeps records NOT objecting)."""
+        return "midx:keys"
+
+    def _index_keys(self, record: PersonalRecord) -> list[str]:
+        """Every reverse-index SET a record belongs to."""
+        keys = [self._all_index(), self._usr_index(record.user)]
+        keys.extend(self._pur_index(p) for p in record.purposes)
+        keys.extend(self._obj_index(o) for o in record.objections)
+        keys.extend(self._dec_index(d) for d in record.decisions)
+        keys.extend(self._shr_index(s) for s in record.shared_with)
+        return keys
+
+    def _index_add(self, record: PersonalRecord, pipe=None) -> None:
         member = record.key.encode()
-        self.engine.srem(self._usr_index(record.user), member)
-        for purpose in record.purposes:
-            self.engine.srem(self._pur_index(purpose), member)
+        own_pipe = pipe is None
+        if own_pipe:
+            pipe = self.engine.pipeline()
+        for index_key in self._index_keys(record):
+            pipe.sadd(index_key, member)
+        if own_pipe:
+            pipe.execute()
+
+    def _index_remove(self, record: PersonalRecord, pipe=None) -> None:
+        member = record.key.encode()
+        own_pipe = pipe is None
+        if own_pipe:
+            pipe = self.engine.pipeline()
+        for index_key in self._index_keys(record):
+            pipe.srem(index_key, member)
+        if own_pipe:
+            pipe.execute()
+
+    def _fetch_member_records(
+        self, members, stale_index_key: str
+    ) -> list[PersonalRecord]:
+        """Pipelined fetch of the records behind index SET ``members``.
+
+        Each chunk of HGETALLs runs as one engine pipeline and its
+        responses cross the wire as one payload.  Entries whose hash has
+        vanished (engine-side TTL expiry or races) are stale; they are
+        dropped from ``stale_index_key`` lazily here.
+        """
+        members = list(members)
+        out: list[PersonalRecord] = []
+        stale: list[bytes] = []
+        for start in range(0, len(members), _PIPELINE_CHUNK):
+            chunk = members[start:start + _PIPELINE_CHUNK]
+            pipe = self.engine.pipeline()
+            for member in chunk:
+                pipe.hgetall(_REC_PREFIX + member.decode())
+            responses = pipe.execute()
+            live = []
+            for member, fields in zip(chunk, responses):
+                if not fields:
+                    stale.append(member)
+                    continue
+                live.append(fields)
+                out.append(self._record_from_fields(member.decode(), fields))
+            if live:
+                self._wire(live)  # one response round-trip per chunk
+        if stale:
+            self.engine.srem(stale_index_key, *stale)  # lazy cleanup
+        return out
 
     def _indexed_records(self, index_key: str) -> list[PersonalRecord] | None:
-        """Records behind one reverse-index SET, or None if indices are off.
-
-        Entries whose hash has vanished (engine-side TTL expiry or races)
-        are stale; they are dropped from the SET lazily here.
-        """
+        """Records behind one reverse-index SET, or None if indices are off."""
         if not self._client_indices:
             return None
-        out = []
-        for member in self.engine.smembers(index_key):
-            key = member.decode()
-            fields = self.engine.hgetall(_REC_PREFIX + key)
-            if not fields:
-                self.engine.srem(index_key, member)  # lazy cleanup
-                continue
-            self._wire(fields)
-            out.append(self._record_from_fields(key, fields))
-        return out
+        return self._fetch_member_records(self.engine.smembers(index_key), index_key)
 
     def _store(self, record: PersonalRecord) -> None:
         expiry_at = self.clock.now() + record.ttl_seconds
@@ -262,12 +426,22 @@ class RedisGDPRClient(GDPRClient):
         return deleted
 
     def _delete_records(self, victims: list[PersonalRecord]) -> int:
+        """Erase a victim list in pipelined chunks (one lock + one group
+        commit per chunk).  Index removals are queued unconditionally: if
+        the record vanished concurrently its index entries are stale
+        anyway, and SREM on a gone member is a no-op."""
         deleted = 0
-        for record in victims:
-            removed = self.engine.delete(_REC_PREFIX + record.key)
-            if removed and self._client_indices:
-                self._index_remove(record)
-            deleted += removed
+        for start in range(0, len(victims), _PIPELINE_CHUNK):
+            chunk = victims[start:start + _PIPELINE_CHUNK]
+            pipe = self.engine.pipeline()
+            slots = []
+            for record in chunk:
+                slots.append(len(pipe))
+                pipe.delete(_REC_PREFIX + record.key)
+                if self._client_indices:
+                    self._index_remove(record, pipe=pipe)
+            results = pipe.execute()
+            deleted += sum(results[slot] for slot in slots)
         return deleted
 
     def delete_record_by_pur(self, principal: Principal, purpose: str) -> int:
@@ -335,21 +509,43 @@ class RedisGDPRClient(GDPRClient):
         self._wire(out)
         return out
 
+    def _project_records(self, principal: Principal, op: str,
+                         records, keep, metadata: bool) -> list:
+        """ACL-checked projection of a pre-fetched record list: the one
+        shared tail of every indexed READ-DATA / READ-METADATA query."""
+        self.acl.check_operation(principal, op)
+        self._wire((op,))
+        out = []
+        for record in records:
+            if keep(record):
+                if metadata:
+                    self.acl.check_metadata_access(principal, record)
+                    out.append((record.key, record.metadata()))
+                else:
+                    self.acl.check_record_access(principal, record)
+                    out.append((record.key, record.data))
+        self._wire(out)
+        return out
+
+    def _read_data_from_records(self, principal: Principal, op: str,
+                                records, keep) -> list:
+        return self._project_records(principal, op, records, keep, metadata=False)
+
     def _read_data_indexed(self, principal: Principal, op: str,
                            index_key: str, keep) -> list | None:
         """Index-assisted READ-DATA; None when indices are off."""
         records = self._indexed_records(index_key)
         if records is None:
             return None
-        self.acl.check_operation(principal, op)
-        self._wire((op,))
-        out = []
-        for record in records:
-            if keep(record):
-                self.acl.check_record_access(principal, record)
-                out.append((record.key, record.data))
-        self._wire(out)
-        return out
+        return self._project_records(principal, op, records, keep, metadata=False)
+
+    def _read_metadata_indexed(self, principal: Principal, op: str,
+                               index_key: str, keep) -> list | None:
+        """Index-assisted READ-METADATA; None when indices are off."""
+        records = self._indexed_records(index_key)
+        if records is None:
+            return None
+        return self._project_records(principal, op, records, keep, metadata=True)
 
     def read_data_by_pur(self, principal: Principal, purpose: str) -> list:
         indexed = self._read_data_indexed(
@@ -374,11 +570,29 @@ class RedisGDPRClient(GDPRClient):
         )
 
     def read_data_by_obj(self, principal: Principal, purpose: str) -> list:
+        if self._client_indices:
+            # Negative query: records NOT objecting = master set minus the
+            # objectors' reverse index, resolved client-side in O(matches).
+            members = (
+                self.engine.smembers(self._all_index())
+                - self.engine.smembers(self._obj_index(purpose))
+            )
+            records = self._fetch_member_records(members, self._all_index())
+            return self._read_data_from_records(
+                principal, "read-data-by-obj", records,
+                lambda r: purpose not in r.objections,
+            )
         return self._read_data_where(
             principal, "read-data-by-obj", lambda r: purpose not in r.objections
         )
 
     def read_data_by_dec(self, principal: Principal, decision: str) -> list:
+        indexed = self._read_data_indexed(
+            principal, "read-data-by-dec", self._dec_index(decision),
+            lambda r: decision in r.decisions,
+        )
+        if indexed is not None:
+            return indexed
         return self._read_data_where(
             principal, "read-data-by-dec", lambda r: decision in r.decisions
         )
@@ -411,22 +625,23 @@ class RedisGDPRClient(GDPRClient):
         return out
 
     def read_metadata_by_usr(self, principal: Principal, user: str) -> list:
-        records = self._indexed_records(self._usr_index(user))
-        if records is not None:
-            self.acl.check_operation(principal, "read-metadata-by-usr")
-            self._wire(("read-metadata-by-usr",))
-            out = []
-            for record in records:
-                if record.user == user:
-                    self.acl.check_metadata_access(principal, record)
-                    out.append((record.key, record.metadata()))
-            self._wire(out)
-            return out
+        indexed = self._read_metadata_indexed(
+            principal, "read-metadata-by-usr", self._usr_index(user),
+            lambda r: r.user == user,
+        )
+        if indexed is not None:
+            return indexed
         return self._read_metadata_where(
             principal, "read-metadata-by-usr", lambda r: r.user == user
         )
 
     def read_metadata_by_shr(self, principal: Principal, third_party: str) -> list:
+        indexed = self._read_metadata_indexed(
+            principal, "read-metadata-by-shr", self._shr_index(third_party),
+            lambda r: third_party in r.shared_with,
+        )
+        if indexed is not None:
+            return indexed
         return self._read_metadata_where(
             principal, "read-metadata-by-shr", lambda r: third_party in r.shared_with
         )
@@ -447,43 +662,83 @@ class RedisGDPRClient(GDPRClient):
         self._wire(written)
         return written
 
+    #: Metadata attributes carrying a reverse index:
+    #: attribute -> (old-record value accessor, index-key builder).
+    #: One table so adding an index can't drift between the two roles.
+    _INDEXED_ATTRIBUTES = {
+        "USR": (lambda record: (record.user,), _usr_index.__func__),
+        "PUR": (lambda record: record.purposes, _pur_index.__func__),
+        "OBJ": (lambda record: record.objections, _obj_index.__func__),
+        "DEC": (lambda record: record.decisions, _dec_index.__func__),
+        "SHR": (lambda record: record.shared_with, _shr_index.__func__),
+    }
+
+    def _queue_attr_reindex(self, pipe, key: str, attribute: str, canonical,
+                            old_record: PersonalRecord | None) -> None:
+        """Queue the SREM/SADD moves for one record's attribute change."""
+        member = key.encode()
+        old_values, index_key_for = self._INDEXED_ATTRIBUTES[attribute]
+        new_values = (canonical,) if attribute == "USR" else tuple(canonical)
+        if old_record is not None:
+            for value in old_values(old_record):
+                pipe.srem(index_key_for(value), member)
+        for value in new_values:
+            pipe.sadd(index_key_for(value), member)
+
     def _apply_metadata(self, key: str, attribute: str, value,
                         old_record: PersonalRecord | None = None) -> int:
+        """Single-record UPDATE-METADATA: a one-element group update, so
+        the attribute encodings live only in :meth:`_apply_metadata_batch`."""
+        record = old_record
+        if record is None or record.key != key:
+            record = self._fetch(key)
+            if record is None:
+                return 0
+        return self._apply_metadata_batch([record], attribute, value)
+
+    def _apply_metadata_batch(self, records: list[PersonalRecord],
+                              attribute: str, value) -> int:
+        """Group UPDATE-METADATA: the attribute writes for a victim chunk
+        run as one pipeline, then the follow-ups (TTL re-arm, reverse-index
+        moves) for the records actually written run as a second one."""
         attribute = attribute.upper()
         canonical = normalise_attribute(attribute, value)
-        redis_key = _REC_PREFIX + key
-        if attribute == "TTL":
-            written = self.engine.hmset_if_exists(
-                redis_key,
-                {
+        changed = 0
+        for start in range(0, len(records), _PIPELINE_CHUNK):
+            chunk = records[start:start + _PIPELINE_CHUNK]
+            pipe = self.engine.pipeline()
+            if attribute == "TTL":
+                payload = {
                     "TTL": format_ttl(canonical).encode(),
                     "EXP": repr(self.clock.now() + canonical).encode(),
-                },
-            )
-            if written and self._engine_ttl and canonical > 0:
-                self.engine.expire(redis_key, canonical)
-            return written
-        if attribute in ("USR", "SRC"):
-            written = self.engine.hset_if_exists(redis_key, attribute, canonical.encode())
-        else:
-            written = self.engine.hset_if_exists(
-                redis_key, attribute, ",".join(canonical).encode()
-            )
-        # Reverse-index maintenance for the indexed attributes.
-        if written and self._client_indices and attribute in ("USR", "PUR"):
-            member = key.encode()
-            if old_record is not None:
-                if attribute == "USR":
-                    self.engine.srem(self._usr_index(old_record.user), member)
-                else:
-                    for purpose in old_record.purposes:
-                        self.engine.srem(self._pur_index(purpose), member)
-            if attribute == "USR":
-                self.engine.sadd(self._usr_index(canonical), member)
+                }
+                for record in chunk:
+                    pipe.hmset_if_exists(_REC_PREFIX + record.key, payload)
+            elif attribute in ("USR", "SRC"):
+                for record in chunk:
+                    pipe.hset_if_exists(
+                        _REC_PREFIX + record.key, attribute, canonical.encode()
+                    )
             else:
-                for purpose in canonical:
-                    self.engine.sadd(self._pur_index(purpose), member)
-        return written
+                encoded = ",".join(canonical).encode()
+                for record in chunk:
+                    pipe.hset_if_exists(_REC_PREFIX + record.key, attribute, encoded)
+            written_flags = pipe.execute()
+            followup = self.engine.pipeline()
+            for record, written in zip(chunk, written_flags):
+                if not written:
+                    continue
+                changed += 1
+                if attribute == "TTL":
+                    if self._engine_ttl and canonical > 0:
+                        followup.expire(_REC_PREFIX + record.key, canonical)
+                elif self._client_indices and attribute in self._INDEXED_ATTRIBUTES:
+                    self._queue_attr_reindex(
+                        followup, record.key, attribute, canonical, old_record=record
+                    )
+            if len(followup):
+                followup.execute()
+        return changed
 
     def update_metadata_by_key(self, principal: Principal, key: str, attribute: str, value) -> int:
         self.acl.check_operation(principal, "update-metadata-by-key")
@@ -504,12 +759,8 @@ class RedisGDPRClient(GDPRClient):
         records = self._indexed_records(index_key) if index_key is not None else None
         if records is None:
             records = list(self._iter_records())
-        changed = 0
-        for record in records:
-            if keep(record):
-                changed += self._apply_metadata(
-                    record.key, attribute, value, old_record=record
-                )
+        victims = [record for record in records if keep(record)]
+        changed = self._apply_metadata_batch(victims, attribute, value)
         self._wire(changed)
         return changed
 
@@ -531,6 +782,7 @@ class RedisGDPRClient(GDPRClient):
         return self._update_metadata_where(
             principal, "update-metadata-by-shr",
             lambda r: third_party in r.shared_with, attribute, value,
+            index_key=self._shr_index(third_party),
         )
 
     # ------------------------------------------------------------------

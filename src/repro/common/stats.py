@@ -31,14 +31,23 @@ class Histogram:
         self._max = 0.0
 
     def record(self, latency_us: float) -> None:
+        self.record_many(latency_us, 1)
+
+    def record_many(self, latency_us: float, count: int) -> None:
+        """Record ``count`` samples sharing one latency value.
+
+        The batch-execution path apportions a pipeline's latency evenly
+        across its operations, so per-sample record() calls would add
+        identical values ``count`` times; this folds them into one update.
+        """
         if latency_us < 0:
             raise ValueError("negative latency")
-        self._n += 1
-        self._sum += latency_us
+        self._n += count
+        self._sum += latency_us * count
         self._min = min(self._min, latency_us)
         self._max = max(self._max, latency_us)
         bucket = 0 if latency_us < 1 else int(math.log(latency_us, self._GROWTH))
-        self._counts[min(bucket, self.BUCKETS - 1)] += 1
+        self._counts[min(bucket, self.BUCKETS - 1)] += count
 
     def merge(self, other: "Histogram") -> None:
         for i, c in enumerate(other._counts):
@@ -95,6 +104,11 @@ class OperationStats:
         else:
             self.failed += 1
 
+    def record_many(self, latency_us: float, ok: int, failed: int) -> None:
+        self.histogram.record_many(latency_us, ok + failed)
+        self.ok += ok
+        self.failed += failed
+
 
 class StatsCollector:
     """Thread-safe collection of per-operation stats for one workload run."""
@@ -117,6 +131,15 @@ class StatsCollector:
             if stats is None:
                 stats = self._ops[op] = OperationStats(op)
             stats.record(latency_us, success)
+
+    def record_batch(self, op: str, latency_us: float, ok: int, failed: int = 0) -> None:
+        """Record a pipelined batch: ``ok`` + ``failed`` operations of one
+        type sharing an apportioned per-operation latency."""
+        with self._lock:
+            stats = self._ops.get(op)
+            if stats is None:
+                stats = self._ops[op] = OperationStats(op)
+            stats.record_many(latency_us, ok, failed)
 
     @property
     def operations(self) -> dict[str, OperationStats]:

@@ -10,6 +10,7 @@ fig5        GDPRbench completion times, three configurations       ``fig5``
 table3      Storage space overhead (metadata explosion)            ``table3``
 fig6        YCSB vs GDPRbench representative throughput            ``fig6``
 fig7        Effect of scale, Redis (YCSB-C flat, customer linear)  ``scale``
+fig7t       Redis thread scaling, single-lock vs striped+pipelined ``scale``
 fig8        Effect of scale, PostgreSQL (muted growth)             ``scale``
 ==========  =====================================================  ==============
 """
@@ -26,6 +27,7 @@ ALL_EXPERIMENTS = {
     "table3": table3.run,
     "fig6": fig6.run,
     "fig7": scale.run_fig7,
+    "fig7t": scale.redis_thread_scaling,
     "fig8": scale.run_fig8,
 }
 

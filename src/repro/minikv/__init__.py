@@ -2,12 +2,13 @@
 
 from .aof import AOFWriter, decode_entries, encode_entry, load_aof
 from .datatypes import HashValue, SetValue, StringValue, Value
-from .engine import MiniKV, MiniKVConfig
+from .engine import MiniKV, MiniKVConfig, Pipeline
 from .expiry import (
     ExpiresIndex,
     HeapExpiryCycle,
     LazyExpiryCycle,
     StrictExpiryCycle,
+    StripedExpiresView,
     MAX_ITERATIONS_PER_TICK,
     REPEAT_THRESHOLD,
     SAMPLE_SIZE,
@@ -17,6 +18,8 @@ from .expiry import (
 __all__ = [
     "MiniKV",
     "MiniKVConfig",
+    "Pipeline",
+    "StripedExpiresView",
     "AOFWriter",
     "encode_entry",
     "decode_entries",

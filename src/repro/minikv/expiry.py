@@ -17,6 +17,13 @@ cycle, which erases everything expired within one tick (sub-second).
 Both cycles operate on an :class:`ExpiresIndex` owned by the engine and are
 driven by ``run(now)`` calls; the engine invokes them from its command path
 (and benchmarks drive them with a virtual clock to fast-forward hours).
+
+Striping: a lock-striped engine partitions the keyspace, so each stripe
+owns its *own* ExpiresIndex and cycle instance (guarded by that stripe's
+lock) — a command only ever ticks the cycle of the stripe it locked.
+:class:`StripedExpiresView` presents the per-stripe indices as one
+read-only ``expires`` dictionary for introspection and experiments, and
+:func:`aggregate_stats` folds per-stripe cycle stats into one report.
 """
 
 from __future__ import annotations
@@ -91,6 +98,40 @@ class ExpiresIndex:
         return [k for k, d in self._deadline.items() if d <= now]
 
 
+class StripedExpiresView:
+    """Read-only union of per-stripe :class:`ExpiresIndex` instances.
+
+    Keeps ``engine._expires`` introspectable (tests and the Figure 3a
+    experiment call ``all_expired``/``len``) without funnelling the hot
+    path back through one shared structure.
+    """
+
+    def __init__(self, indices: list[ExpiresIndex]) -> None:
+        self._indices = indices
+
+    def __len__(self) -> int:
+        return sum(len(index) for index in self._indices)
+
+    def __contains__(self, key: str) -> bool:
+        return any(key in index for index in self._indices)
+
+    def deadline(self, key: str) -> float | None:
+        for index in self._indices:
+            found = index.deadline(key)
+            if found is not None:
+                return found
+        return None
+
+    def is_expired(self, key: str, now: float) -> bool:
+        return any(index.is_expired(key, now) for index in self._indices)
+
+    def all_expired(self, now: float) -> list[str]:
+        out: list[str] = []
+        for index in self._indices:
+            out.extend(index.all_expired(now))
+        return out
+
+
 @dataclass
 class ExpiryCycleStats:
     ticks: int = 0
@@ -98,6 +139,21 @@ class ExpiryCycleStats:
     sampled: int = 0
     deleted: int = 0
     last_run: float = field(default=float("-inf"))
+
+
+def aggregate_stats(parts: list[ExpiryCycleStats]) -> ExpiryCycleStats:
+    """Fold per-stripe cycle stats into one engine-level report.
+
+    Always returns a detached snapshot — even for one stripe — so the
+    caller-visible semantics don't depend on the stripe count.
+    """
+    return ExpiryCycleStats(
+        ticks=sum(p.ticks for p in parts),
+        iterations=sum(p.iterations for p in parts),
+        sampled=sum(p.sampled for p in parts),
+        deleted=sum(p.deleted for p in parts),
+        last_run=max(p.last_run for p in parts),
+    )
 
 
 class LazyExpiryCycle:

@@ -1,0 +1,119 @@
+"""Batch execution in the benchmark runtime: pipelined correctness.
+
+``run_workload(batch_size>1)`` routes stretches of pipeline-safe
+operations through ``client.pipeline()``; everything else runs singly.
+The tallies (correct / failed / per-op stats) must be indistinguishable
+from a batch_size=1 run, and clients without a pipeline fall back
+transparently.
+"""
+
+import pytest
+
+from repro.bench import ycsb as ycsb_mod
+from repro.bench.operations import Operation
+from repro.bench.runtime import run_thread_sweep, run_workload
+from repro.bench.ycsb import YCSBConfig
+from repro.clients import FeatureSet, RedisGDPRClient
+from repro.common.errors import BenchmarkError
+
+
+def _loaded_client(**kwargs):
+    client = RedisGDPRClient(FeatureSet.none(), **kwargs)
+    config = YCSBConfig(record_count=200, operation_count=0, seed=5,
+                        field_count=2, field_length=8)
+    ycsb_mod.run_load(client, config)
+    return client, config
+
+
+class TestBatchedRunWorkload:
+    @pytest.mark.parametrize("threads", [1, 4])
+    def test_batched_run_matches_single_run_tallies(self, threads):
+        results = {}
+        for batch_size in (1, 16):
+            client, config = _loaded_client(stripes=8)
+            try:
+                config = YCSBConfig(record_count=200, operation_count=600,
+                                    seed=5, field_count=2, field_length=8)
+                ops = ycsb_mod.transaction_operations(
+                    ycsb_mod.WORKLOADS["A"], config, insert_start=200
+                )
+                report = run_workload(client, ops, threads=threads,
+                                      batch_size=batch_size)
+                results[batch_size] = report
+            finally:
+                client.close()
+        assert results[16].operations == results[1].operations
+        assert results[16].correctness_pct == results[1].correctness_pct == 100.0
+        assert results[16].failed == results[1].failed == 0
+        # per-op stats cover every operation in both modes
+        assert results[16].stats.total_ops == results[1].stats.total_ops
+
+    def test_mixed_batchable_and_scan_ops_preserve_order_effects(self):
+        """A non-batchable op (scan) flushes the pending batch first, so a
+        scan issued after inserts on the same worker sees their effect."""
+        client, _ = _loaded_client(stripes=4)
+        try:
+            ops = []
+            for i in range(10):
+                key = f"zz{i:04d}"
+                fields = {"f0": "x", "f1": "y"}
+                ops.append(Operation(
+                    "insert", lambda c, k=key, f=fields: c.ycsb_insert(k, f)
+                ))
+            ops.append(Operation(
+                "scan", lambda c: c.ycsb_scan("zz0000", 10),
+                validate=lambda r: isinstance(r, list) and len(r) == 10,
+            ))
+            report = run_workload(client, ops, threads=1, batch_size=32)
+            assert report.correctness_pct == 100.0
+        finally:
+            client.close()
+
+    def test_client_without_pipeline_falls_back(self):
+        class Plain:
+            engine_name = "plain"
+
+            def __init__(self):
+                self.calls = 0
+
+            def poke(self):
+                self.calls += 1
+                return True
+
+        client = Plain()
+        ops = [Operation("read", lambda c: c.poke()) for _ in range(20)]
+        report = run_workload(client, ops, threads=2, batch_size=8)
+        assert client.calls == 20
+        assert report.correct == 20
+
+    def test_rejects_bad_batch_size(self):
+        client, _ = _loaded_client()
+        try:
+            with pytest.raises(BenchmarkError):
+                run_workload(client, [], batch_size=0)
+        finally:
+            client.close()
+
+
+class TestThreadSweep:
+    def test_sweep_returns_report_per_thread_count(self):
+        config = YCSBConfig(record_count=100, operation_count=200, seed=9,
+                            field_count=1, field_length=8)
+
+        def factory():
+            client = RedisGDPRClient(FeatureSet.none(), stripes=4)
+            ycsb_mod.run_load(client, config)
+            return client
+
+        def make_ops(client):
+            return ycsb_mod.transaction_operations(
+                ycsb_mod.WORKLOADS["C"], config, insert_start=100
+            )
+
+        reports = run_thread_sweep(
+            factory, make_ops, thread_counts=(1, 2), batch_size=8,
+            workload_name="sweep-test",
+        )
+        assert [r.workload for r in reports] == ["sweep-test@1t", "sweep-test@2t"]
+        assert all(r.correctness_pct == 100.0 for r in reports)
+        assert all(r.operations == 200 for r in reports)

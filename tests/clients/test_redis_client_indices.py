@@ -81,6 +81,49 @@ class TestParityWithScanClient:
         _same(indexed, plain, lambda c: c.read_data_by_pur(PROC, "research"))
         assert all(k != key for k, _ in indexed.read_data_by_pur(PROC, "ads"))
 
+    def test_obj_dec_shr_reads_agree(self, pair):
+        """The OBJ/DEC/SHR reverse indices must answer exactly like the
+        scan-based client, including the negative OBJ query."""
+        indexed, plain = pair
+        corpus_values = {
+            "obj": {o for r in indexed._iter_records() for o in r.objections},
+            "dec": {d for r in indexed._iter_records() for d in r.decisions},
+            "shr": {s for r in indexed._iter_records() for s in r.shared_with},
+        }
+        for purpose in sorted(corpus_values["obj"])[:3] + ["nonexistent"]:
+            _same(indexed, plain, lambda c, p=purpose: c.read_data_by_obj(PROC, p))
+        for decision in sorted(corpus_values["dec"])[:3] + ["nonexistent"]:
+            _same(indexed, plain, lambda c, d=decision: c.read_data_by_dec(PROC, d))
+        for party in sorted(corpus_values["shr"])[:3] + ["nonexistent"]:
+            _same(indexed, plain, lambda c, s=party: c.read_metadata_by_shr(REG, s))
+
+    def test_shr_group_update_moves_shr_index(self, pair):
+        indexed, plain = pair
+        party = sorted({s for r in indexed._iter_records()
+                        for s in r.shared_with})[0]
+        _same(indexed, plain,
+              lambda c: c.update_metadata_by_shr(CTRL, party, "DEC", ("audit",)))
+        _same(indexed, plain, lambda c: c.read_data_by_dec(PROC, "audit"))
+
+    def test_objection_change_moves_obj_index(self, pair):
+        indexed, plain = pair
+        key = indexed.read_metadata_by_usr(REG, "u00001")[0][0]
+        for client in pair:
+            client.update_metadata_by_key(CTRL, key, "OBJ", ("marketing",))
+        # the record now objects to 'marketing': the negative query drops it
+        assert all(k != key for k, _ in indexed.read_data_by_obj(PROC, "marketing"))
+        _same(indexed, plain, lambda c: c.read_data_by_obj(PROC, "marketing"))
+
+    def test_deletes_unlink_obj_dec_shr_indices(self, pair):
+        indexed, plain = pair
+        _same(indexed, plain, lambda c: c.delete_record_by_usr(CTRL, "u00004"))
+        for decision in sorted({d for r in plain._iter_records()
+                                for d in r.decisions})[:2]:
+            _same(indexed, plain, lambda c, d=decision: c.read_data_by_dec(PROC, d))
+        member_sets = [indexed.engine.smembers(indexed._all_index())]
+        remaining = {r.key for r in indexed._iter_records()}
+        assert {m.decode() for m in member_sets[0]} == remaining
+
 
 class TestIndexMechanics:
     def test_features_report_indexing(self):
@@ -118,6 +161,48 @@ class TestIndexMechanics:
             commands = client.engine.info()["commands_processed"] - before
             # 1 SMEMBERS + ~10 HGETALLs, versus a 120-record SCAN+HGETALL walk
             assert commands < 40
+        finally:
+            client.close()
+
+    def test_dec_and_shr_lookups_avoid_full_scan(self):
+        client = RedisGDPRClient(FeatureSet.none(), client_indices=True)
+        try:
+            records = list(generate_corpus(CORPUS))
+            client.load_records(records)
+            decision = sorted({d for r in records for d in r.decisions})[0]
+            matches = sum(1 for r in records if decision in r.decisions)
+            before = client.engine.info()["commands_processed"]
+            client.read_data_by_dec(Principal.processor(), decision)
+            commands = client.engine.info()["commands_processed"] - before
+            assert commands <= matches + 2  # SMEMBERS + one HGETALL per hit
+            party = sorted({s for r in records for s in r.shared_with})[0]
+            party_matches = sum(1 for r in records if party in r.shared_with)
+            before = client.engine.info()["commands_processed"]
+            client.read_metadata_by_shr(Principal.regulator(), party)
+            commands = client.engine.info()["commands_processed"] - before
+            assert commands <= party_matches + 2
+        finally:
+            client.close()
+
+    def test_stale_obj_entries_cleaned_from_master_set(self):
+        from repro.common.clock import VirtualClock as _VC
+        clock = _VC()
+        client = RedisGDPRClient(FeatureSet(access_control=False), clock=clock,
+                                 client_indices=True)
+        try:
+            client.load_records([
+                PersonalRecord(key="gone", data="u1:x", purposes=("ads",),
+                               ttl_seconds=5.0, user="u1"),
+                PersonalRecord(key="stays", data="u1:y", purposes=("ads",),
+                               ttl_seconds=5000.0, user="u1"),
+            ])
+            clock.advance(60)  # 'gone' expires engine-side
+            # neither record objects to 'marketing', so the negative query
+            # fetches both master-set members and trips over the stale one
+            rows = client.read_data_by_obj(Principal.processor(), "marketing")
+            assert rows == [("stays", "u1:y")]
+            members = client.engine.smembers(client._all_index())
+            assert members == {b"stays"}  # stale master entry reaped
         finally:
             client.close()
 

@@ -1,0 +1,177 @@
+"""AOF group commit: batched fsync with unchanged replay semantics.
+
+``batch_size > 1`` under ``fsync='always'`` amortises the fsync over a
+batch of entries; the ``batch()`` context manager gives explicit command
+batches (pipelines, AOF rewrite) one policy decision per block.  Framing
+never changes, so replay — including Redis' aof-load-truncated handling
+of a torn trailing write — behaves exactly as per-append fsync.
+"""
+
+import os
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import ConfigurationError
+from repro.minikv import MiniKV, MiniKVConfig
+from repro.minikv.aof import AOFWriter, encode_entry, load_aof
+
+
+class TestGroupCommitBuffering:
+    def test_batch_size_one_flushes_per_append(self, tmp_path):
+        path = str(tmp_path / "a.aof")
+        writer = AOFWriter(path, fsync="always")
+        writer.append([b"SET", b"k", b"v"])
+        assert os.path.getsize(path) > 0  # durable immediately
+        writer.close()
+
+    def test_appends_buffer_until_batch_full(self, tmp_path):
+        path = str(tmp_path / "a.aof")
+        clock = VirtualClock()
+        writer = AOFWriter(path, fsync="always", batch_size=8, clock=clock)
+        for _ in range(7):
+            writer.append([b"SET", b"k", b"v"])
+        assert os.path.getsize(path) == 0           # still buffered
+        assert writer.size_bytes() > 0              # but accounted for
+        writer.append([b"SET", b"k", b"v"])         # 8th fills the batch
+        assert os.path.getsize(path) == writer.size_bytes()
+        writer.close()
+
+    def test_clock_boundary_bounds_the_wait(self, tmp_path):
+        path = str(tmp_path / "a.aof")
+        clock = VirtualClock()
+        writer = AOFWriter(path, fsync="always", batch_size=1000, clock=clock)
+        writer.append([b"SET", b"k1", b"v"])
+        assert os.path.getsize(path) == 0
+        clock.advance(1.5)
+        writer.append([b"SET", b"k2", b"v"])  # crosses the 1s boundary
+        assert os.path.getsize(path) > 0
+        writer.close()
+
+    def test_batch_context_defers_then_flushes_once(self, tmp_path):
+        path = str(tmp_path / "a.aof")
+        writer = AOFWriter(path, fsync="always")
+        with writer.batch():
+            for i in range(20):
+                writer.append([b"SET", b"k%d" % i, b"v"])
+                assert os.path.getsize(path) == 0  # deferred inside block
+        assert os.path.getsize(path) == writer.size_bytes()
+        assert writer.entries_logged == 20
+        writer.close()
+
+    def test_append_many_is_one_group_commit(self, tmp_path):
+        path = str(tmp_path / "a.aof")
+        writer = AOFWriter(path, fsync="always")
+        writer.append_many([[b"SET", b"a", b"1"], [b"SET", b"b", b"2"]])
+        assert load_aof(path) == [[b"SET", b"a", b"1"], [b"SET", b"b", b"2"]]
+        writer.close()
+
+    def test_close_flushes_pending_batch(self, tmp_path):
+        path = str(tmp_path / "a.aof")
+        writer = AOFWriter(path, fsync="always", batch_size=100)
+        writer.append([b"SET", b"k", b"v"])
+        writer.close()
+        assert load_aof(path) == [[b"SET", b"k", b"v"]]
+
+    def test_rejects_nonpositive_batch(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            AOFWriter(str(tmp_path / "a.aof"), batch_size=0)
+
+    def test_batch_deferral_is_per_thread(self, tmp_path):
+        """Another thread's appends keep their own fsync policy while a
+        batch is open elsewhere — batch() must not serialise or defer
+        appends from other stripes' threads."""
+        import threading
+
+        path = str(tmp_path / "a.aof")
+        writer = AOFWriter(path, fsync="always")
+        with writer.batch():
+            writer.append([b"SET", b"batched", b"v"])
+            done = threading.Event()
+
+            def other_thread():
+                writer.append([b"SET", b"other", b"v"])
+                done.set()
+
+            threading.Thread(target=other_thread).start()
+            assert done.wait(5.0)  # would deadlock if batch held the lock
+            # the other thread's always-policy flushed both pending entries
+            assert os.path.getsize(path) > 0
+        writer.close()
+        assert [e[1] for e in load_aof(path)] == [b"batched", b"other"]
+
+
+class TestTornWriteReplay:
+    def _write_grouped(self, path, entries):
+        writer = AOFWriter(path, fsync="always", batch_size=len(entries))
+        for entry in entries:
+            writer.append(entry)
+        writer.close()
+
+    def test_torn_tail_inside_batch_truncates_to_prefix(self, tmp_path):
+        """A crash mid-group-commit tears the last entries; replay keeps
+        the intact prefix, exactly like per-append fsync."""
+        path = str(tmp_path / "torn.aof")
+        entries = [[b"SET", b"k%d" % i, b"value%d" % i] for i in range(10)]
+        self._write_grouped(path, entries)
+        size = os.path.getsize(path)
+        tear_at = size - len(encode_entry(entries[-1])) // 2  # mid-entry
+        with open(path, "r+b") as handle:
+            handle.truncate(tear_at)
+        recovered = load_aof(path)
+        assert recovered == entries[:9]
+
+    def test_replay_after_torn_write_rebuilds_prefix_state(self, tmp_path):
+        path = str(tmp_path / "torn.aof")
+        with MiniKV(MiniKVConfig(aof_path=path, fsync="always",
+                                 aof_batch_size=50)) as kv:
+            pipe = kv.pipeline()
+            for i in range(40):
+                pipe.set(f"k{i}", b"v%d" % i)
+            pipe.execute()
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 3)  # tear the tail
+        with MiniKV(MiniKVConfig(aof_path=path, fsync="always")) as replayed:
+            # the torn final entry is dropped, every prior one survives
+            assert replayed.dbsize() == 39
+            assert replayed.get("k0") == b"v0"
+            assert replayed.get("k38") == b"v38"
+            assert replayed.get("k39") is None
+
+    def test_grouped_and_ungrouped_aof_bytes_identical(self, tmp_path):
+        """Group commit only changes *when* bytes hit the disk, never
+        which bytes do."""
+        grouped = str(tmp_path / "grouped.aof")
+        ungrouped = str(tmp_path / "ungrouped.aof")
+        entries = [[b"SET", b"k%d" % i, b"v"] for i in range(25)]
+        self._write_grouped(grouped, entries)
+        writer = AOFWriter(ungrouped, fsync="always")
+        for entry in entries:
+            writer.append(entry)
+        writer.close()
+        assert open(grouped, "rb").read() == open(ungrouped, "rb").read()
+
+
+class TestEngineGroupCommitReplay:
+    def test_identical_keyspace_after_group_commit_replay(self, tmp_path):
+        path = str(tmp_path / "engine.aof")
+        config = MiniKVConfig(
+            aof_path=path, fsync="always", aof_batch_size=32, stripes=8
+        )
+        clock = VirtualClock()
+        with MiniKV(config, clock=clock) as kv:
+            pipe = kv.pipeline()
+            for i in range(100):
+                pipe.set(f"s{i}", b"v%d" % i, ttl=500.0 if i % 4 == 0 else None)
+            pipe.hmset("h1", {"a": b"1"}).sadd("set1", b"m1", b"m2")
+            pipe.execute()
+            kv.delete("s0", "s1")
+            kv.persist("s4")
+            expected_keys = sorted(kv.keys())
+            expected_expiry = kv.info()["keys_with_expiry"]
+        with MiniKV(MiniKVConfig(aof_path=path, fsync="always"),
+                    clock=clock) as replayed:
+            assert sorted(replayed.keys()) == expected_keys
+            assert replayed.info()["keys_with_expiry"] == expected_expiry
+            assert replayed.hgetall("h1") == {"a": b"1"}
+            assert replayed.smembers("set1") == {b"m1", b"m2"}
