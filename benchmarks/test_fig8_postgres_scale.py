@@ -37,3 +37,16 @@ def test_fig8_vs_fig7_contrast(benchmark):
 
     redis_growth, pg_growth = benchmark.pedantic(both_growths, rounds=1, iterations=1)
     assert redis_growth > pg_growth
+
+
+def test_fig8_thread_scaling_rw_vs_global_lock(benchmark):
+    """Extension (PR 2 tentpole): the same thread sweep as Figure 7's for
+    Redis, on minisql — the seed's global statement lock cannot use added
+    benchmark threads, while per-table reader-writer locking plus
+    transaction-batched pipelining lifts the read-heavy stream."""
+    result = run_once(benchmark, scale.sql_thread_scaling)
+    report(result)
+    by_series = {}
+    for row in result.rows:
+        by_series.setdefault(row["series"], {})[row["threads"]] = row["ops_s"]
+    assert by_series["rw+batched"][8] > by_series["global-lock"][8]

@@ -7,10 +7,19 @@ compare their numbers against the trajectory instead of guessing.
 Records are redis-benchmark-sized (1 field x 16 bytes): the harness
 measures engine + protocol overhead, not payload serialisation.
 
-Asserted floor (this PR's tentpole): at 8 benchmark threads the
-striped + pipelined minikv configuration sustains >= 2x the YCSB
-throughput of the seed single-lock configuration, and an AOF written
-under group commit replays into an identical keyspace.
+Asserted floors:
+
+* **minikv** (PR 1 tentpole): at 8 benchmark threads the striped +
+  pipelined configuration sustains >= 2x the YCSB-C throughput of the
+  seed single-lock configuration, and an AOF written under group commit
+  replays into an identical keyspace.
+* **minisql** (PR 2 tentpole): at 8 benchmark threads the per-table
+  reader-writer + transaction-batched configuration sustains >= 2x the
+  seed global-lock configuration on the same read-heavy YCSB-C stream.
+
+Profiles: ``REPRO_BENCH_PROFILE=smoke`` shrinks the grid for the CI
+pull-request gate (the floors are still asserted); the default ``full``
+profile regenerates the canonical ``BENCH_throughput.json``.
 """
 
 from __future__ import annotations
@@ -26,11 +35,14 @@ from repro.minikv import MiniKV, MiniKVConfig
 
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_throughput.json")
 
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "full")
+
 #: (engine label, make_client engine name, client kwargs, batch_size)
 ENGINE_CONFIGS = (
     ("redis-single-lock", "redis", {"stripes": 1}, 1),
     ("redis-striped-pipelined", "redis", {"stripes": 16}, 128),
-    ("postgres", "postgres", {}, 1),
+    ("postgres-global-lock", "postgres", {"locking": "global"}, 1),
+    ("postgres-rw-batched", "postgres", {"locking": "table-rw"}, 128),
 )
 
 FEATURE_SETS = (
@@ -40,10 +52,37 @@ FEATURE_SETS = (
 
 THREAD_COUNTS = (1, 2, 4, 8)
 WORKLOAD = "C"
-RECORDS = 2000
-OPERATIONS = 6000
-#: median-of-N for the asserted 8-thread pair (thread scheduling jitter)
-ASSERT_SAMPLES = 3
+if PROFILE == "smoke":
+    RECORDS = 500
+    OPERATIONS = 2000
+    SQL_OPERATIONS = 1000
+    ASSERT_SAMPLES = 1
+else:
+    RECORDS = 2000
+    OPERATIONS = 6000
+    SQL_OPERATIONS = 2000
+    #: median-of-N for the asserted 8-thread pairs (thread scheduling jitter)
+    ASSERT_SAMPLES = 3
+
+#: the asserted pairs — (baseline config, scaled config, op count) — derived
+#: from the grid's own ENGINE_CONFIGS rows so the floor always measures
+#: exactly the configurations the JSON records
+_CONFIG_BY_LABEL = {
+    label: (engine, client_kwargs, batch_size)
+    for label, engine, client_kwargs, batch_size in ENGINE_CONFIGS
+}
+FLOOR_PAIRS = {
+    "redis": (
+        _CONFIG_BY_LABEL["redis-single-lock"],
+        _CONFIG_BY_LABEL["redis-striped-pipelined"],
+        OPERATIONS,
+    ),
+    "sql": (
+        _CONFIG_BY_LABEL["postgres-global-lock"],
+        _CONFIG_BY_LABEL["postgres-rw-batched"],
+        SQL_OPERATIONS,
+    ),
+}
 
 
 def _throughput(engine: str, client_kwargs: dict, batch_size: int,
@@ -66,18 +105,43 @@ def _throughput(engine: str, client_kwargs: dict, batch_size: int,
         return run.throughput_ops_s
 
 
+def _measure_floor(pair, samples: int) -> tuple[float, float]:
+    slow_config, fast_config, operations = pair
+    slow_engine, slow_kwargs, slow_batch = slow_config
+    fast_engine, fast_kwargs, fast_batch = fast_config
+    slow = statistics.median(
+        _throughput(slow_engine, slow_kwargs, slow_batch, FeatureSet.none(), 8,
+                    operations)
+        for _ in range(samples)
+    )
+    fast = statistics.median(
+        _throughput(fast_engine, fast_kwargs, fast_batch, FeatureSet.none(), 8,
+                    operations)
+        for _ in range(samples)
+    )
+    return slow, fast
+
+
+def _floor_speedup(pair) -> tuple[float, float, float]:
+    # Thread scheduling on small shared CI runners is noisy: if the first
+    # median misses the floor, re-measure once with more samples before
+    # declaring a regression.
+    slow, fast = _measure_floor(pair, ASSERT_SAMPLES)
+    if fast / slow < 2.0:
+        slow, fast = _measure_floor(pair, ASSERT_SAMPLES + 2)
+    return fast / slow, slow, fast
+
+
 def test_throughput_regression_grid(benchmark):
     def run_grid():
         results = []
         for label, engine, client_kwargs, batch_size in ENGINE_CONFIGS:
             for feature_label, feature_factory in FEATURE_SETS:
                 for threads in THREAD_COUNTS:
-                    # postgres has no pipelined path and is slower — one
-                    # one-thread point per feature set keeps it honest
-                    # without dominating the harness runtime.
-                    if engine == "postgres" and threads != 1:
-                        continue
-                    operations = OPERATIONS if engine == "redis" else 2000
+                    # minisql statements cost more than minikv commands;
+                    # a smaller op count keeps its half of the grid from
+                    # dominating the harness runtime.
+                    operations = OPERATIONS if engine == "redis" else SQL_OPERATIONS
                     ops_s = _throughput(
                         engine, client_kwargs, batch_size,
                         feature_factory(), threads, operations,
@@ -94,44 +158,38 @@ def test_throughput_regression_grid(benchmark):
 
     results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
 
-    # The asserted pair gets median-of-N on top of the recorded grid.
-    # Thread scheduling on small shared CI runners is noisy: if the first
-    # median misses the floor, re-measure once with more samples before
-    # declaring a regression.
-    def measure_pair(samples: int) -> tuple[float, float]:
-        single = statistics.median(
-            _throughput("redis", {"stripes": 1}, 1, FeatureSet.none(), 8)
-            for _ in range(samples)
-        )
-        striped = statistics.median(
-            _throughput("redis", {"stripes": 16}, 128, FeatureSet.none(), 8)
-            for _ in range(samples)
-        )
-        return single, striped
-
-    single, striped = measure_pair(ASSERT_SAMPLES)
-    if striped / single < 2.0:
-        single, striped = measure_pair(ASSERT_SAMPLES + 2)
-    speedup = striped / single
+    # The asserted pairs get median-of-N on top of the recorded grid.
+    redis_speedup, redis_single, redis_striped = _floor_speedup(FLOOR_PAIRS["redis"])
+    sql_speedup, sql_global, sql_batched = _floor_speedup(FLOOR_PAIRS["sql"])
 
     payload = {
         "workload": f"ycsb-{WORKLOAD}",
+        "profile": PROFILE,
         "record_count": RECORDS,
         "operation_count": OPERATIONS,
+        "sql_operation_count": SQL_OPERATIONS,  # the postgres-* rows' size
         "field_count": 1,
         "field_length": 16,
         "thread_counts": list(THREAD_COUNTS),
-        "asserted_speedup_at_8_threads": round(speedup, 2),
+        "asserted_speedup_at_8_threads": round(redis_speedup, 2),
+        "asserted_sql_speedup_at_8_threads": round(sql_speedup, 2),
         "results": results,
     }
-    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    if PROFILE == "full":
+        # Only the canonical profile rewrites the tracked trajectory file.
+        with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
 
-    assert speedup >= 2.0, (
-        f"striped+pipelined at 8 threads is only {speedup:.2f}x the seed "
-        f"single-lock engine ({striped:.0f} vs {single:.0f} ops/s); "
-        "the tentpole requires >= 2x"
+    assert redis_speedup >= 2.0, (
+        f"striped+pipelined at 8 threads is only {redis_speedup:.2f}x the seed "
+        f"single-lock engine ({redis_striped:.0f} vs {redis_single:.0f} ops/s); "
+        "the PR 1 tentpole requires >= 2x"
+    )
+    assert sql_speedup >= 2.0, (
+        f"rw+batched minisql at 8 threads is only {sql_speedup:.2f}x the seed "
+        f"global-lock engine ({sql_batched:.0f} vs {sql_global:.0f} ops/s); "
+        "the PR 2 tentpole requires >= 2x"
     )
 
 

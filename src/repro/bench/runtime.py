@@ -76,13 +76,15 @@ def run_workload(
     responses), mirroring how YCSB tallies errored operations; the run
     itself always completes.
 
-    ``batch_size > 1`` enables command pipelining: when the client exposes
-    a ``pipeline()`` factory and declares the operation batchable (its
-    name is in ``client.PIPELINE_OP_NAMES``), each worker drains up to
-    ``batch_size`` operations, queues them on one pipeline, and executes
-    the batch as a single round-trip.  Non-batchable operations flush the
-    pending batch and run singly, so mixed workloads stay correct.  Batch
-    latency is apportioned evenly across its operations.
+    ``batch_size > 1`` enables command pipelining, uniformly across
+    engines: when the client's ``pipeline()`` factory yields a
+    :class:`~repro.clients.base.GDPRPipeline` (rather than None) and the
+    operation is declared batchable (its name is in
+    ``client.PIPELINE_OP_NAMES``), each worker drains up to ``batch_size``
+    operations, queues them on one pipeline, and executes the batch as a
+    single round-trip.  Non-batchable operations flush the pending batch
+    and run singly, so mixed workloads stay correct.  Batch latency is
+    apportioned evenly across its operations.
     """
     if threads < 1:
         raise BenchmarkError("need at least one thread")
@@ -92,9 +94,16 @@ def run_workload(
     correct_lock = threading.Lock()
     tally = {"correct": 0, "failed": 0}
 
+    # One probe decides batching support: any engine stub whose pipeline()
+    # returns a real pipeline object batches through the shared contract.
+    supports_pipelining = (
+        batch_size > 1
+        and hasattr(client, "pipeline")
+        and client.pipeline() is not None
+    )
     batchable_names = (
         getattr(client, "PIPELINE_OP_NAMES", frozenset())
-        if batch_size > 1 and hasattr(client, "pipeline")
+        if supports_pipelining
         else frozenset()
     )
 

@@ -1,8 +1,8 @@
 """DB interface layer: one GDPR client stub per engine (Figure 2b)."""
 
-from .base import FeatureSet, GDPRClient, normalise_attribute
-from .redis_client import RedisGDPRClient
-from .sql_client import SQLGDPRClient
+from .base import FeatureSet, GDPRClient, GDPRPipeline, normalise_attribute
+from .redis_client import RedisClientPipeline, RedisGDPRClient
+from .sql_client import SQLClientPipeline, SQLGDPRClient
 
 CLIENTS = {
     "redis": RedisGDPRClient,
@@ -22,8 +22,11 @@ def make_client(engine: str, features: FeatureSet | None = None, **kwargs) -> GD
 __all__ = [
     "FeatureSet",
     "GDPRClient",
+    "GDPRPipeline",
     "RedisGDPRClient",
+    "RedisClientPipeline",
     "SQLGDPRClient",
+    "SQLClientPipeline",
     "make_client",
     "normalise_attribute",
     "CLIENTS",

@@ -92,15 +92,81 @@ def normalise_attribute(attribute: str, value):
     raise GDPRError(f"unknown metadata attribute {attribute!r}")
 
 
+class GDPRPipeline(ABC):
+    """Engine-agnostic client command batch (the pipeline contract).
+
+    GDPRbench's storage-interface layer gains one batching abstraction
+    shared by every engine stub: queueing methods mirror the YCSB
+    primitives but only enqueue (returning ``None`` placeholders), and
+    :meth:`execute` runs the whole batch as **one engine round-trip** —
+    one serialised request and one serialised response crossing the
+    (possibly TLS) wire, one engine-side lock scope, and one persistence
+    group commit.  Responses come back in queue order, shaped exactly as
+    the unbatched primitive would have returned them.
+
+    Error semantics follow Redis pipelining: a failing command does not
+    stop the batch — every queued command executes, failures are captured
+    per slot, and ``execute()`` raises the first captured error after the
+    batch completes.  The queue is always drained by ``execute()``, even
+    on failure, so a pipeline object is reusable.
+
+    The queueing half is concrete — every engine batches the same
+    ``(kind, key, payload)`` triples — so a stub only implements
+    :meth:`execute` (draining ``self._take()``).
+    """
+
+    def __init__(self) -> None:
+        self._ops: list[tuple[str, str, object]] = []
+
+    def __len__(self) -> int:
+        """Commands currently queued."""
+        return len(self._ops)
+
+    def ycsb_read(self, key: str, fields: Sequence[str] | None = None) -> None:
+        """Queue a point read; its response slot is a dict or None."""
+        self._ops.append(("read", key, fields))
+
+    def ycsb_update(self, key: str, fields: dict) -> None:
+        """Queue an update; its response slot is the changed-row count."""
+        self._ops.append(("update", key, fields))
+
+    def ycsb_insert(self, key: str, fields: dict) -> None:
+        """Queue an insert; its response slot is None."""
+        self._ops.append(("insert", key, fields))
+
+    def _take(self) -> list[tuple[str, str, object]]:
+        """Drain and return the queued (kind, key, payload) triples."""
+        ops, self._ops = self._ops, []
+        return ops
+
+    @abstractmethod
+    def execute(self) -> list:
+        """Run the batch in one round-trip; responses in queue order."""
+
+
 class GDPRClient(ABC):
     """Abstract client: GDPR queries + YCSB primitives against one engine."""
 
     #: human-readable engine name ('redis' / 'postgres' analogues)
     engine_name = "abstract"
 
+    #: Operation names the benchmark runtime may route through
+    #: :meth:`pipeline`.  Subclasses that implement a pipeline leave this
+    #: as is; engines without one set it empty (the runtime then runs
+    #: every operation singly).
+    PIPELINE_OP_NAMES: frozenset[str] = frozenset({"read", "update", "insert"})
+
     def __init__(self, features: FeatureSet) -> None:
         self.features = features
         self.acl = AccessController(enabled=features.access_control)
+
+    def pipeline(self) -> GDPRPipeline | None:
+        """A client command batch, or None when the engine has no pipeline.
+
+        Both engine stubs override this; the benchmark runtime falls back
+        to single-operation execution when it gets None.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Load phase

@@ -23,6 +23,9 @@ Scaling retrofits (the ROADMAP's production-engine track):
   DEC, and SHR (plus a ``midx:keys`` master set so negative queries like
   READ-DATA-BY-OBJ resolve as a set difference), the §7.2
   "efficient metadata indexing" challenge;
+* the same switch arms a client-side **expiry index** (lazy min-heap of
+  EXP deadlines) so DELETE-RECORD-BY-TTL verifies only the due candidates
+  instead of sweeping every record's EXP field;
 * multi-record queries (delete-by-usr/pur, indexed reads, metadata group
   updates) run through engine **pipelines**: one multi-stripe lock
   acquisition, one AOF group commit, and one wire round-trip per batch
@@ -35,6 +38,7 @@ Scaling retrofits (the ROADMAP's production-engine track):
 from __future__ import annotations
 
 import bisect
+import heapq
 import os
 import pickle
 import shutil
@@ -49,7 +53,7 @@ from repro.gdpr.audit import AuditEvent, events_from_aof
 from repro.gdpr.record import PersonalRecord, format_ttl, parse_ttl
 from repro.minikv.engine import MiniKV, MiniKVConfig
 
-from .base import FeatureSet, GDPRClient, normalise_attribute
+from .base import FeatureSet, GDPRClient, GDPRPipeline, normalise_attribute
 
 _REC_PREFIX = "rec:"
 _YCSB_PREFIX = "user:"
@@ -58,8 +62,8 @@ _SCAN_BATCH = 256
 _PIPELINE_CHUNK = 256
 
 
-class RedisClientPipeline:
-    """Client-side command batch over the engine pipeline.
+class RedisClientPipeline(GDPRPipeline):
+    """minikv implementation of the shared :class:`GDPRPipeline` contract.
 
     Queues YCSB primitives and executes them as one engine pipeline with a
     single request and a single response crossing the (possibly TLS) wire
@@ -69,23 +73,11 @@ class RedisClientPipeline:
     """
 
     def __init__(self, client: "RedisGDPRClient") -> None:
+        super().__init__()
         self._client = client
-        self._ops: list[tuple[str, str, object]] = []
-
-    def __len__(self) -> int:
-        return len(self._ops)
-
-    def ycsb_read(self, key: str, fields: Sequence[str] | None = None) -> None:
-        self._ops.append(("read", key, fields))
-
-    def ycsb_update(self, key: str, fields: dict) -> None:
-        self._ops.append(("update", key, fields))
-
-    def ycsb_insert(self, key: str, fields: dict) -> None:
-        self._ops.append(("insert", key, fields))
 
     def execute(self) -> list:
-        ops, self._ops = self._ops, []
+        ops = self._take()
         if not ops:
             return []
         client = self._client
@@ -144,10 +136,6 @@ class RedisGDPRClient(GDPRClient):
 
     engine_name = "redis"
 
-    #: Operation names the benchmark runtime may route through
-    #: :meth:`pipeline` (see :class:`RedisClientPipeline`).
-    PIPELINE_OP_NAMES = frozenset({"read", "update", "insert"})
-
     def __init__(
         self,
         features: FeatureSet | None = None,
@@ -194,6 +182,19 @@ class RedisGDPRClient(GDPRClient):
         self._client_indices = client_indices
         if client_indices:
             self.features.metadata_indexing = True
+        #: Client-side expiry index (the ROADMAP's last scan-bound path):
+        #: a lazy min-heap of (EXP deadline, key) fed by every store and
+        #: TTL update.  DELETE-RECORD-BY-TTL pops due entries and verifies
+        #: each candidate's current EXP instead of sweeping every record's
+        #: EXP field; a TTL extension simply leaves a stale heap entry
+        #: behind, discarded when its verification fetch disagrees.
+        self._exp_heap: list[tuple[float, str]] = []
+        self._exp_lock = threading.Lock()
+
+    def _exp_index_add(self, deadline: float, key: str) -> None:
+        if self._client_indices:
+            with self._exp_lock:
+                heapq.heappush(self._exp_heap, (deadline, key))
 
     def pipeline(self) -> RedisClientPipeline:
         """A client command batch (one engine pipeline + one wire trip)."""
@@ -361,6 +362,7 @@ class RedisGDPRClient(GDPRClient):
             if previous is not None:
                 self._index_remove(previous)
             self._index_add(record)
+            self._exp_index_add(expiry_at, record.key)
 
     def _fetch(self, key: str) -> PersonalRecord | None:
         fields = self.engine.hgetall(_REC_PREFIX + key)
@@ -461,17 +463,55 @@ class RedisGDPRClient(GDPRClient):
         deleted = sum(
             1 for key in self.engine.purge_expired() if key.startswith(_REC_PREFIX)
         )
-        # Client-side: records tracked only by the EXP metadata field
-        # (covers engine_ttl=False deployments); full scan, as a
-        # controller without indices must.
         now = self.clock.now()
-        for record in list(self._iter_records()):
-            fields = self.engine.hgetall(_REC_PREFIX + record.key)
-            deadline = float(fields.get("EXP", b"inf"))
-            if deadline <= now:
-                deleted += self.engine.delete(_REC_PREFIX + record.key)
+        if self._client_indices:
+            # Expiry-indexed path: pop due (deadline, key) entries and
+            # verify each candidate's live EXP — O(expired), not O(n).
+            deleted += self._delete_records(self._expired_via_exp_index(now))
+        else:
+            # Records tracked only by the EXP metadata field (covers
+            # engine_ttl=False deployments); full scan, as a controller
+            # without indices must.
+            for record in list(self._iter_records()):
+                fields = self.engine.hgetall(_REC_PREFIX + record.key)
+                deadline = float(fields.get("EXP", b"inf"))
+                if deadline <= now:
+                    deleted += self.engine.delete(_REC_PREFIX + record.key)
         self._wire(deleted)
         return deleted
+
+    def _expired_via_exp_index(self, now: float) -> list[PersonalRecord]:
+        """Resolve the expiry index's due entries to genuinely expired records.
+
+        Heap entries are lazy: a TTL extension leaves the old deadline in
+        place and pushes a new one, and records deleted by other paths (or
+        by engine-side expiry) leave entries with no hash behind.  Each
+        candidate's hash is therefore fetched (pipelined, one chunk per
+        round-trip) and kept only when its *current* EXP has passed.
+        """
+        candidates: list[str] = []
+        with self._exp_lock:
+            while self._exp_heap and self._exp_heap[0][0] <= now:
+                candidates.append(heapq.heappop(self._exp_heap)[1])
+        victims: list[PersonalRecord] = []
+        seen: set[str] = set()
+        fresh: list[str] = []
+        for key in candidates:
+            if key not in seen:
+                seen.add(key)
+                fresh.append(key)
+        for start in range(0, len(fresh), _PIPELINE_CHUNK):
+            chunk = fresh[start:start + _PIPELINE_CHUNK]
+            pipe = self.engine.pipeline()
+            for key in chunk:
+                pipe.hgetall(_REC_PREFIX + key)
+            for key, fields in zip(chunk, pipe.execute()):
+                if not fields:
+                    continue  # already gone; entry was stale
+                if float(fields.get("EXP", b"inf")) <= now:
+                    victims.append(self._record_from_fields(key, fields))
+                # else: TTL was extended; its newer heap entry survives
+        return victims
 
     def delete_record_by_usr(self, principal: Principal, user: str) -> int:
         self.acl.check_operation(principal, "delete-record-by-usr")
@@ -707,10 +747,12 @@ class RedisGDPRClient(GDPRClient):
         for start in range(0, len(records), _PIPELINE_CHUNK):
             chunk = records[start:start + _PIPELINE_CHUNK]
             pipe = self.engine.pipeline()
+            exp_at = None
             if attribute == "TTL":
+                exp_at = self.clock.now() + canonical
                 payload = {
                     "TTL": format_ttl(canonical).encode(),
-                    "EXP": repr(self.clock.now() + canonical).encode(),
+                    "EXP": repr(exp_at).encode(),
                 }
                 for record in chunk:
                     pipe.hmset_if_exists(_REC_PREFIX + record.key, payload)
@@ -730,6 +772,7 @@ class RedisGDPRClient(GDPRClient):
                     continue
                 changed += 1
                 if attribute == "TTL":
+                    self._exp_index_add(exp_at, record.key)
                     if self._engine_ttl and canonical > 0:
                         followup.expire(_REC_PREFIX + record.key, canonical)
                 elif self._client_indices and attribute in self._INDEXED_ATTRIBUTES:

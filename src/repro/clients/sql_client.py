@@ -16,6 +16,17 @@ Mirrors how GDPRbench drives PostgreSQL (Section 5.2):
   the simulated SSL channel.
 
 Access control is enforced client-side, as in the paper.
+
+Scaling retrofits (the ROADMAP's production-engine track):
+
+* ``locking`` forwards the engine's concurrency mode — per-table
+  reader-writer locks (default) or the seed's single global lock;
+* :meth:`SQLGDPRClient.pipeline` implements the shared
+  :class:`~repro.clients.base.GDPRPipeline` contract: a YCSB statement
+  batch runs inside one engine transaction (one lock acquisition, one WAL
+  group commit) and one wire round-trip each way;
+* ``durable=True`` + ``wal_batch_size`` arm the write-ahead log and its
+  group commit (minikv's ``aof_batch_size`` analogue).
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ import threading
 from typing import Iterable, Sequence
 
 from repro.common.clock import Clock, SystemClock
+from repro.common.errors import ConfigurationError
 from repro.crypto.tls import LoopbackSecureLink
 from repro.gdpr.acl import Principal
 from repro.gdpr.audit import AuditEvent, events_from_csvlog, split_csv_line
@@ -37,7 +49,7 @@ from repro.minisql.expr import Cmp, Contains, Expr, Not
 from repro.minisql.schema import Column
 from repro.minisql.types import FLOAT, TEXT, TEXT_LIST, TIMESTAMP
 
-from .base import FeatureSet, GDPRClient, normalise_attribute
+from .base import FeatureSet, GDPRClient, GDPRPipeline, normalise_attribute
 
 RECORDS_TABLE = "personal_records"
 YCSB_TABLE = "usertable"
@@ -45,6 +57,69 @@ YCSB_FIELDS = 10
 
 #: metadata column -> index name for the full-indexing configuration
 METADATA_INDEX_COLUMNS = ("usr", "pur", "obj", "dec", "shr", "src", "expiry")
+
+
+class SQLClientPipeline(GDPRPipeline):
+    """minisql implementation of the shared :class:`GDPRPipeline` contract.
+
+    Queued YCSB primitives execute inside **one engine transaction**: one
+    lock-set acquisition (the usertable's read lock for pure-read batches,
+    its write lock otherwise), one maintenance tick, one WAL group commit,
+    and one request + one response crossing the (possibly TLS) wire —
+    the SQL analogue of Redis pipelining, built on
+    :meth:`repro.minisql.database.Database.transaction`.
+
+    Statement errors follow the Redis pipeline semantics: every queued
+    statement runs, failures are captured per slot, and the first one is
+    raised after the batch commits.
+    """
+
+    def __init__(self, client: "SQLGDPRClient") -> None:
+        super().__init__()
+        self._client = client
+
+    def execute(self) -> list:
+        ops = self._take()
+        if not ops:
+            return []
+        client = self._client
+        client._ensure_ycsb_table()
+        # One request round-trip carries the whole batch.
+        client._wire([(kind, key) for kind, key, _ in ops])
+        writes = any(kind != "read" for kind, _, _ in ops)
+        arm_ttl = client.features.timely_deletion
+        responses: list = []
+        errors: list[Exception] = []
+        with client.db.transaction(
+            read=() if writes else (YCSB_TABLE,),
+            write=(YCSB_TABLE,) if writes else (),
+        ) as txn:
+            for kind, key, payload in ops:
+                try:
+                    if kind == "read":
+                        rows = txn.select_point(
+                            YCSB_TABLE, "key", key,
+                            columns=list(payload) if payload is not None else None,
+                        )
+                        responses.append(rows[0] if rows else None)
+                    elif kind == "update":
+                        responses.append(
+                            txn.update(YCSB_TABLE, payload, Cmp("key", "=", key))
+                        )
+                    else:  # insert
+                        row = {"key": key, **payload}
+                        if arm_ttl:
+                            row["expiry"] = client.clock.now() + client.YCSB_TTL_SECONDS
+                        txn.insert(YCSB_TABLE, row)
+                        responses.append(None)
+                except Exception as exc:  # captured per slot, batch continues
+                    responses.append(exc)
+                    errors.append(exc)
+        # ...and one response round-trip carries every result back.
+        client._wire(responses)
+        if errors:
+            raise errors[0]
+        return responses
 
 
 class SQLGDPRClient(GDPRClient):
@@ -57,6 +132,9 @@ class SQLGDPRClient(GDPRClient):
         features: FeatureSet | None = None,
         data_dir: str | None = None,
         clock: Clock | None = None,
+        locking: str = "table-rw",
+        wal_batch_size: int = 1,
+        durable: bool = False,
     ) -> None:
         super().__init__(features or FeatureSet.none())
         self.clock = clock or SystemClock()
@@ -65,11 +143,15 @@ class SQLGDPRClient(GDPRClient):
         csvlog_path = None
         if self.features.monitoring:
             csvlog_path = os.path.join(self._data_dir, "postgresql.csv")
+        wal_path = os.path.join(self._data_dir, "pg_wal.bin") if durable else None
         self.db = Database(
             MiniSQLConfig(
                 encryption_at_rest=self.features.encryption,
+                wal_path=wal_path,
                 csvlog_path=csvlog_path,
                 log_statements=self.features.monitoring,
+                locking=locking,
+                wal_batch_size=wal_batch_size,
             ),
             clock=self.clock,
         )
@@ -78,7 +160,26 @@ class SQLGDPRClient(GDPRClient):
         self._ycsb_ready = False
         self._ycsb_ddl_lock = threading.Lock()
 
+    def pipeline(self) -> SQLClientPipeline:
+        """A client command batch (one engine transaction + one wire trip)."""
+        return SQLClientPipeline(self)
+
     def _create_records_table(self) -> None:
+        if RECORDS_TABLE in self.db.catalog.tables():
+            # Recovered from a durable WAL: the schema replayed already.
+            # Indices the WAL lacks (store written without metadata_indexing)
+            # are built from the heap now; the sweeper is in-memory state
+            # and always needs re-attaching.
+            if self.features.metadata_indexing:
+                existing = {
+                    info.name for info in self.db.catalog.indices_for(RECORDS_TABLE)
+                }
+                for column in METADATA_INDEX_COLUMNS:
+                    if f"idx_{column}" not in existing:
+                        self.db.create_index(f"idx_{column}", RECORDS_TABLE, column)
+            if self.features.timely_deletion:
+                self.db.enable_ttl(RECORDS_TABLE, "expiry")
+            return
         self.db.create_table(
             RECORDS_TABLE,
             [
@@ -389,13 +490,25 @@ class SQLGDPRClient(GDPRClient):
             self._ycsb_ready = True
 
     def _create_ycsb_table(self) -> None:
-        columns = [Column("key", TEXT, nullable=False)] + [
-            Column(f"field{i}", TEXT) for i in range(YCSB_FIELDS)
-        ]
+        if YCSB_TABLE not in self.db.catalog.tables():
+            columns = [Column("key", TEXT, nullable=False)] + [
+                Column(f"field{i}", TEXT) for i in range(YCSB_FIELDS)
+            ]
+            if self.features.timely_deletion:
+                columns.append(Column("expiry", TIMESTAMP))
+            self.db.create_table(YCSB_TABLE, columns, primary_key="key")
+        # recovered from a durable WAL: the table replayed already, but the
+        # sweeper daemon is in-memory state and needs (re-)attaching
         if self.features.timely_deletion:
-            columns.append(Column("expiry", TIMESTAMP))
-        self.db.create_table(YCSB_TABLE, columns, primary_key="key")
-        if self.features.timely_deletion:
+            schema = self.db.catalog.table(YCSB_TABLE)
+            if "expiry" not in schema.column_names():
+                # a durable store written without timely_deletion has no
+                # expiry column to sweep; refuse loudly rather than run
+                # with a feature flag that cannot be honoured
+                raise ConfigurationError(
+                    f"durable store at {self._data_dir!r} was created without "
+                    "timely_deletion; its usertable has no expiry column"
+                )
             self.db.enable_ttl(YCSB_TABLE, "expiry")
 
     def ycsb_insert(self, key: str, fields: dict) -> None:

@@ -1,0 +1,90 @@
+"""A reader–writer lock for the per-table locking layers.
+
+Many readers may hold the lock simultaneously; a writer holds it alone.
+The lock is *writer-preferring*: once a writer is waiting, new readers
+queue behind it, so a stream of SELECTs cannot starve a DELETE (the shape
+of the paper's SELECT-heavy GDPR workloads makes reader starvation of
+writers the realistic hazard).
+
+The lock is **not reentrant** in either mode — a thread must not acquire
+it again while already holding it (a reader re-entering while a writer
+waits would deadlock by design of the preference rule).  Layers above
+(:mod:`repro.minisql.transaction`) are structured so no code path nests
+acquisitions of the same lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """Writer-preferring shared/exclusive lock."""
+
+    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- shared (read) side -------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- exclusive (write) side ---------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    # -- context managers ----------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    # -- introspection (tests / metrics) -------------------------------------
+
+    @property
+    def readers(self) -> int:
+        return self._readers
+
+    @property
+    def write_held(self) -> bool:
+        return self._writer

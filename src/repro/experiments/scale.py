@@ -35,6 +35,13 @@ REDIS_SCALING_CONFIGS = (
     ("striped+pipelined", {"stripes": 16}, 128),
 )
 
+#: The two minisql execution models: the seed's single global lock vs
+#: per-table reader-writer locking + transaction-batched statements.
+SQL_SCALING_CONFIGS = (
+    ("global-lock", {"locking": "global"}, 1),
+    ("rw+batched", {"locking": "table-rw"}, 128),
+)
+
 
 def ycsb_c_completion(engine: str, record_count: int, operations: int,
                       threads: int, seed: int) -> float:
@@ -135,20 +142,16 @@ def run_engine(
     )
 
 
-def redis_thread_scaling(
-    thread_counts=(1, 2, 4, 8),
-    record_count: int = 2000,
-    operations: int = 6000,
-    seed: int = 17,
-) -> ExperimentResult:
-    """Thread-count sweep: single-lock Redis model vs striped + pipelined.
-
-    The paper drives Redis with many client threads (Fig. 7 runs);
-    against one event loop added threads only add contention.  This sweep
-    runs the same YCSB-C stream (redis-benchmark-style small records, so
-    protocol/locking overhead isn't masked by payload serialisation)
-    against both execution models across a thread sweep.
-    """
+def _thread_scaling_sweep(
+    engine: str,
+    configs,
+    thread_counts,
+    record_count: int,
+    operations: int,
+    seed: int,
+):
+    """Shared YCSB-C thread sweep over (label, client_kwargs, batch_size)
+    engine configurations; returns (rows, throughput by (label, threads))."""
     ycsb_config = YCSBConfig(
         record_count=record_count, operation_count=operations,
         field_count=1, field_length=16, seed=seed,
@@ -157,7 +160,7 @@ def redis_thread_scaling(
 
     def loaded_client_factory(client_kwargs):
         def factory():
-            client = make_client("redis", FeatureSet.none(), **client_kwargs)
+            client = make_client(engine, FeatureSet.none(), **client_kwargs)
             ycsb_mod.run_load(client, ycsb_config)
             return client
         return factory
@@ -169,7 +172,7 @@ def redis_thread_scaling(
 
     rows = []
     throughput: dict[tuple[str, int], float] = {}
-    for label, client_kwargs, batch_size in REDIS_SCALING_CONFIGS:
+    for label, client_kwargs, batch_size in configs:
         reports = run_thread_sweep(
             loaded_client_factory(client_kwargs),
             operations_factory,
@@ -185,7 +188,27 @@ def redis_thread_scaling(
                 "ops_s": round(report.throughput_ops_s),
                 "correctness_pct": round(report.correctness_pct, 2),
             })
+    return rows, throughput
 
+
+def redis_thread_scaling(
+    thread_counts=(1, 2, 4, 8),
+    record_count: int = 2000,
+    operations: int = 6000,
+    seed: int = 17,
+) -> ExperimentResult:
+    """Thread-count sweep: single-lock Redis model vs striped + pipelined.
+
+    The paper drives Redis with many client threads (Fig. 7 runs);
+    against one event loop added threads only add contention.  This sweep
+    runs the same YCSB-C stream (redis-benchmark-style small records, so
+    protocol/locking overhead isn't masked by payload serialisation)
+    against both execution models across a thread sweep.
+    """
+    rows, throughput = _thread_scaling_sweep(
+        "redis", REDIS_SCALING_CONFIGS, thread_counts,
+        record_count, operations, seed,
+    )
     top = thread_counts[-1]
     striped_top = throughput[("striped+pipelined", top)]
     single_top = throughput[("single-lock", top)]
@@ -210,6 +233,53 @@ def redis_thread_scaling(
             "Added benchmark threads cannot speed up a single Redis event "
             "loop (the paper's Fig. 7 setup); lock striping plus command "
             "pipelining lifts the same workload substantially"
+        ),
+        rows=rows,
+        shape_checks=checks,
+    )
+
+
+def sql_thread_scaling(
+    thread_counts=(1, 2, 4, 8),
+    record_count: int = 2000,
+    operations: int = 6000,
+    seed: int = 17,
+) -> ExperimentResult:
+    """Thread-count sweep: global-lock minisql vs reader-writer + batched.
+
+    The SQL twin of :func:`redis_thread_scaling` (the ROADMAP's "extend
+    pipelining to the SQL client" item): the same read-heavy YCSB-C stream
+    against the seed's single global lock and against per-table
+    reader-writer locking with transaction-batched statement execution
+    (one lock acquisition, one WAL group commit, and one wire round-trip
+    per batch through the shared ``GDPRPipeline`` contract).
+    """
+    rows, throughput = _thread_scaling_sweep(
+        "postgres", SQL_SCALING_CONFIGS, thread_counts,
+        record_count, operations, seed,
+    )
+    top = thread_counts[-1]
+    batched_top = throughput[("rw+batched", top)]
+    global_top = throughput[("global-lock", top)]
+    checks = [
+        ("every sweep point completed 100% correct",
+         all(row["correctness_pct"] == 100.0 for row in rows)),
+        (f"rw+batched sustains >= 1.3x global-lock at {top} threads "
+         "(shared read locks + transaction-batched statements)",
+         batched_top >= 1.3 * global_top),
+        (f"global-lock gains no real scaling from threads (1 -> {top} "
+         "grows < 2x): one lock serialises every statement",
+         throughput[("global-lock", top)]
+         < 2.0 * throughput[("global-lock", thread_counts[0])]),
+    ]
+    return ExperimentResult(
+        experiment="fig8-threads",
+        title="SQL thread scaling: global-lock vs reader-writer + batched minisql",
+        paper_expectation=(
+            "The seed engine serialises every statement behind one lock, so "
+            "added benchmark threads cannot help; per-table reader-writer "
+            "locking plus pipelined statement batches lifts the same "
+            "SELECT-heavy workload substantially"
         ),
         rows=rows,
         shape_checks=checks,

@@ -3,6 +3,7 @@
 from .btree import BTreeIndex, InvertedIndex, ORDER
 from .csvlog import CSVLogger
 from .database import Database, MiniSQLConfig
+from .executor import Executor
 from .expr import (
     ALWAYS,
     And,
@@ -18,9 +19,11 @@ from .expr import (
     TrueExpr,
 )
 from .heap import HeapTable, RowCodec
-from .planner import Plan, plan_scan
+from .planner import Plan, PlanCache, plan_scan
 from .schema import Catalog, Column, IndexInfo, TableSchema
-from .sql import execute, tokenize
+from .sql import execute, execute_batch, statement_intent, tokenize
+from .storage import Storage
+from .transaction import LockManager, Transaction
 from .ttl_daemon import TTLSweeper
 from .types import (
     BYTES,
@@ -37,6 +40,13 @@ from .wal import WALWriter, load_wal
 __all__ = [
     "Database",
     "MiniSQLConfig",
+    "Storage",
+    "Executor",
+    "Transaction",
+    "LockManager",
+    "PlanCache",
+    "execute_batch",
+    "statement_intent",
     "Column",
     "TableSchema",
     "Catalog",

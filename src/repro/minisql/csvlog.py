@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import io
 import os
+import threading
 
 from repro.common.clock import Clock, SystemClock
 
@@ -47,6 +48,10 @@ class CSVLogger:
         self._lines = 0
         self._cipher = cipher
         self._offset = self._file.tell()
+        # With per-table reader-writer locking, several readers may log
+        # SELECT responses concurrently; the RLock keeps line framing and
+        # the cipher offset consistent (flush() is called under log()).
+        self._lock = threading.RLock()
 
     @property
     def lines_logged(self) -> int:
@@ -65,26 +70,29 @@ class CSVLogger:
             [timestamp, kind, _csv_escape(table), _csv_escape(detail), str(rows)]
         )
         data = (line + "\n").encode("utf-8")
-        if self._cipher is not None:
-            data = self._cipher.apply(data, self._offset)
-        self._offset += len(data)
-        self._buffer.write(data)
-        self._lines += 1
-        now = self._clock.now()
-        if now - self._last_flush >= self._flush_window:
-            self.flush()
+        with self._lock:
+            if self._cipher is not None:
+                data = self._cipher.apply(data, self._offset)
+            self._offset += len(data)
+            self._buffer.write(data)
+            self._lines += 1
+            now = self._clock.now()
+            if now - self._last_flush >= self._flush_window:
+                self.flush()
 
     def flush(self) -> None:
-        data = self._buffer.getvalue()
-        if data:
-            self._file.write(data)
-            self._file.flush()
-            os.fsync(self._file.fileno())
-            self._buffer = io.BytesIO()
-        self._last_flush = self._clock.now()
+        with self._lock:
+            data = self._buffer.getvalue()
+            if data:
+                self._file.write(data)
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._buffer = io.BytesIO()
+            self._last_flush = self._clock.now()
 
     def size_bytes(self) -> int:
-        return self._file.tell() + len(self._buffer.getvalue())
+        with self._lock:
+            return self._file.tell() + len(self._buffer.getvalue())
 
     #: tail window per GET-SYSTEM-LOGS call; bounds per-query log cost
     TAIL_WINDOW_BYTES = 1 << 18
@@ -136,6 +144,7 @@ class CSVLogger:
         return out
 
     def close(self) -> None:
-        if not self._file.closed:
-            self.flush()
-            self._file.close()
+        with self._lock:
+            if not self._file.closed:
+                self.flush()
+                self._file.close()

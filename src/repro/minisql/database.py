@@ -1,9 +1,20 @@
 """minisql — the PostgreSQL-like relational engine (the paper's RDBMS).
 
-One :class:`Database` owns a catalog, heap tables, secondary indices, an
-optional write-ahead log, an optional csvlog statement/audit log, and the
-TTL sweeper daemons.  The GDPR retrofit switches map onto the paper's
-Section 5.2 changes:
+One :class:`Database` composes the engine's three layers:
+
+* :class:`~repro.minisql.storage.Storage` — catalog, heap tables,
+  secondary indices, and the write-ahead log (with group commit);
+* :class:`~repro.minisql.executor.Executor` — plan → rows: access-path
+  selection (cached by predicate shape), residual filtering, projection,
+  and the MVCC-style write protocol;
+* :class:`~repro.minisql.transaction.LockManager` /
+  :class:`~repro.minisql.transaction.Transaction` — per-table
+  reader-writer locking (or the seed's single global lock) and
+  ``begin()/commit()`` statement batches with one WAL fsync per commit.
+
+The facade keeps the seed's public statement surface and adds
+:meth:`begin` / :meth:`transaction` for batched execution.  The GDPR
+retrofit switches map onto the paper's Section 5.2 changes:
 
 * ``encryption_at_rest`` — the persistence files (WAL, csvlog) are
   encrypted at the disk boundary, the LUKS analogue; buffer-cache pages
@@ -16,28 +27,28 @@ Section 5.2 changes:
   indices (Figure 3b / Figure 5c).
 
 Statements take programmatic predicate trees (:mod:`repro.minisql.expr`);
-a tiny SQL front-end in :mod:`repro.minisql.sql` parses text for examples.
+a tiny SQL front-end in :mod:`repro.minisql.sql` parses text for examples
+and offers ``execute_batch`` for pipelined statement streams.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.common.clock import Clock, SystemClock
-from repro.common.errors import CatalogError, ConstraintError, SQLError
+from repro.common.errors import CatalogError
 from repro.crypto.luks import FileCipher
 
-from . import wal as wal_mod
-from .btree import BTreeIndex, InvertedIndex
 from .csvlog import CSVLogger
-from .expr import ALWAYS, Expr
-from .heap import HeapTable
-from .planner import Plan, plan_scan
-from .schema import Catalog, Column, IndexInfo, TableSchema
+from .executor import Executor
+from .expr import Expr
+from .planner import Plan
+from .schema import Column
+from .storage import Storage
+from .transaction import LockManager, Transaction
 from .ttl_daemon import TTLSweeper
-from .types import TEXT_LIST, type_by_name
 
 
 @dataclass
@@ -50,6 +61,14 @@ class MiniSQLConfig:
     csvlog_path: str | None = None
     log_statements: bool = False   # also log SELECTs + their responses
     ttl_interval: float = 1.0
+    #: ``"table-rw"`` — per-table reader-writer locks (readers share,
+    #: writers exclusive); ``"global"`` — the seed's single lock, kept as
+    #: the benchmark baseline.  Observable results are identical.
+    locking: str = "table-rw"
+    #: WAL group commit (mirrors minikv's ``aof_batch_size``): under
+    #: ``fsync='always'`` the fsync is amortised over this many records;
+    #: transactions always commit with one fsync regardless.
+    wal_batch_size: int = 1
 
     def gdpr_features(self, has_indices: bool, has_ttl: bool) -> dict[str, bool]:
         return {
@@ -66,18 +85,27 @@ _SELECT_AUDIT_CAP = 4096
 
 
 class Database:
-    """A single-node relational database instance."""
+    """A single-node relational database instance (layer facade)."""
 
     def __init__(self, config: MiniSQLConfig | None = None, clock: Clock | None = None) -> None:
         self.config = config or MiniSQLConfig()
         self.clock = clock or SystemClock()
-        self.catalog = Catalog()
-        self._heaps: dict[str, HeapTable] = {}
-        self._indices: dict[str, BTreeIndex | InvertedIndex] = {}
-        self._sweepers: dict[str, TTLSweeper] = {}
-        self._lock = threading.RLock()
-        self._statements = 0
         self._file_cipher = FileCipher() if self.config.encryption_at_rest else None
+        self._storage = Storage(
+            wal_path=self.config.wal_path,
+            fsync=self.config.fsync,
+            wal_batch_size=self.config.wal_batch_size,
+            cipher=self._file_cipher,
+            clock=self.clock,
+        )
+        self._executor = Executor(self._storage, clock=self.clock)
+        self._locks = LockManager(self.config.locking)
+        #: reentrant: DDL statements nest (create_table -> pkey index)
+        self._ddl_lock = threading.RLock()
+        self._sweepers: dict[str, TTLSweeper] = {}
+        self._statements = 0
+        self._statements_lock = threading.Lock()
+        self._in_maintenance = threading.local()
         self.csvlog: CSVLogger | None = None
         if self.config.csvlog_path is not None:
             self.csvlog = CSVLogger(
@@ -86,63 +114,103 @@ class Database:
                 clock=self.clock,
                 cipher=self._file_cipher,
             )
-        self._wal: wal_mod.WALWriter | None = None
-        self._replaying = False
-        if self.config.wal_path is not None:
-            self._replay(self.config.wal_path)
-            self._wal = wal_mod.WALWriter(
-                self.config.wal_path, fsync=self.config.fsync, clock=self.clock,
-                cipher=self._file_cipher,
-            )
 
     # ------------------------------------------------------------------
-    # Internals
+    # Layer plumbing
     # ------------------------------------------------------------------
+
+    @property
+    def catalog(self):
+        return self._storage.catalog
 
     #: autovacuum fires when dead tuples exceed threshold + scale * live
     #: (PostgreSQL's defaults).
     AUTOVACUUM_THRESHOLD = 50
     AUTOVACUUM_SCALE = 0.2
 
-    def _begin(self, internal: bool = False) -> None:
-        self._statements += 1
-        if internal or self._replaying:
-            return
-        now = self.clock.now()
-        for sweeper in self._sweepers.values():
-            if sweeper.due(now):
-                sweeper.run(now)
-        for name, heap in self._heaps.items():
-            if heap.dead_count > self.AUTOVACUUM_THRESHOLD + self.AUTOVACUUM_SCALE * heap.live_count:
-                heap.vacuum()
-                self._log_wal(("vacuum", name))
+    def _count_statement(self) -> None:
+        with self._statements_lock:
+            self._statements += 1
 
-    def _log_wal(self, record: tuple) -> None:
-        if self._wal is not None and not self._replaying:
-            self._wal.append(record)
+    def _on_statement(self, internal: bool = False) -> None:
+        """Per-statement hook: count it, then run due maintenance.
+
+        Maintenance runs *before* the statement's own table lock is
+        acquired, so the sweeper's and autovacuum's write locks never nest
+        inside a lock this thread already holds.
+        """
+        self._count_statement()
+        if internal or self._storage.replaying:
+            return
+        self._maintain()
+
+    def _maintain(self) -> None:
+        """TTL sweeps + autovacuum; re-entry safe (sweeps issue statements).
+
+        Runs against a snapshot of the sweeper/heap maps, so a concurrent
+        ``drop_table`` can pull a table out from under it; a vanished
+        table is simply skipped (the seed's global lock made this race
+        impossible, and it must not surface as an error in whatever user
+        statement happened to trigger maintenance).
+        """
+        if getattr(self._in_maintenance, "active", False):
+            return
+        self._in_maintenance.active = True
+        try:
+            now = self.clock.now()
+            for sweeper in list(self._sweepers.values()):
+                if sweeper.due(now):
+                    try:
+                        sweeper.run(now)
+                    except CatalogError:
+                        continue  # table dropped concurrently
+            for name, heap in list(self._storage.heaps.items()):
+                if heap.dead_count > self.AUTOVACUUM_THRESHOLD + self.AUTOVACUUM_SCALE * heap.live_count:
+                    with self._locks.write(name):
+                        try:
+                            self._storage.vacuum_table(name)
+                        except CatalogError:
+                            continue  # table dropped concurrently
+        finally:
+            self._in_maintenance.active = False
 
     def _log_csv(self, kind: str, table: str, detail: str, rows: int) -> None:
-        if self.csvlog is not None and not self._replaying:
+        if self.csvlog is not None and not self._storage.replaying:
             self.csvlog.log(kind, table, detail, rows)
 
-    def _heap(self, table: str) -> HeapTable:
-        self.catalog.table(table)  # raises CatalogError for unknown tables
-        return self._heaps[table]
-
-    def _index_add(self, table: str, row: tuple, rid: int) -> None:
-        schema = self.catalog.table(table)
-        for info in self.catalog.indices_for(table):
-            key = row[schema.column_index(info.column)]
-            self._indices[info.name].insert(key, rid)
-
-    def _index_remove(self, table: str, row: tuple, rid: int) -> None:
-        schema = self.catalog.table(table)
-        for info in self.catalog.indices_for(table):
-            key = row[schema.column_index(info.column)]
-            self._indices[info.name].remove(key, rid)
+    def _audit_select(self, table: str, rows: list[dict], plan: Plan) -> None:
+        if self.csvlog is not None and self.csvlog.log_reads:
+            # The paper's row-level-security policy records query
+            # *responses*, not just statements: a breach report must
+            # say which personal data was exposed (G 33(3a)).  The
+            # response payload is serialised into the audit line,
+            # capped so a huge export cannot blow up one log record.
+            detail = plan.describe() + " -> " + repr(rows)[:_SELECT_AUDIT_CAP]
+            self._log_csv("SELECT", table, detail, len(rows))
 
     # ------------------------------------------------------------------
-    # DDL
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def begin(self, read: Sequence[str] = (), write: Sequence[str] = (),
+              _internal: bool = False) -> Transaction:
+        """Start a transaction holding the declared tables' locks.
+
+        Statements on the returned :class:`Transaction` run without
+        re-locking; ``commit()`` releases the locks after one WAL group
+        commit.  Tables touched but not declared are locked on first use
+        when that preserves ascending-name acquisition order (refused
+        otherwise — see :class:`~repro.minisql.transaction.Transaction`).
+        """
+        return Transaction(self, read=read, write=write, internal=_internal).begin()
+
+    def transaction(self, read: Sequence[str] = (), write: Sequence[str] = (),
+                    _internal: bool = False) -> Transaction:
+        """Context-manager form of :meth:`begin` (commit on clean exit)."""
+        return Transaction(self, read=read, write=write, internal=_internal)
+
+    # ------------------------------------------------------------------
+    # DDL (catalog lock above table locks; never inside a transaction)
     # ------------------------------------------------------------------
 
     def create_table(
@@ -151,69 +219,40 @@ class Database:
         columns: Sequence[Column],
         primary_key: str | None = None,
     ) -> None:
-        with self._lock:
-            self._begin(internal=True)
-            schema = TableSchema(name, list(columns), primary_key)
-            self.catalog.add_table(schema)
-            self._heaps[name] = HeapTable(schema)
-            self._log_wal(
-                (
-                    "create_table",
-                    name,
-                    [(c.name, c.type.name, c.nullable) for c in columns],
-                    primary_key,
-                )
-            )
+        with self._ddl_lock:
+            self._count_statement()
+            self._storage.create_table(name, columns, primary_key)
             if primary_key is not None:
                 self.create_index(f"{name}_pkey", name, primary_key, unique=True)
             self._log_csv("DDL", name, "CREATE TABLE", 0)
 
     def drop_table(self, name: str) -> None:
-        with self._lock:
-            self._begin(internal=True)
-            for info in self.catalog.indices_for(name):
-                self._indices.pop(info.name, None)
-            self.catalog.drop_table(name)
-            self._heaps.pop(name, None)
+        with self._ddl_lock:
+            self._count_statement()
+            with self._locks.write(name):
+                self._storage.drop_table(name)
             self._sweepers.pop(name, None)
-            self._log_wal(("drop_table", name))
             self._log_csv("DDL", name, "DROP TABLE", 0)
 
     def create_index(self, name: str, table: str, column: str, unique: bool = False) -> None:
-        """Create a secondary index; kind is inferred from the column type.
-
-        TEXT_LIST columns get an inverted (GIN-like) index; everything else
-        a B-tree.  The index is built immediately from the existing heap.
-        """
-        with self._lock:
-            self._begin(internal=True)
-            schema = self.catalog.table(table)
-            col = schema.column(column)
-            kind = "inverted" if col.type is TEXT_LIST else "btree"
-            if kind == "inverted" and unique:
-                raise CatalogError("inverted indices cannot be UNIQUE")
-            info = IndexInfo(name=name, table=table, column=column, kind=kind, unique=unique)
-            self.catalog.add_index(info)
-            index: BTreeIndex | InvertedIndex
-            index = InvertedIndex() if kind == "inverted" else BTreeIndex(unique=unique)
-            col_idx = schema.column_index(column)
-            for rid, row in self._heaps[table].scan():
-                index.insert(row[col_idx], rid)
-            self._indices[name] = index
-            self._log_wal(("create_index", name, table, column, unique))
+        """Create a secondary index (built immediately from the heap)."""
+        with self._ddl_lock:
+            self._count_statement()
+            with self._locks.write(table):
+                self._storage.create_index(name, table, column, unique=unique)
             self._log_csv("DDL", table, f"CREATE INDEX {name} ON {table}({column})", 0)
 
     def drop_index(self, name: str) -> None:
-        with self._lock:
-            self._begin(internal=True)
-            info = self.catalog.drop_index(name)
-            self._indices.pop(name, None)
-            self._log_wal(("drop_index", name))
+        with self._ddl_lock:
+            self._count_statement()
+            info = self.catalog.index(name)
+            with self._locks.write(info.table):
+                self._storage.drop_index(name)
             self._log_csv("DDL", info.table, f"DROP INDEX {name}", 0)
 
     def enable_ttl(self, table: str, column: str, interval: float | None = None) -> TTLSweeper:
         """Attach the timely-deletion daemon to ``table.column``."""
-        with self._lock:
+        with self._ddl_lock:
             schema = self.catalog.table(table)
             schema.column_index(column)  # validate
             sweeper = TTLSweeper(
@@ -228,73 +267,18 @@ class Database:
         return bool(self._sweepers)
 
     # ------------------------------------------------------------------
-    # DML
+    # DML / queries (autocommit: one statement, one lock scope)
     # ------------------------------------------------------------------
 
     def insert(self, table: str, values: Mapping[str, object], _internal: bool = False) -> int:
-        with self._lock:
-            self._begin(internal=_internal)
-            schema = self.catalog.table(table)
-            row = schema.validate_row(dict(values))
-            self._check_unique(table, schema, row, skip_rid=None)
-            rid = self._heaps[table].insert(row)
-            try:
-                self._index_add(table, row, rid)
-            except ConstraintError:
-                self._heaps[table].delete(rid)
-                raise
-            self._log_wal(("insert", table, rid, row))
-            self._log_csv("INSERT", table, schema.name, 1)
-            return rid
-
-    def _check_unique(self, table: str, schema: TableSchema, row: tuple, skip_rid: int | None) -> None:
-        """Pre-check unique indices so a failed insert leaves no trace."""
-        for info in self.catalog.indices_for(table):
-            if not info.unique:
-                continue
-            key = row[schema.column_index(info.column)]
-            if key is None:
-                continue
-            hits = [r for r in self._indices[info.name].search(key) if r != skip_rid]
-            if hits:
-                raise ConstraintError(
-                    f"duplicate key {key!r} violates unique index {info.name!r}"
-                )
-
-    def _plan_rows(self, plan: Plan) -> Iterable[tuple[int, tuple]]:
-        """Yield candidate (rid, row) pairs for a plan, pre-residual."""
-        heap = self._heaps[plan.table]
-        if plan.kind == "seqscan":
-            yield from heap.scan()
-            return
-        assert plan.index is not None
-        index = self._indices[plan.index.name]
-        if plan.op == "eq":
-            rids: Iterable[int] = index.search(plan.value)
-        elif plan.op == "contains":
-            rids = index.search(plan.value)
-        else:  # range
-            assert isinstance(index, BTreeIndex)
-            rids = [
-                rid
-                for _, rid in index.range_scan(
-                    plan.lo, plan.hi, inclusive=(plan.lo_inclusive, plan.hi_inclusive)
-                )
-            ]
-        for rid in rids:
-            row = heap.fetch(rid)
-            if row is not None:
-                yield rid, row
-
-    def _matching(self, table: str, where: Expr | None) -> list[tuple[int, tuple]]:
-        plan = plan_scan(self.catalog, table, where)
-        schema = self.catalog.table(table)
-        predicate = where if where is not None else ALWAYS
-        return [
-            (rid, row)
-            for rid, row in self._plan_rows(plan)
-            if predicate.evaluate(row, schema)
-        ]
+        self._on_statement(internal=_internal)
+        with self._locks.write(table):
+            # audit lines are written inside the lock scope so the csvlog
+            # order matches the apply order (the seed's guarantee — an
+            # auditor replaying the log must reconstruct the final state)
+            rid = self._executor.insert(table, values)
+            self._log_csv("INSERT", table, table, 1)
+        return rid
 
     def select(
         self,
@@ -307,46 +291,19 @@ class Database:
         _internal: bool = False,
     ) -> list[dict]:
         """Run a query; returns a list of column->value dicts."""
-        with self._lock:
-            self._begin(internal=_internal)
-            schema = self.catalog.table(table)
-            names = list(columns) if columns is not None else schema.column_names()
-            for name in names:
-                schema.column_index(name)  # validate projection
-            matches = self._matching(table, where)
-            if order_by is not None:
-                key_idx = schema.column_index(order_by)
-                matches.sort(key=lambda pair: (pair[1][key_idx] is None, pair[1][key_idx]), reverse=descending)
-            if limit is not None:
-                matches = matches[:limit]
-            out = [
-                {name: row[schema.column_index(name)] for name in names}
-                for _, row in matches
-            ]
-            if self.csvlog is not None and self.csvlog.log_reads:
-                # The paper's row-level-security policy records query
-                # *responses*, not just statements: a breach report must
-                # say which personal data was exposed (G 33(3a)).  The
-                # response payload is serialised into the audit line,
-                # capped so a huge export cannot blow up one log record.
-                plan_text = plan_scan(self.catalog, table, where).describe()
-                detail = plan_text + " -> " + repr(out)[:_SELECT_AUDIT_CAP]
-                self._log_csv("SELECT", table, detail, len(out))
-            return out
+        self._on_statement(internal=_internal)
+        with self._locks.read(table):
+            rows, plan = self._executor.select(
+                table, where, columns=columns, limit=limit,
+                order_by=order_by, descending=descending,
+            )
+            self._audit_select(table, rows, plan)
+        return rows
 
     def count(self, table: str, where: Expr | None = None) -> int:
-        with self._lock:
-            self._begin()  # a user statement: sweepers/autovacuum may run
-            return len(self._matching(table, where))
-
-    #: aggregate name -> (fold over non-NULL values)
-    _AGGREGATES = {
-        "count": lambda values: len(values),
-        "sum": lambda values: sum(values) if values else None,
-        "min": lambda values: min(values) if values else None,
-        "max": lambda values: max(values) if values else None,
-        "avg": lambda values: (sum(values) / len(values)) if values else None,
-    }
+        self._on_statement()  # a user statement: sweepers/autovacuum may run
+        with self._locks.read(table):
+            return self._executor.count(table, where)
 
     def aggregate(
         self,
@@ -363,32 +320,11 @@ class Database:
         Regulators use this for census queries — e.g. records held per
         customer — without ever touching personal data.
         """
-        function = function.lower()
-        if function not in self._AGGREGATES:
-            raise SQLError(
-                f"unknown aggregate {function!r}; choose from {sorted(self._AGGREGATES)}"
+        self._on_statement()
+        with self._locks.read(table):
+            return self._executor.aggregate(
+                table, function, column=column, where=where, group_by=group_by
             )
-        if column is None and function != "count":
-            raise SQLError(f"{function.upper()} requires a column")
-        with self._lock:
-            self._begin()
-            schema = self.catalog.table(table)
-            col_idx = schema.column_index(column) if column is not None else None
-            group_idx = schema.column_index(group_by) if group_by is not None else None
-            fold = self._AGGREGATES[function]
-
-            def values_of(rows):
-                if col_idx is None:
-                    return rows  # COUNT(*): count whole rows
-                return [row[col_idx] for _, row in rows if row[col_idx] is not None]
-
-            matches = self._matching(table, where)
-            if group_idx is None:
-                return fold(values_of(matches))
-            groups: dict = {}
-            for rid, row in matches:
-                groups.setdefault(row[group_idx], []).append((rid, row))
-            return {key: fold(values_of(rows)) for key, rows in groups.items()}
 
     def update(
         self,
@@ -397,71 +333,46 @@ class Database:
         where: Expr | None = None,
         _internal: bool = False,
     ) -> int:
-        with self._lock:
-            self._begin(internal=_internal)
-            schema = self.catalog.table(table)
-            validated = {
-                name: schema.column(name).validate(value)
-                for name, value in assignments.items()
-            }
-            heap = self._heaps[table]
-            changed = 0
-            # MVCC-style update: the new row version is a fresh tuple at a
-            # new rid, so every index on the table must be maintained (no
-            # HOT optimisation) and the old version leaves a dead tuple
-            # until vacuum — PostgreSQL's cost model for Figure 3b.
-            for rid, row in self._matching(table, where):
-                new_row = list(row)
-                for name, value in validated.items():
-                    new_row[schema.column_index(name)] = value
-                new_tuple = tuple(new_row)
-                self._check_unique(table, schema, new_tuple, skip_rid=rid)
-                self._index_remove(table, row, rid)
-                heap.delete(rid)
-                self._log_wal(("delete", table, rid))
-                new_rid = heap.insert(new_tuple)
-                self._index_add(table, new_tuple, new_rid)
-                self._log_wal(("insert", table, new_rid, new_tuple))
-                changed += 1
+        self._on_statement(internal=_internal)
+        with self._locks.write(table):
+            changed = self._executor.update(table, assignments, where)
             self._log_csv("UPDATE", table, repr(sorted(assignments)), changed)
-            return changed
+        return changed
 
     def delete(self, table: str, where: Expr | None = None, _internal: bool = False) -> int:
-        with self._lock:
-            self._begin(internal=_internal)
-            heap = self._heaps[table]
-            removed = 0
-            for rid, row in self._matching(table, where):
-                self._index_remove(table, row, rid)
-                heap.delete(rid)
-                self._log_wal(("delete", table, rid))
-                removed += 1
+        self._on_statement(internal=_internal)
+        with self._locks.write(table):
+            removed = self._executor.delete(table, where)
             self._log_csv("DELETE", table, repr(where), removed)
-            return removed
+        return removed
 
     def vacuum(self, table: str | None = None) -> int:
-        with self._lock:
-            self._begin(internal=True)
-            tables = [table] if table is not None else self.catalog.tables()
-            reclaimed = 0
-            for name in tables:
-                reclaimed += self._heap(name).vacuum()
-                self._log_wal(("vacuum", name))
-            return reclaimed
+        self._count_statement()
+        tables = [table] if table is not None else self.catalog.tables()
+        reclaimed = 0
+        for name in tables:
+            with self._locks.write(name):
+                try:
+                    reclaimed += self._storage.vacuum_table(name)
+                except CatalogError:
+                    if table is not None:
+                        raise  # an explicit target must exist
+                    # a database-wide sweep skips concurrently dropped tables
+        return reclaimed
 
     def explain(self, table: str, where: Expr | None = None) -> str:
-        with self._lock:
-            return plan_scan(self.catalog, table, where).describe()
+        with self._locks.read(table):
+            return self._executor.explain(table, where)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def table_stats(self, table: str) -> dict:
-        with self._lock:
-            heap = self._heap(table)
+        with self._locks.read(table):
+            heap = self._storage.heap(table)
             index_bytes = {
-                info.name: self._indices[info.name].size_bytes()
+                info.name: self._storage.indices[info.name].size_bytes()
                 for info in self.catalog.indices_for(table)
             }
             return {
@@ -473,103 +384,45 @@ class Database:
             }
 
     def disk_usage(self) -> dict:
-        """Total footprint: heaps + indices + WAL + csvlog (Table 3)."""
-        with self._lock:
-            heap_bytes = sum(h.total_bytes() for h in self._heaps.values())
-            index_bytes = sum(i.size_bytes() for i in self._indices.values())
-            wal_bytes = self._wal.size_bytes() if self._wal else 0
-            log_bytes = self.csvlog.size_bytes() if self.csvlog else 0
-            return {
-                "heap_bytes": heap_bytes,
-                "index_bytes": index_bytes,
-                "wal_bytes": wal_bytes,
-                "csvlog_bytes": log_bytes,
-                "total_bytes": heap_bytes + index_bytes + wal_bytes + log_bytes,
-            }
+        """Total footprint: heaps + indices + WAL + csvlog (Table 3).
+
+        Reads the layers' byte counters without table locks — each counter
+        is a single attribute read, so a concurrent writer can at worst
+        make the snapshot momentarily stale, never inconsistent per table.
+        """
+        heap_bytes = sum(h.total_bytes() for h in list(self._storage.heaps.values()))
+        index_bytes = sum(i.size_bytes() for i in list(self._storage.indices.values()))
+        wal_bytes = self._storage.wal.size_bytes() if self._storage.wal else 0
+        log_bytes = self.csvlog.size_bytes() if self.csvlog else 0
+        return {
+            "heap_bytes": heap_bytes,
+            "index_bytes": index_bytes,
+            "wal_bytes": wal_bytes,
+            "csvlog_bytes": log_bytes,
+            "total_bytes": heap_bytes + index_bytes + wal_bytes + log_bytes,
+        }
 
     def info(self) -> dict:
-        with self._lock:
-            return {
-                "tables": self.catalog.tables(),
-                "statements": self._statements,
-                "gdpr_features": self.config.gdpr_features(
-                    has_indices=any(
-                        not info.name.endswith("_pkey")
-                        for t in self.catalog.tables()
-                        for info in self.catalog.indices_for(t)
-                    ),
-                    has_ttl=self.ttl_enabled,
+        return {
+            "tables": self.catalog.tables(),
+            "statements": self._statements,
+            "gdpr_features": self.config.gdpr_features(
+                has_indices=any(
+                    not info.name.endswith("_pkey")
+                    for t in self.catalog.tables()
+                    for info in self.catalog.indices_for(t)
                 ),
-                "disk_usage": self.disk_usage(),
-            }
+                has_ttl=self.ttl_enabled,
+            ),
+            "disk_usage": self.disk_usage(),
+        }
 
     # ------------------------------------------------------------------
-    # Recovery
-    # ------------------------------------------------------------------
-
-    def _replay(self, path: str) -> None:
-        """Rebuild state from the WAL (crash recovery)."""
-        records = wal_mod.load_wal(path, cipher=self._file_cipher)
-        if not records:
-            return
-        self._replaying = True
-        try:
-            for record in records:
-                op = record[0]
-                if op == "create_table":
-                    _, name, cols, pk = record
-                    columns = [
-                        Column(cname, type_by_name(tname), nullable)
-                        for cname, tname, nullable in cols
-                    ]
-                    self.create_table(name, columns, primary_key=pk)
-                elif op == "drop_table":
-                    self.drop_table(record[1])
-                elif op == "create_index":
-                    _, name, table, column, unique = record
-                    if name not in {i.name for t in self.catalog.tables() for i in self.catalog.indices_for(t)}:
-                        self.create_index(name, table, column, unique=unique)
-                elif op == "drop_index":
-                    self.drop_index(record[1])
-                elif op == "insert":
-                    _, table, rid, row = record
-                    heap = self._heaps[table]
-                    got = heap.insert(row)
-                    if got != rid:
-                        raise SQLError(
-                            f"WAL replay divergence on {table}: rid {got} != {rid}"
-                        )
-                    self._index_add(table, row, rid)
-                elif op == "update":
-                    _, table, rid, row = record
-                    heap = self._heaps[table]
-                    old = heap.fetch(rid)
-                    if old is None:
-                        raise SQLError(f"WAL replay: update of missing rid {rid}")
-                    self._index_remove(table, old, rid)
-                    heap.update(rid, row)
-                    self._index_add(table, row, rid)
-                elif op == "delete":
-                    _, table, rid = record
-                    heap = self._heaps[table]
-                    old = heap.fetch(rid)
-                    if old is None:
-                        raise SQLError(f"WAL replay: delete of missing rid {rid}")
-                    self._index_remove(table, old, rid)
-                    heap.delete(rid)
-                elif op == "vacuum":
-                    self._heaps[record[1]].vacuum()
-                else:
-                    raise SQLError(f"unknown WAL record {op!r}")
-        finally:
-            self._replaying = False
 
     def close(self) -> None:
-        with self._lock:
-            if self._wal is not None:
-                self._wal.close()
-            if self.csvlog is not None:
-                self.csvlog.close()
+        self._storage.close()
+        if self.csvlog is not None:
+            self.csvlog.close()
 
     def __enter__(self) -> "Database":
         return self

@@ -1,0 +1,276 @@
+"""Statement execution for minisql: plan → rows.
+
+The middle layer of the engine's split.  An :class:`Executor` turns logical
+statements (select/count/aggregate/insert/update/delete) into physical
+operations on a :class:`~repro.minisql.storage.Storage`.  It owns the
+per-statement query machinery — access-path selection (with a shape-keyed
+plan cache), residual predicate filtering, projection, ordering, and the
+MVCC-style update protocol — and nothing else: locking, statement
+accounting, audit logging, and maintenance all live in the layers above.
+
+Callers must hold the appropriate per-table lock for every call (shared
+for the read methods, exclusive for the write methods); the executor never
+acquires locks itself.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import SQLError
+
+from .btree import BTreeIndex
+from .expr import ALWAYS, Expr
+from .planner import CatalogVersionedCache, Plan, PlanCache
+from .schema import TableSchema
+from .storage import Storage
+
+
+class Executor:
+    """Plan and run statements against one storage instance."""
+
+    #: aggregate name -> (fold over non-NULL values)
+    AGGREGATES = {
+        "count": lambda values: len(values),
+        "sum": lambda values: sum(values) if values else None,
+        "min": lambda values: min(values) if values else None,
+        "max": lambda values: max(values) if values else None,
+        "avg": lambda values: (sum(values) / len(values)) if values else None,
+    }
+
+    def __init__(self, storage: Storage, clock: Clock | None = None) -> None:
+        self.storage = storage
+        self.clock = clock or SystemClock()
+        self._plans = PlanCache(storage.catalog)
+        #: (table, columns tuple | None) -> (names, column indices);
+        #: versioned like the plan cache so DDL invalidates it.
+        self._projections: CatalogVersionedCache = CatalogVersionedCache(storage.catalog)
+        #: (table, column, columns) -> (index, names, idxs, col_idx);
+        #: the prepared point-lookup cache (see :meth:`select_point`).
+        self._points: CatalogVersionedCache = CatalogVersionedCache(storage.catalog)
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+
+    def plan(self, table: str, where: Expr | None) -> Plan:
+        return self._plans.plan(table, where)
+
+    def _plan_rows(self, plan: Plan) -> Iterator[tuple[int, tuple]]:
+        """Yield candidate (rid, row) pairs for a plan, pre-residual."""
+        heap = self.storage.heaps[plan.table]
+        if plan.kind == "seqscan":
+            yield from heap.scan()
+            return
+        assert plan.index is not None
+        index = self.storage.indices[plan.index.name]
+        if plan.op in ("eq", "contains"):
+            rids: Iterable[int] = index.search(plan.value)
+        else:  # range
+            assert isinstance(index, BTreeIndex)
+            rids = [
+                rid
+                for _, rid in index.range_scan(
+                    plan.lo, plan.hi, inclusive=(plan.lo_inclusive, plan.hi_inclusive)
+                )
+            ]
+        yield from heap.fetch_many(rids)
+
+    def matching(
+        self, table: str, where: Expr | None, limit: int | None = None
+    ) -> tuple[list[tuple[int, tuple]], Plan]:
+        """(rid, row) pairs satisfying ``where``, and the plan that drove it.
+
+        ``limit`` stops collecting after that many matches — the chunked
+        paths (TTL sweeps, limited DELETE) use it so a bounded batch never
+        pays for materialising every match.
+        """
+        plan = self._plans.plan(table, where)
+        if plan.exact:
+            # The index lookup satisfies the whole predicate: no residual.
+            rows = self._plan_rows(plan)
+            matches = list(rows if limit is None else islice(rows, limit))
+            return matches, plan
+        schema = self.storage.catalog.table(table)
+        predicate = where if where is not None else ALWAYS
+        matches = []
+        for rid, row in self._plan_rows(plan):
+            if predicate.evaluate(row, schema):
+                matches.append((rid, row))
+                if limit is not None and len(matches) >= limit:
+                    break
+        return matches, plan
+
+    def select_point(self, table: str, column: str, value,
+                     columns: Sequence[str] | None = None) -> list[dict]:
+        """Prepared point lookup: ``SELECT <columns> WHERE column = value``.
+
+        The per-statement machinery (predicate tree, plan construction,
+        residual filter) is resolved once per (table, column, projection)
+        and cached — the prepared-statement path a real SQL client uses
+        for its hot point reads.  Falls back to the general path when no
+        B-tree index covers ``column``.
+        """
+        if value is None:
+            return []  # SQL three-valued logic: col = NULL matches nothing
+        catalog = self.storage.catalog
+        self._points.sync()
+        key = (table, column, tuple(columns) if columns is not None else None)
+        prepared = self._points.get(key)
+        if prepared is None:
+            schema = catalog.table(table)
+            names, idxs = self._projection(table, schema, columns)
+            index = None
+            for info in catalog.indices_for(table):
+                if info.column == column and info.kind == "btree":
+                    index = self.storage.indices[info.name]
+                    break
+            prepared = (index, names, idxs, schema.column_index(column))
+            self._points[key] = prepared
+        index, names, idxs, col_idx = prepared
+        heap = self.storage.heaps[table]
+        if index is not None:
+            pairs = heap.fetch_many(index.search(value))
+        else:
+            pairs = ((rid, row) for rid, row in heap.scan() if row[col_idx] == value)
+        return [
+            {name: row[idx] for name, idx in zip(names, idxs)}
+            for _, row in pairs
+        ]
+
+    def _projection(self, table: str, schema: TableSchema,
+                    columns: Sequence[str] | None) -> tuple[list[str], list[int]]:
+        self._projections.sync()
+        key = (table, tuple(columns) if columns is not None else None)
+        try:
+            return self._projections[key]
+        except KeyError:
+            names = list(columns) if columns is not None else schema.column_names()
+            idxs = [schema.column_index(name) for name in names]  # validates
+            self._projections[key] = (names, idxs)
+            return names, idxs
+
+    # ------------------------------------------------------------------
+    # Read statements (caller holds the table's read lock)
+    # ------------------------------------------------------------------
+
+    def select(
+        self,
+        table: str,
+        where: Expr | None = None,
+        columns: Sequence[str] | None = None,
+        limit: int | None = None,
+        order_by: str | None = None,
+        descending: bool = False,
+    ) -> tuple[list[dict], Plan]:
+        """Run a query; returns (column->value dicts, the plan used)."""
+        schema = self.storage.catalog.table(table)
+        names, idxs = self._projection(table, schema, columns)
+        matches, plan = self.matching(table, where)
+        if order_by is not None:
+            key_idx = schema.column_index(order_by)
+            matches.sort(
+                key=lambda pair: (pair[1][key_idx] is None, pair[1][key_idx]),
+                reverse=descending,
+            )
+        if limit is not None:
+            matches = matches[:limit]
+        out = [
+            {name: row[idx] for name, idx in zip(names, idxs)}
+            for _, row in matches
+        ]
+        return out, plan
+
+    def count(self, table: str, where: Expr | None = None) -> int:
+        matches, _ = self.matching(table, where)
+        return len(matches)
+
+    def aggregate(
+        self,
+        table: str,
+        function: str,
+        column: str | None = None,
+        where: Expr | None = None,
+        group_by: str | None = None,
+    ):
+        """COUNT/SUM/MIN/MAX/AVG, optionally grouped by one column.
+
+        ``column=None`` is COUNT(*) semantics (rows, not values).  Without
+        ``group_by`` returns a scalar; with it, a dict of group -> value.
+        """
+        function = function.lower()
+        if function not in self.AGGREGATES:
+            raise SQLError(
+                f"unknown aggregate {function!r}; choose from {sorted(self.AGGREGATES)}"
+            )
+        if column is None and function != "count":
+            raise SQLError(f"{function.upper()} requires a column")
+        schema = self.storage.catalog.table(table)
+        col_idx = schema.column_index(column) if column is not None else None
+        group_idx = schema.column_index(group_by) if group_by is not None else None
+        fold = self.AGGREGATES[function]
+
+        def values_of(rows):
+            if col_idx is None:
+                return rows  # COUNT(*): count whole rows
+            return [row[col_idx] for _, row in rows if row[col_idx] is not None]
+
+        matches, _ = self.matching(table, where)
+        if group_idx is None:
+            return fold(values_of(matches))
+        groups: dict = {}
+        for rid, row in matches:
+            groups.setdefault(row[group_idx], []).append((rid, row))
+        return {key: fold(values_of(rows)) for key, rows in groups.items()}
+
+    def explain(self, table: str, where: Expr | None = None) -> str:
+        return self._plans.plan(table, where).describe()
+
+    # ------------------------------------------------------------------
+    # Write statements (caller holds the table's write lock)
+    # ------------------------------------------------------------------
+
+    def insert(self, table: str, values: Mapping[str, object]) -> int:
+        schema = self.storage.catalog.table(table)
+        row = schema.validate_row(dict(values))
+        return self.storage.insert_row(table, schema, row)
+
+    def update(
+        self,
+        table: str,
+        assignments: Mapping[str, object],
+        where: Expr | None = None,
+    ) -> int:
+        schema = self.storage.catalog.table(table)
+        validated = {
+            name: schema.column(name).validate(value)
+            for name, value in assignments.items()
+        }
+        heap = self.storage.heaps[table]
+        changed = 0
+        # MVCC-style update: the new row version is a fresh tuple at a
+        # new rid, so every index on the table must be maintained (no
+        # HOT optimisation) and the old version leaves a dead tuple
+        # until vacuum — PostgreSQL's cost model for Figure 3b.
+        matches, _ = self.matching(table, where)
+        for rid, row in matches:
+            new_row = list(row)
+            for name, value in validated.items():
+                new_row[schema.column_index(name)] = value
+            new_tuple = tuple(new_row)
+            self.storage.check_unique(table, schema, new_tuple, skip_rid=rid)
+            self.storage.delete_row(table, rid, row)
+            new_rid = heap.insert(new_tuple)
+            self.storage.index_add(table, new_tuple, new_rid)
+            self.storage.log(("insert", table, new_rid, new_tuple))
+            changed += 1
+        return changed
+
+    def delete(self, table: str, where: Expr | None = None, limit: int | None = None) -> int:
+        self.storage.catalog.table(table)  # validate before touching the heap
+        matches, _ = self.matching(table, where, limit=limit)
+        for rid, row in matches:
+            self.storage.delete_row(table, rid, row)
+        return len(matches)

@@ -102,6 +102,24 @@ class HeapTable:
             return None
         return self._codec.decode(rid, stored) if self._codec else stored
 
+    def fetch_many(self, rids) -> Iterator[tuple[int, tuple]]:
+        """Yield (rid, row) for the live rows among ``rids``.
+
+        The executor's index scans resolve a posting list through this:
+        one call per batch of rids instead of a fetch per rid, skipping
+        entries whose row has since been deleted.
+        """
+        slots = self._slots
+        n = len(slots)
+        codec = self._codec
+        for rid in rids:
+            if rid < 0 or rid >= n:
+                continue
+            stored = slots[rid]
+            if stored is None or stored is _TOMBSTONE:
+                continue
+            yield rid, (codec.decode(rid, stored) if codec else stored)
+
     def update(self, rid: int, row: tuple) -> tuple:
         """Replace the row at ``rid`` in place; returns the old row."""
         old = self.fetch(rid)

@@ -41,6 +41,10 @@ class Plan:
     hi: object = None
     lo_inclusive: bool = True
     hi_inclusive: bool = True
+    #: True when the index lookup alone satisfies the whole predicate
+    #: (single eq/contains conjunct, non-NULL constant): the executor may
+    #: skip the residual re-check.  Only the cached planner sets this.
+    exact: bool = False
 
     def describe(self) -> str:
         if self.kind == "seqscan":
@@ -82,6 +86,10 @@ def plan_scan(catalog: Catalog, table: str, predicate: Expr | None) -> Plan:
     if best is None:
         return Plan(kind="seqscan", table=table, predicate=predicate)
     _, op, conjunct, info = best
+    return _build_plan(table, predicate, op, conjunct, info)
+
+
+def _build_plan(table: str, predicate: Expr, op: str, conjunct: Expr, info: IndexInfo) -> Plan:
     if op == "eq":
         return Plan(
             kind="indexscan", table=table, predicate=predicate,
@@ -102,3 +110,86 @@ def plan_scan(catalog: Catalog, table: str, predicate: Expr | None) -> Plan:
         plan.lo = conjunct.value
         plan.lo_inclusive = conjunct.op == ">="
     return plan
+
+
+def _conjunct_shape(conjunct: Expr) -> tuple:
+    """Structural key of a conjunct: what it constrains, not its constant."""
+    if isinstance(conjunct, Cmp):
+        return ("cmp", conjunct.column, conjunct.op)
+    if isinstance(conjunct, Contains):
+        return ("contains", conjunct.column)
+    return ("opaque", type(conjunct).__name__)
+
+
+class CatalogVersionedCache(dict):
+    """A dict emptied whenever the catalog's DDL version moves.
+
+    Every executor-side cache (plan shapes, projections, prepared point
+    lookups) keys its validity off ``catalog.version``; this holds that
+    check-and-clear rule in one place.  Call :meth:`sync` before reading.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        super().__init__()
+        self._catalog = catalog
+        self._version = catalog.version
+
+    def sync(self) -> None:
+        if self._catalog.version != self._version:
+            self.clear()
+            self._version = self._catalog.version
+
+
+class PlanCache:
+    """Memoised access-path selection, keyed by predicate *shape*.
+
+    Access-path choice depends only on which columns/operators a
+    predicate's conjuncts constrain and on the catalog's indices — not on
+    the constants.  Hot statement streams (point SELECTs in a pipelined
+    batch) re-plan the same shape thousands of times; this cache reduces
+    that to a dict lookup plus rebinding the constants.  Any DDL bumps
+    ``catalog.version``, which empties the cache, so a cached choice can
+    never outlive the indices it was made against.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+        #: (table, shape) -> None (seqscan) or (conjunct position, op, IndexInfo)
+        self._choices: CatalogVersionedCache = CatalogVersionedCache(catalog)
+
+    def plan(self, table: str, predicate: Expr | None) -> Plan:
+        predicate = predicate if predicate is not None else ALWAYS
+        self._choices.sync()
+        conjuncts = predicate.conjuncts()
+        key = (table, tuple(_conjunct_shape(c) for c in conjuncts))
+        try:
+            choice = self._choices[key]
+        except KeyError:
+            choice = self._choose(table, conjuncts)
+            self._choices[key] = choice
+        if choice is None:
+            return Plan(kind="seqscan", table=table, predicate=predicate)
+        position, op, info = choice
+        plan = _build_plan(table, predicate, op, conjuncts[position], info)
+        # A lone eq/contains conjunct is answered exactly by its index
+        # lookup (NULL constants excepted: SQL's three-valued logic says
+        # ``col = NULL`` matches nothing, but a B-tree stores NULL keys).
+        if len(conjuncts) == 1 and op in ("eq", "contains") and plan.value is not None:
+            plan.exact = True
+        return plan
+
+    def _choose(self, table: str, conjuncts: list[Expr]) -> tuple | None:
+        indices_by_column = {
+            info.column: info for info in self._catalog.indices_for(table)
+        }
+        positions = {id(c): i for i, c in enumerate(conjuncts)}
+        best: tuple[int, int, str, IndexInfo] | None = None
+        for conjunct in conjuncts:
+            for op, matched, info in _candidates(conjunct, indices_by_column):
+                rank = _PREFERENCE[op]
+                if best is None or rank < best[0]:
+                    best = (rank, positions[id(matched)], op, info)
+        if best is None:
+            return None
+        _, position, op, info = best
+        return (position, op, info)

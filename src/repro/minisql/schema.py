@@ -100,12 +100,17 @@ class Catalog:
         self._tables: dict[str, TableSchema] = {}
         self._indices: dict[str, IndexInfo] = {}
         self._indices_by_table: dict[str, list[IndexInfo]] = {}
+        #: bumped on every DDL change; executors key their plan and
+        #: projection caches off it so cached access paths never survive
+        #: a schema or index change.
+        self.version = 0
 
     def add_table(self, schema: TableSchema) -> None:
         if schema.name in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
         self._tables[schema.name] = schema
         self._indices_by_table.setdefault(schema.name, [])
+        self.version += 1
 
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
@@ -113,6 +118,7 @@ class Catalog:
         del self._tables[name]
         for info in self._indices_by_table.pop(name, []):
             self._indices.pop(info.name, None)
+        self.version += 1
 
     def table(self, name: str) -> TableSchema:
         try:
@@ -130,12 +136,14 @@ class Catalog:
         schema.column_index(info.column)  # validates column
         self._indices[info.name] = info
         self._indices_by_table[info.table].append(info)
+        self.version += 1
 
     def drop_index(self, name: str) -> IndexInfo:
         if name not in self._indices:
             raise CatalogError(f"no index {name!r}")
         info = self._indices.pop(name)
         self._indices_by_table[info.table].remove(info)
+        self.version += 1
         return info
 
     def indices_for(self, table: str) -> list[IndexInfo]:

@@ -1,0 +1,269 @@
+"""Physical storage layer for minisql: catalog + heaps + indices + WAL.
+
+This is the bottom layer of the engine's three-layer split (storage →
+executor → transaction/locking, composed by :class:`~repro.minisql.database.Database`).
+It owns everything that persists — the catalog, one :class:`HeapTable` per
+table, the secondary indices, and the write-ahead log — and exposes the
+*physical* operations on them: create/drop of tables and indices, row
+insert/delete with index maintenance and WAL logging, vacuum, and crash
+recovery by WAL replay.
+
+The storage layer performs **no locking, no statement accounting, and no
+audit logging** — those belong to the layers above.  Callers must hold the
+appropriate table locks (see :mod:`repro.minisql.transaction`); WAL appends
+made while a table's write lock is held preserve per-table record order,
+which is all replay needs for rid-allocation determinism.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import nullcontext
+from typing import Sequence
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import CatalogError, ConstraintError, SQLError
+
+from . import wal as wal_mod
+from .btree import BTreeIndex, InvertedIndex
+from .heap import HeapTable
+from .schema import Catalog, Column, IndexInfo, TableSchema
+from .types import TEXT_LIST, type_by_name
+
+
+class Storage:
+    """Catalog, heaps, secondary indices, and the WAL, as one unit."""
+
+    def __init__(
+        self,
+        wal_path: str | None = None,
+        fsync: str = "everysec",
+        wal_batch_size: int = 1,
+        cipher=None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.clock = clock or SystemClock()
+        self.catalog = Catalog()
+        self.heaps: dict[str, HeapTable] = {}
+        self.indices: dict[str, BTreeIndex | InvertedIndex] = {}
+        self.wal: wal_mod.WALWriter | None = None
+        self.replaying = False
+        self._cipher = cipher
+        if wal_path is not None:
+            self.replay(wal_path)
+            self.wal = wal_mod.WALWriter(
+                wal_path, fsync=fsync, clock=self.clock,
+                cipher=cipher, batch_size=wal_batch_size,
+            )
+
+    # ------------------------------------------------------------------
+    # WAL
+    # ------------------------------------------------------------------
+
+    def log(self, record: tuple) -> None:
+        if self.wal is not None and not self.replaying:
+            self.wal.append(record)
+
+    def wal_batch(self):
+        """Group-commit scope: WAL appends inside it share one fsync."""
+        if self.wal is None:
+            return nullcontext()
+        return self.wal.batch()
+
+    # ------------------------------------------------------------------
+    # DDL (physical)
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self, name: str, columns: Sequence[Column], primary_key: str | None = None
+    ) -> TableSchema:
+        schema = TableSchema(name, list(columns), primary_key)
+        self.catalog.add_table(schema)
+        self.heaps[name] = HeapTable(schema)
+        self.log(
+            (
+                "create_table",
+                name,
+                [(c.name, c.type.name, c.nullable) for c in columns],
+                primary_key,
+            )
+        )
+        return schema
+
+    def drop_table(self, name: str) -> None:
+        for info in self.catalog.indices_for(name):
+            self.indices.pop(info.name, None)
+        self.catalog.drop_table(name)
+        self.heaps.pop(name, None)
+        self.log(("drop_table", name))
+
+    def create_index(self, name: str, table: str, column: str, unique: bool = False) -> None:
+        """Create a secondary index; kind is inferred from the column type.
+
+        TEXT_LIST columns get an inverted (GIN-like) index; everything else
+        a B-tree.  The index is built immediately from the existing heap.
+        """
+        schema = self.catalog.table(table)
+        col = schema.column(column)
+        kind = "inverted" if col.type is TEXT_LIST else "btree"
+        if kind == "inverted" and unique:
+            raise CatalogError("inverted indices cannot be UNIQUE")
+        info = IndexInfo(name=name, table=table, column=column, kind=kind, unique=unique)
+        self.catalog.add_index(info)
+        index: BTreeIndex | InvertedIndex
+        index = InvertedIndex() if kind == "inverted" else BTreeIndex(unique=unique)
+        col_idx = schema.column_index(column)
+        for rid, row in self.heaps[table].scan():
+            index.insert(row[col_idx], rid)
+        self.indices[name] = index
+        self.log(("create_index", name, table, column, unique))
+
+    def drop_index(self, name: str) -> IndexInfo:
+        info = self.catalog.drop_index(name)
+        self.indices.pop(name, None)
+        self.log(("drop_index", name))
+        return info
+
+    # ------------------------------------------------------------------
+    # Physical row operations (caller holds the table's write lock)
+    # ------------------------------------------------------------------
+
+    def heap(self, table: str) -> HeapTable:
+        self.catalog.table(table)  # raises CatalogError for unknown tables
+        return self.heaps[table]
+
+    def index_add(self, table: str, row: tuple, rid: int) -> None:
+        schema = self.catalog.table(table)
+        for info in self.catalog.indices_for(table):
+            key = row[schema.column_index(info.column)]
+            self.indices[info.name].insert(key, rid)
+
+    def index_remove(self, table: str, row: tuple, rid: int) -> None:
+        schema = self.catalog.table(table)
+        for info in self.catalog.indices_for(table):
+            key = row[schema.column_index(info.column)]
+            self.indices[info.name].remove(key, rid)
+
+    def check_unique(self, table: str, schema: TableSchema, row: tuple, skip_rid: int | None) -> None:
+        """Pre-check unique indices so a failed insert leaves no trace."""
+        for info in self.catalog.indices_for(table):
+            if not info.unique:
+                continue
+            key = row[schema.column_index(info.column)]
+            if key is None:
+                continue
+            hits = [r for r in self.indices[info.name].search(key) if r != skip_rid]
+            if hits:
+                raise ConstraintError(
+                    f"duplicate key {key!r} violates unique index {info.name!r}"
+                )
+
+    def insert_row(self, table: str, schema: TableSchema, row: tuple) -> int:
+        """Heap insert + index maintenance + WAL record, unique-checked."""
+        self.check_unique(table, schema, row, skip_rid=None)
+        rid = self.heaps[table].insert(row)
+        try:
+            self.index_add(table, row, rid)
+        except ConstraintError:
+            self.heaps[table].delete(rid)
+            raise
+        self.log(("insert", table, rid, row))
+        return rid
+
+    def delete_row(self, table: str, rid: int, row: tuple) -> None:
+        """Index removal + heap tombstone + WAL record."""
+        self.index_remove(table, row, rid)
+        self.heaps[table].delete(rid)
+        self.log(("delete", table, rid))
+
+    def vacuum_table(self, name: str) -> int:
+        reclaimed = self.heap(name).vacuum()
+        self.log(("vacuum", name))
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def replay(self, path: str) -> None:
+        """Rebuild state from the WAL (crash recovery).
+
+        Runs before the engine accepts statements, so no locks are taken;
+        ``replaying`` suppresses re-logging.  A torn trailing record
+        (crash mid-append or mid-group-commit) is dropped and the file is
+        truncated back to its intact prefix, so records appended after
+        recovery stay replayable.
+        """
+        if not os.path.exists(path):
+            return
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        data = self._cipher.apply(raw, 0) if self._cipher is not None else raw
+        valid = wal_mod.valid_prefix_length(data)
+        if valid < len(raw):
+            with open(path, "r+b") as handle:
+                handle.truncate(valid)
+        records = list(wal_mod.decode_records(data[:valid]))
+        if not records:
+            return
+        self.replaying = True
+        try:
+            for record in records:
+                self._replay_record(record)
+        finally:
+            self.replaying = False
+
+    def _replay_record(self, record: tuple) -> None:
+        op = record[0]
+        if op == "create_table":
+            _, name, cols, pk = record
+            columns = [
+                Column(cname, type_by_name(tname), nullable)
+                for cname, tname, nullable in cols
+            ]
+            self.create_table(name, columns, primary_key=pk)
+            if pk is not None:
+                self.create_index(f"{name}_pkey", name, pk, unique=True)
+        elif op == "drop_table":
+            self.drop_table(record[1])
+        elif op == "create_index":
+            _, name, table, column, unique = record
+            existing = {
+                i.name for t in self.catalog.tables() for i in self.catalog.indices_for(t)
+            }
+            if name not in existing:
+                self.create_index(name, table, column, unique=unique)
+        elif op == "drop_index":
+            self.drop_index(record[1])
+        elif op == "insert":
+            _, table, rid, row = record
+            heap = self.heaps[table]
+            got = heap.insert(row)
+            if got != rid:
+                raise SQLError(f"WAL replay divergence on {table}: rid {got} != {rid}")
+            self.index_add(table, row, rid)
+        elif op == "update":
+            _, table, rid, row = record
+            heap = self.heaps[table]
+            old = heap.fetch(rid)
+            if old is None:
+                raise SQLError(f"WAL replay: update of missing rid {rid}")
+            self.index_remove(table, old, rid)
+            heap.update(rid, row)
+            self.index_add(table, row, rid)
+        elif op == "delete":
+            _, table, rid = record
+            heap = self.heaps[table]
+            old = heap.fetch(rid)
+            if old is None:
+                raise SQLError(f"WAL replay: delete of missing rid {rid}")
+            self.index_remove(table, old, rid)
+            heap.delete(rid)
+        elif op == "vacuum":
+            self.heaps[record[1]].vacuum()
+        else:
+            raise SQLError(f"unknown WAL record {op!r}")
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()

@@ -1,0 +1,322 @@
+"""Concurrency + transaction layer for minisql.
+
+The top layer of the engine's split: who may run what, when, and how the
+WAL is fsynced.
+
+Locking
+-------
+:class:`LockManager` hands out per-table locks in one of two modes:
+
+* ``"table-rw"`` (the default) — one :class:`~repro.common.rwlock.RWLock`
+  per table.  SELECT/COUNT/AGGREGATE take the shared side, so the paper's
+  SELECT-heavy GDPR workloads proceed in parallel across benchmark
+  threads; INSERT/UPDATE/DELETE/VACUUM take the exclusive side.
+* ``"global"`` — a single reentrant lock serialises every statement,
+  byte-for-byte the seed engine's execution model.  The benchmark grid
+  keeps this configuration as the scaling baseline.
+
+Multi-table acquisition always walks tables in ascending name order, the
+same total-order rule the minikv stripes use, which makes deadlock between
+lock holders impossible.
+
+Transactions
+------------
+A :class:`Transaction` is the statement-batch primitive: ``begin()``
+acquires the declared tables' locks once (write beats read on overlap),
+every statement inside runs against the executor without re-locking, and
+``commit()`` releases the locks after **one WAL group commit** — the
+transaction's appends buffer and a single fsync-policy application runs at
+the commit boundary (see :meth:`~repro.minisql.wal.WALWriter.batch`).
+Crash mid-commit tears at most the trailing WAL record; replay keeps every
+intact record before it, exactly the per-statement semantics.
+
+This is grouped durability plus two-phase-locking isolation, **not**
+rollback: statements apply to the heap as they execute, and ``abort()``
+only releases locks.  That is the honest analogue of the paper's engines —
+Redis MULTI offers no rollback either, and the GDPR workloads are
+single-statement — while giving batched clients the one-fsync-per-batch
+cost structure of real group commit.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Mapping, Sequence
+
+from repro.common.errors import CatalogError, ConfigurationError, SQLError
+from repro.common.rwlock import RWLock
+
+from .expr import Cmp, Expr
+
+LOCKING_MODES = ("table-rw", "global")
+
+
+class LockManager:
+    """Per-table reader-writer locks, or one global lock (seed semantics)."""
+
+    def __init__(self, mode: str = "table-rw") -> None:
+        if mode not in LOCKING_MODES:
+            raise ConfigurationError(
+                f"unknown locking mode {mode!r}; choose from {LOCKING_MODES}"
+            )
+        self.mode = mode
+        self._global = threading.RLock() if mode == "global" else None
+        self._tables: dict[str, RWLock] = {}
+        self._registry = threading.Lock()  # guards lazy lock creation
+
+    def _table_lock(self, table: str) -> RWLock:
+        try:
+            return self._tables[table]
+        except KeyError:
+            with self._registry:
+                return self._tables.setdefault(table, RWLock())
+
+    # -- statement-scoped locking -------------------------------------------
+
+    @contextmanager
+    def read(self, table: str):
+        if self._global is not None:
+            with self._global:
+                yield
+        else:
+            with self._table_lock(table).read_locked():
+                yield
+
+    @contextmanager
+    def write(self, table: str):
+        if self._global is not None:
+            with self._global:
+                yield
+        else:
+            with self._table_lock(table).write_locked():
+                yield
+
+    # -- transaction-scoped locking -----------------------------------------
+
+    def acquire(self, read: Sequence[str], write: Sequence[str]) -> list:
+        """Acquire a lock set for a transaction; returns release tokens.
+
+        Tables are locked in ascending name order (write mode winning when
+        a table appears in both sets), so concurrent transactions cannot
+        deadlock on each other.
+        """
+        write_set = set(write)
+        plan = sorted(set(read) | write_set)
+        if self._global is not None:
+            if not plan:
+                return []
+            self._global.acquire()
+            return [("global", None)]
+        held = []
+        for table in plan:
+            lock = self._table_lock(table)
+            if table in write_set:
+                lock.acquire_write()
+                held.append(("write", lock))
+            else:
+                lock.acquire_read()
+                held.append(("read", lock))
+        return held
+
+    def release(self, held: list) -> None:
+        for kind, lock in reversed(held):
+            if kind == "global":
+                self._global.release()
+            elif kind == "write":
+                lock.release_write()
+            else:
+                lock.release_read()
+
+
+class Transaction:
+    """A statement batch under one lock acquisition and one group commit.
+
+    Obtained from :meth:`Database.begin` / :meth:`Database.transaction`.
+    Statement methods mirror the :class:`Database` surface (DML + queries;
+    DDL is not allowed inside a transaction).  Tables not declared at
+    ``begin()`` may be locked on first touch and held to commit (two-phase
+    locking) — but only while that keeps the acquisition sequence in
+    ascending table-name order, the global deadlock-freedom rule.  An
+    out-of-order first touch, like upgrading a read-declared table to a
+    write, is refused rather than attempted: either would deadlock under
+    concurrency, so declare the full intent at ``begin()``.
+    """
+
+    def __init__(self, db, read: Sequence[str] = (), write: Sequence[str] = (),
+                 internal: bool = False) -> None:
+        self._db = db
+        self._read = {str(t) for t in read}
+        self._write = {str(t) for t in write}
+        self._internal = internal
+        self._held: list = []
+        self._wal_batch = None
+        self._active = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin(self) -> "Transaction":
+        if self._active:
+            raise SQLError("transaction already begun")
+        # Maintenance (TTL sweeps, autovacuum) runs before any lock is
+        # taken, so the sweeper's own write locks never nest inside ours.
+        if not self._internal:
+            self._db._maintain()
+        self._held = self._db._locks.acquire(
+            self._read - self._write, self._write
+        )
+        self._wal_batch = self._db._storage.wal_batch()
+        self._wal_batch.__enter__()
+        self._active = True
+        return self
+
+    def commit(self) -> None:
+        """Group-commit the WAL (one fsync policy application) + unlock."""
+        self._finish()
+
+    def abort(self) -> None:
+        """Release locks.  Heap changes are NOT rolled back (see module doc)."""
+        self._finish()
+
+    def _finish(self) -> None:
+        if not self._active:
+            return
+        self._active = False
+        try:
+            self._wal_batch.__exit__(None, None, None)
+        finally:
+            self._db._locks.release(self._held)
+            self._held = []
+
+    def __enter__(self) -> "Transaction":
+        if not self._active:
+            self.begin()
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+    # -- lock bookkeeping -----------------------------------------------------
+
+    def _touch(self, table: str, write: bool) -> None:
+        if not self._active:
+            raise SQLError("transaction is not active")
+        if write:
+            if table in self._write:
+                return
+            if table in self._read:
+                raise SQLError(
+                    f"table {table!r} was declared read-only in this "
+                    "transaction; declare write intent at begin()"
+                )
+        elif table in self._write or table in self._read:
+            return
+        # A late acquisition is safe only if it extends the ascending-name
+        # order every lock holder follows; acquiring out of order could
+        # deadlock against a transaction that declared its set up front.
+        held_tables = self._read | self._write
+        if held_tables and table < max(held_tables):
+            raise SQLError(
+                f"table {table!r} sorts before an already-locked table; "
+                "declare the full table set at begin()"
+            )
+        if write:
+            self._write.add(table)
+            self._held.extend(self._db._locks.acquire((), (table,)))
+        else:
+            self._read.add(table)
+            self._held.extend(self._db._locks.acquire((table,), ()))
+
+    # -- statement surface (mirrors Database) ---------------------------------
+
+    def select(self, table: str, where: Expr | None = None,
+               columns: Sequence[str] | None = None, limit: int | None = None,
+               order_by: str | None = None, descending: bool = False,
+               _internal: bool = False) -> list[dict]:
+        self._touch(table, write=False)
+        self._db._count_statement()
+        rows, plan = self._db._executor.select(
+            table, where, columns=columns, limit=limit,
+            order_by=order_by, descending=descending,
+        )
+        self._db._audit_select(table, rows, plan)
+        return rows
+
+    def select_point(self, table: str, column: str, value,
+                     columns: Sequence[str] | None = None) -> list[dict]:
+        """Prepared ``column = value`` lookup (the pipelined read hot path)."""
+        db = self._db
+        self._touch(table, write=False)
+        db._count_statement()
+        rows = db._executor.select_point(table, column, value, columns=columns)
+        if db.csvlog is not None and db.csvlog.log_reads:
+            plan = db._executor.plan(table, Cmp(column, "=", value))
+            db._audit_select(table, rows, plan)
+        return rows
+
+    def count(self, table: str, where: Expr | None = None) -> int:
+        self._touch(table, write=False)
+        self._db._count_statement()
+        return self._db._executor.count(table, where)
+
+    def aggregate(self, table: str, function: str, column: str | None = None,
+                  where: Expr | None = None, group_by: str | None = None):
+        self._touch(table, write=False)
+        self._db._count_statement()
+        return self._db._executor.aggregate(
+            table, function, column=column, where=where, group_by=group_by
+        )
+
+    def explain(self, table: str, where: Expr | None = None) -> str:
+        self._touch(table, write=False)
+        return self._db._executor.explain(table, where)
+
+    def insert(self, table: str, values: Mapping[str, object]) -> int:
+        self._touch(table, write=True)
+        self._db._count_statement()
+        rid = self._db._executor.insert(table, values)
+        self._db._log_csv("INSERT", table, table, 1)
+        return rid
+
+    def update(self, table: str, assignments: Mapping[str, object],
+               where: Expr | None = None) -> int:
+        self._touch(table, write=True)
+        self._db._count_statement()
+        changed = self._db._executor.update(table, assignments, where)
+        self._db._log_csv("UPDATE", table, repr(sorted(assignments)), changed)
+        return changed
+
+    def delete(self, table: str, where: Expr | None = None,
+               limit: int | None = None) -> int:
+        self._touch(table, write=True)
+        self._db._count_statement()
+        removed = self._db._executor.delete(table, where, limit=limit)
+        self._db._log_csv("DELETE", table, repr(where), removed)
+        return removed
+
+    def vacuum(self, table: str | None = None) -> int:
+        tables = [table] if table is not None else self._db.catalog.tables()
+        reclaimed = 0
+        for name in tables:
+            self._touch(name, write=True)
+            try:
+                reclaimed += self._db._storage.vacuum_table(name)
+            except CatalogError:
+                if table is not None:
+                    raise  # an explicit target must exist
+                # database-wide sweep: skip concurrently dropped tables
+        return reclaimed
+
+    # DDL is a different lock hierarchy (catalog lock above table locks);
+    # allowing it mid-transaction would deadlock against our held locks.
+
+    def _no_ddl(self, *args, **kwargs):
+        raise SQLError("DDL statements are not allowed inside a transaction")
+
+    create_table = _no_ddl
+    drop_table = _no_ddl
+    create_index = _no_ddl
+    drop_index = _no_ddl

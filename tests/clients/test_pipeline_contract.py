@@ -1,0 +1,133 @@
+"""Shared GDPRPipeline contract, parametrized over both engine stubs.
+
+Both ``RedisGDPRClient`` and ``SQLGDPRClient`` expose ``pipeline()``
+factories returning :class:`~repro.clients.base.GDPRPipeline`
+implementations.  This suite runs the *same* assertions against both, so
+the contract — queueing placeholders, response ordering and shapes,
+batched/unbatched equivalence, error semantics — cannot drift between
+engines.
+"""
+
+import pytest
+
+from repro.clients import FeatureSet, GDPRPipeline, make_client
+
+ENGINES = ("redis", "postgres")
+N_ROWS = 30
+
+
+@pytest.fixture(params=ENGINES)
+def client(request):
+    c = make_client(request.param, FeatureSet.none())
+    for i in range(N_ROWS):
+        c.ycsb_insert(f"user{i:04d}", {"field0": f"v{i}", "field1": "x"})
+    yield c
+    c.close()
+
+
+class TestPipelineContract:
+    def test_pipeline_is_a_gdpr_pipeline(self, client):
+        pipe = client.pipeline()
+        assert isinstance(pipe, GDPRPipeline)
+        assert client.PIPELINE_OP_NAMES == frozenset({"read", "update", "insert"})
+
+    def test_queueing_returns_placeholders_and_counts(self, client):
+        pipe = client.pipeline()
+        assert len(pipe) == 0
+        assert pipe.ycsb_read("user0001") is None
+        assert pipe.ycsb_update("user0002", {"field0": "new"}) is None
+        assert pipe.ycsb_insert("fresh0001", {"field0": "a", "field1": "b"}) is None
+        assert len(pipe) == 3
+
+    def test_empty_execute_returns_empty(self, client):
+        assert client.pipeline().execute() == []
+
+    def test_responses_in_queue_order_matching_unbatched(self, client):
+        # Unbatched reference run against an identically-loaded twin.
+        twin = make_client(client.engine_name, FeatureSet.none())
+        try:
+            for i in range(N_ROWS):
+                twin.ycsb_insert(f"user{i:04d}", {"field0": f"v{i}", "field1": "x"})
+            expected = [
+                twin.ycsb_read("user0003"),
+                twin.ycsb_update("user0004", {"field0": "patched"}),
+                twin.ycsb_read("user0004"),
+                twin.ycsb_update("user9999", {"field0": "nope"}),  # missing -> 0
+                twin.ycsb_read("user9999"),                        # missing -> None
+            ]
+            twin.ycsb_insert("fresh0002", {"field0": "f", "field1": "g"})
+            expected.append(None)  # insert's response slot
+            expected.append(twin.ycsb_read("fresh0002"))
+
+            pipe = client.pipeline()
+            pipe.ycsb_read("user0003")
+            pipe.ycsb_update("user0004", {"field0": "patched"})
+            pipe.ycsb_read("user0004")
+            pipe.ycsb_update("user9999", {"field0": "nope"})
+            pipe.ycsb_read("user9999")
+            pipe.ycsb_insert("fresh0002", {"field0": "f", "field1": "g"})
+            pipe.ycsb_read("fresh0002")  # sees the insert from its own batch
+            responses = pipe.execute()
+        finally:
+            twin.close()
+        assert len(responses) == 7
+        for got, want in zip(responses, expected):
+            if isinstance(want, dict):
+                # engines may carry engine-specific extra columns (e.g. the
+                # SQL schema's key column); the written fields must agree
+                assert {k: got[k] for k in ("field0", "field1")} == \
+                       {k: want[k] for k in ("field0", "field1")}
+            else:
+                assert got == want
+
+    def test_projection_filter_applies(self, client):
+        pipe = client.pipeline()
+        pipe.ycsb_read("user0005", fields=("field1",))
+        (response,) = pipe.execute()
+        assert response == {"field1": "x"}
+
+    def test_execute_drains_the_queue(self, client):
+        pipe = client.pipeline()
+        pipe.ycsb_read("user0000")
+        pipe.execute()
+        assert len(pipe) == 0
+        assert pipe.execute() == []  # reusable
+
+    def test_batched_effects_visible_unbatched(self, client):
+        pipe = client.pipeline()
+        pipe.ycsb_insert("fresh0003", {"field0": "q", "field1": "r"})
+        pipe.ycsb_update("user0006", {"field1": "patched"})
+        pipe.execute()
+        assert client.ycsb_read("fresh0003")["field0"] == "q"
+        assert client.ycsb_read("user0006")["field1"] == "patched"
+
+    def test_scan_sees_pipelined_inserts(self, client):
+        pipe = client.pipeline()
+        for i in range(5):
+            pipe.ycsb_insert(f"zzz{i:04d}", {"field0": "s", "field1": "t"})
+        pipe.execute()
+        rows = client.ycsb_scan("zzz0000", 5)
+        assert len(rows) == 5
+
+    def test_error_semantics_batch_completes_then_raises(self, client):
+        """Contract: every command executes, failures are captured per
+        slot, the first is raised after the batch, the queue drains."""
+        # engine-appropriate poison op: each engine fails differently, but
+        # the contract around the failure must be identical
+        pipe = client.pipeline()
+        pipe.ycsb_update("aaa0000", {"field0": "before-error"})  # missing -> 0, fine
+        if client.engine_name == "redis":
+            # a non-hash value at the YCSB key makes HGETALL blow up
+            client.engine.set("user:poison", b"not-a-hash")
+            pipe.ycsb_read("poison")
+        else:
+            # duplicate primary key makes the INSERT blow up
+            pipe.ycsb_insert("user0000", {"field0": "dup", "field1": "dup"})
+        pipe.ycsb_insert("after0001", {"field0": "late", "field1": "op"})
+        with pytest.raises(Exception):
+            pipe.execute()
+        # the queue drained and the pipeline is reusable
+        assert len(pipe) == 0
+        assert pipe.execute() == []
+        # commands after the failing slot still executed
+        assert client.ycsb_read("after0001", fields=("field0",)) == {"field0": "late"}

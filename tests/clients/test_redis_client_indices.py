@@ -206,6 +206,72 @@ class TestIndexMechanics:
         finally:
             client.close()
 
+    def test_delete_by_ttl_agrees_with_scan_client(self):
+        """Expiry-indexed purge erases exactly what the EXP-field sweep
+        erases (engine_ttl=False: only the EXP metadata tracks deadlines)."""
+        records = [
+            PersonalRecord(key=f"r{i}", data=f"u{i % 3}:d", purposes=("ads",),
+                           ttl_seconds=5.0 if i % 2 == 0 else 5000.0,
+                           user=f"u{i % 3}")
+            for i in range(20)
+        ]
+        clocks = (VirtualClock(), VirtualClock())
+        indexed = RedisGDPRClient(FeatureSet(access_control=False), clock=clocks[0],
+                                  client_indices=True, engine_ttl=False)
+        plain = RedisGDPRClient(FeatureSet(access_control=False), clock=clocks[1],
+                                engine_ttl=False)
+        try:
+            indexed.load_records(records)
+            plain.load_records(records)
+            for clock in clocks:
+                clock.advance(60)  # even-numbered records are now expired
+            assert indexed.delete_record_by_ttl(CTRL) == \
+                plain.delete_record_by_ttl(CTRL) == 10
+            assert indexed.record_count() == plain.record_count() == 10
+            # reverse indices dropped the purged members too
+            survivors = {r.key.encode() for r in indexed._iter_records()}
+            assert indexed.engine.smembers(indexed._all_index()) == survivors
+        finally:
+            indexed.close()
+            plain.close()
+
+    def test_delete_by_ttl_respects_extended_ttl(self):
+        """A TTL extension strands the old heap entry; the purge must skip
+        the record because its *current* EXP has not passed."""
+        clock = VirtualClock()
+        client = RedisGDPRClient(FeatureSet(access_control=False), clock=clock,
+                                 client_indices=True, engine_ttl=False)
+        try:
+            client.load_records([
+                PersonalRecord(key="ext", data="u1:x", purposes=("ads",),
+                               ttl_seconds=5.0, user="u1"),
+            ])
+            client.update_metadata_by_key(CTRL, "ext", "TTL", 5000.0)
+            clock.advance(60)  # past the original deadline, not the new one
+            assert client.delete_record_by_ttl(CTRL) == 0
+            assert client.read_data_by_key(Principal.customer("u1"), "ext") == "u1:x"
+            clock.advance(10000)  # now past the extended deadline too
+            assert client.delete_record_by_ttl(CTRL) == 1
+        finally:
+            client.close()
+
+    def test_delete_by_ttl_avoids_full_scan(self):
+        clock = VirtualClock()
+        client = RedisGDPRClient(FeatureSet.none(), clock=clock,
+                                 client_indices=True, engine_ttl=False)
+        try:
+            records = list(generate_corpus(CORPUS))
+            client.load_records(records)
+            clock.advance(1)  # nothing expired yet
+            before = client.engine.info()["commands_processed"]
+            client.delete_record_by_ttl(CTRL)
+            commands = client.engine.info()["commands_processed"] - before
+            # no due heap entries -> no per-record fetches at all, versus
+            # the scan client's SCAN + 2 HGETALLs per record walk
+            assert commands <= 2
+        finally:
+            client.close()
+
     def test_create_after_load_lands_in_index(self):
         client = RedisGDPRClient(FeatureSet.none(), client_indices=True)
         try:

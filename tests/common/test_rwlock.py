@@ -1,0 +1,107 @@
+"""Reader-writer lock semantics (the minisql per-table locking primitive)."""
+
+import threading
+import time
+
+from repro.common.rwlock import RWLock
+
+
+class TestSharedSide:
+    def test_readers_share_the_lock(self):
+        lock = RWLock()
+        inside = threading.Barrier(5, timeout=5.0)  # 4 readers + this test
+        done = threading.Event()
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # all 4 readers inside simultaneously
+                done.wait(timeout=5.0)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        inside.wait()  # would time out if readers serialised
+        assert lock.readers == 4
+        done.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert lock.readers == 0
+
+    def test_reader_blocks_writer(self):
+        lock = RWLock()
+        lock.acquire_read()
+        acquired = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                acquired.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        assert not acquired.wait(timeout=0.05)
+        lock.release_read()
+        assert acquired.wait(timeout=5.0)
+        t.join(timeout=5.0)
+
+
+class TestExclusiveSide:
+    def test_writer_excludes_everyone(self):
+        lock = RWLock()
+        lock.acquire_write()
+        progressed = []
+
+        def contender(mode):
+            if mode == "r":
+                with lock.read_locked():
+                    progressed.append(mode)
+            else:
+                with lock.write_locked():
+                    progressed.append(mode)
+
+        threads = [
+            threading.Thread(target=contender, args=(m,)) for m in ("r", "w", "r")
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        assert progressed == []
+        assert lock.write_held
+        lock.release_write()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert sorted(progressed) == ["r", "r", "w"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: a SELECT stream cannot starve a DELETE."""
+        lock = RWLock()
+        lock.acquire_read()
+        writer_done = threading.Event()
+        late_reader_done = threading.Event()
+        order = []
+
+        def writer():
+            lock.acquire_write()
+            order.append("writer")
+            lock.release_write()
+            writer_done.set()
+
+        wt = threading.Thread(target=writer)
+        wt.start()
+        time.sleep(0.05)  # writer now queued behind the held read lock
+
+        def late_reader():
+            with lock.read_locked():
+                order.append("reader")
+            late_reader_done.set()
+
+        rt = threading.Thread(target=late_reader)
+        rt.start()
+        time.sleep(0.05)
+        # the late reader must queue behind the waiting writer
+        assert not late_reader_done.is_set()
+        lock.release_read()
+        assert writer_done.wait(timeout=5.0)
+        assert late_reader_done.wait(timeout=5.0)
+        assert order == ["writer", "reader"]
+        wt.join(timeout=5.0)
+        rt.join(timeout=5.0)
