@@ -1,0 +1,21 @@
+"""Extension figure — readers vs TTL purge: rw locking vs MVCC snapshots.
+
+The paper's central finding is that GDPR compliance work (metadata purges,
+timely deletion) contends with the OLTP stream and collapses throughput.
+PR 3's MVCC mode removes the collision: snapshot reads take no locks, so
+the purge and the read fleet only share CPU, never a lock queue.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import scale
+
+
+def test_fig9_readers_vs_purge(benchmark):
+    result = run_once(
+        benchmark, scale.sql_readers_vs_purge,
+        record_count=1000, operations=1500, threads=8,
+    )
+    report(result)
+    by_series = {row["series"]: row["ops_s"] for row in result.rows}
+    assert by_series["mvcc+purge"] >= 2.0 * by_series["table-rw+purge"]

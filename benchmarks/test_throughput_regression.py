@@ -16,6 +16,13 @@ Asserted floors:
 * **minisql** (PR 2 tentpole): at 8 benchmark threads the per-table
   reader-writer + transaction-batched configuration sustains >= 2x the
   seed global-lock configuration on the same read-heavy YCSB-C stream.
+* **minisql MVCC** (PR 3 tentpole): at 8 benchmark threads the
+  snapshot-read configuration (``locking="mvcc"``) matches or beats the
+  rw+batched configuration on read-heavy YCSB-C (measured as the median
+  of interleaved paired runs, so machine drift cancels), and sustains
+  >= 2x the rw+batched configuration on the **mixed readers-vs-purge**
+  scenario — a continuous TTL purge cycle against the same table, the
+  paper's central contention case.
 
 Profiles: ``REPRO_BENCH_PROFILE=smoke`` shrinks the grid for the CI
 pull-request gate (the floors are still asserted); the default ``full``
@@ -31,6 +38,7 @@ import statistics
 from repro.bench.session import YCSBSession, YCSBSessionConfig
 from repro.bench.ycsb import YCSBConfig
 from repro.clients.base import FeatureSet
+from repro.experiments.scale import readers_vs_purge_throughput
 from repro.minikv import MiniKV, MiniKVConfig
 
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_throughput.json")
@@ -43,6 +51,7 @@ ENGINE_CONFIGS = (
     ("redis-striped-pipelined", "redis", {"stripes": 16}, 128),
     ("postgres-global-lock", "postgres", {"locking": "global"}, 1),
     ("postgres-rw-batched", "postgres", {"locking": "table-rw"}, 128),
+    ("postgres-mvcc", "postgres", {"locking": "mvcc"}, 128),
 )
 
 FEATURE_SETS = (
@@ -83,6 +92,13 @@ FLOOR_PAIRS = {
         SQL_OPERATIONS,
     ),
 }
+
+#: the MVCC read-parity pair: rw+batched is the baseline, mvcc must match
+MVCC_PAIR = (
+    _CONFIG_BY_LABEL["postgres-rw-batched"],
+    _CONFIG_BY_LABEL["postgres-mvcc"],
+    SQL_OPERATIONS,
+)
 
 
 def _throughput(engine: str, client_kwargs: dict, batch_size: int,
@@ -132,6 +148,50 @@ def _floor_speedup(pair) -> tuple[float, float, float]:
     return fast / slow, slow, fast
 
 
+def _paired_ratio(pair, samples: int) -> float:
+    """Median of interleaved paired run ratios (fast/slow).
+
+    Pairing each fast run with an adjacent slow run cancels slow drift of
+    the host (thermal throttling, noisy CI neighbours), which matters for
+    a parity floor (>= 1.0x) far more than for the coarse >= 2x floors.
+    """
+    slow_config, fast_config, operations = pair
+    slow_engine, slow_kwargs, slow_batch = slow_config
+    fast_engine, fast_kwargs, fast_batch = fast_config
+    ratios = []
+    for _ in range(samples):
+        slow = _throughput(slow_engine, slow_kwargs, slow_batch,
+                           FeatureSet.none(), 8, operations)
+        fast = _throughput(fast_engine, fast_kwargs, fast_batch,
+                           FeatureSet.none(), 8, operations)
+        ratios.append(fast / slow)
+    return statistics.median(ratios)
+
+
+def _mvcc_read_parity() -> float:
+    """mvcc / rw+batched YCSB-C ratio at 8 threads, escalating on a miss."""
+    ratio = _paired_ratio(MVCC_PAIR, max(ASSERT_SAMPLES, 3))
+    if ratio < 1.0:
+        ratio = _paired_ratio(MVCC_PAIR, ASSERT_SAMPLES + 4)
+    return ratio
+
+
+def _mixed_purge_throughputs(samples: int) -> tuple[float, float]:
+    """(rw, mvcc) reader ops/s under the concurrent TTL purge cycle."""
+    operations = SQL_OPERATIONS
+    rw = statistics.median(
+        readers_vs_purge_throughput("table-rw", record_count=RECORDS,
+                                    operations=operations)
+        for _ in range(samples)
+    )
+    mvcc = statistics.median(
+        readers_vs_purge_throughput("mvcc", record_count=RECORDS,
+                                    operations=operations)
+        for _ in range(samples)
+    )
+    return rw, mvcc
+
+
 def test_throughput_regression_grid(benchmark):
     def run_grid():
         results = []
@@ -154,6 +214,20 @@ def test_throughput_regression_grid(benchmark):
                         "workload": f"ycsb-{WORKLOAD}",
                         "ops_s": round(ops_s),
                     })
+        # the mixed readers-vs-purge scenario rides in the same grid file
+        for locking, label in (("table-rw", "postgres-rw-batched"),
+                               ("mvcc", "postgres-mvcc")):
+            ops_s = readers_vs_purge_throughput(
+                locking, record_count=RECORDS, operations=SQL_OPERATIONS
+            )
+            results.append({
+                "engine": label,
+                "features": "baseline",
+                "threads": 8,
+                "batch_size": 128,
+                "workload": "mixed-readers-vs-purge",
+                "ops_s": round(ops_s),
+            })
         return results
 
     results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
@@ -161,6 +235,11 @@ def test_throughput_regression_grid(benchmark):
     # The asserted pairs get median-of-N on top of the recorded grid.
     redis_speedup, redis_single, redis_striped = _floor_speedup(FLOOR_PAIRS["redis"])
     sql_speedup, sql_global, sql_batched = _floor_speedup(FLOOR_PAIRS["sql"])
+    mvcc_parity = _mvcc_read_parity()
+    mixed_rw, mixed_mvcc = _mixed_purge_throughputs(ASSERT_SAMPLES)
+    if mixed_mvcc / mixed_rw < 2.0:  # same noise escalation as the floors
+        mixed_rw, mixed_mvcc = _mixed_purge_throughputs(ASSERT_SAMPLES + 2)
+    mixed_speedup = mixed_mvcc / mixed_rw
 
     payload = {
         "workload": f"ycsb-{WORKLOAD}",
@@ -173,6 +252,8 @@ def test_throughput_regression_grid(benchmark):
         "thread_counts": list(THREAD_COUNTS),
         "asserted_speedup_at_8_threads": round(redis_speedup, 2),
         "asserted_sql_speedup_at_8_threads": round(sql_speedup, 2),
+        "asserted_mvcc_read_parity_at_8_threads": round(mvcc_parity, 2),
+        "asserted_mvcc_purge_speedup_at_8_threads": round(mixed_speedup, 2),
         "results": results,
     }
     if PROFILE == "full":
@@ -190,6 +271,17 @@ def test_throughput_regression_grid(benchmark):
         f"rw+batched minisql at 8 threads is only {sql_speedup:.2f}x the seed "
         f"global-lock engine ({sql_batched:.0f} vs {sql_global:.0f} ops/s); "
         "the PR 2 tentpole requires >= 2x"
+    )
+    assert mvcc_parity >= 1.0, (
+        f"mvcc minisql at 8 threads reads at only {mvcc_parity:.2f}x the "
+        "rw+batched configuration on YCSB-C; the PR 3 tentpole requires "
+        "snapshot reads to match or beat shared read locks"
+    )
+    assert mixed_speedup >= 2.0, (
+        f"mvcc under a concurrent TTL purge is only {mixed_speedup:.2f}x "
+        f"rw+batched ({mixed_mvcc:.0f} vs {mixed_rw:.0f} ops/s); lock-free "
+        "snapshot reads must at least double read throughput under purge "
+        "contention"
     )
 
 

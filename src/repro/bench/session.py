@@ -27,6 +27,11 @@ class GDPRBenchConfig:
     operation_count: int = 1000
     threads: int = 8       # the paper runs GDPRbench with 8 threads
     seed: int = 11
+    #: command-pipelining batch per worker (1 = one round trip per op).
+    #: With >1 the batchable GDPR operations (``read-data-by-*``,
+    #: ``delete-record-by-ttl``, metadata updates, ...) run through the
+    #: shared :class:`~repro.clients.base.GDPRPipeline` contract.
+    batch_size: int = 1
     #: extra client-constructor knobs (e.g. ``stripes``/``client_indices``)
     client_kwargs: dict = field(default_factory=dict)
 
@@ -60,6 +65,7 @@ class GDPRBenchSession:
             threads=self.config.threads,
             workload_name=spec.name,
             measure_space=measure_space,
+            batch_size=self.config.batch_size,
         )
 
     def run_all(self) -> dict[str, RunReport]:

@@ -92,17 +92,42 @@ def normalise_attribute(attribute: str, value):
     raise GDPRError(f"unknown metadata attribute {attribute!r}")
 
 
+#: pipeline op kinds that only read (batch lock planning / snapshot reads)
+PIPELINE_READ_KINDS = frozenset({
+    "read",
+    "read-data-by-key", "read-data-by-pur", "read-data-by-usr",
+    "read-data-by-obj", "read-data-by-dec",
+    "read-metadata-by-key", "read-metadata-by-usr",
+})
+
+#: pipeline op kinds that mutate state
+PIPELINE_WRITE_KINDS = frozenset({
+    "update", "insert",
+    "delete-record-by-ttl",
+    "update-metadata-by-key", "update-metadata-by-pur",
+    "update-metadata-by-usr", "update-metadata-by-shr",
+})
+
+
 class GDPRPipeline(ABC):
     """Engine-agnostic client command batch (the pipeline contract).
 
     GDPRbench's storage-interface layer gains one batching abstraction
-    shared by every engine stub: queueing methods mirror the YCSB
+    shared by every engine stub: queueing methods mirror the client
     primitives but only enqueue (returning ``None`` placeholders), and
     :meth:`execute` runs the whole batch as **one engine round-trip** —
     one serialised request and one serialised response crossing the
     (possibly TLS) wire, one engine-side lock scope, and one persistence
     group commit.  Responses come back in queue order, shaped exactly as
     the unbatched primitive would have returned them.
+
+    The batchable surface covers the YCSB primitives *and* the hot GDPR
+    queries: the ``read-data-by-*`` family, ``read-metadata-by-key/usr``,
+    ``delete-record-by-ttl``, and the ``update-metadata-by-*`` group —
+    the operations the four GDPRbench workloads issue in bulk.  GDPR
+    queueing methods carry the issuing principal, exactly like their
+    single-shot counterparts, and access control is still checked per
+    operation at execute time.
 
     Error semantics follow Redis pipelining: a failing command does not
     stop the batch — every queued command executes, failures are captured
@@ -122,6 +147,8 @@ class GDPRPipeline(ABC):
         """Commands currently queued."""
         return len(self._ops)
 
+    # -- YCSB primitives ----------------------------------------------------
+
     def ycsb_read(self, key: str, fields: Sequence[str] | None = None) -> None:
         """Queue a point read; its response slot is a dict or None."""
         self._ops.append(("read", key, fields))
@@ -133,6 +160,58 @@ class GDPRPipeline(ABC):
     def ycsb_insert(self, key: str, fields: dict) -> None:
         """Queue an insert; its response slot is None."""
         self._ops.append(("insert", key, fields))
+
+    # -- GDPR reads ---------------------------------------------------------
+
+    def read_data_by_key(self, principal, key: str) -> None:
+        """Queue READ-DATA-BY-KEY; its slot is the datum string or None."""
+        self._ops.append(("read-data-by-key", key, principal))
+
+    def read_data_by_pur(self, principal, purpose: str) -> None:
+        """Queue READ-DATA-BY-PUR; its slot is a [(key, data)] list."""
+        self._ops.append(("read-data-by-pur", purpose, principal))
+
+    def read_data_by_usr(self, principal, user: str) -> None:
+        """Queue READ-DATA-BY-USR; its slot is a [(key, data)] list."""
+        self._ops.append(("read-data-by-usr", user, principal))
+
+    def read_data_by_obj(self, principal, purpose: str) -> None:
+        """Queue READ-DATA-BY-OBJ; its slot is a [(key, data)] list."""
+        self._ops.append(("read-data-by-obj", purpose, principal))
+
+    def read_data_by_dec(self, principal, decision: str) -> None:
+        """Queue READ-DATA-BY-DEC; its slot is a [(key, data)] list."""
+        self._ops.append(("read-data-by-dec", decision, principal))
+
+    def read_metadata_by_key(self, principal, key: str) -> None:
+        """Queue READ-METADATA-BY-KEY; its slot is a metadata dict or None."""
+        self._ops.append(("read-metadata-by-key", key, principal))
+
+    def read_metadata_by_usr(self, principal, user: str) -> None:
+        """Queue READ-METADATA-BY-USR; its slot is a [(key, metadata)] list."""
+        self._ops.append(("read-metadata-by-usr", user, principal))
+
+    # -- GDPR writes --------------------------------------------------------
+
+    def delete_record_by_ttl(self, principal) -> None:
+        """Queue DELETE-RECORD-BY-TTL; its slot is the erased-record count."""
+        self._ops.append(("delete-record-by-ttl", "", principal))
+
+    def update_metadata_by_key(self, principal, key: str, attribute: str, value) -> None:
+        """Queue UPDATE-METADATA-BY-KEY; its slot is the changed-row count."""
+        self._ops.append(("update-metadata-by-key", key, (principal, attribute, value)))
+
+    def update_metadata_by_pur(self, principal, purpose: str, attribute: str, value) -> None:
+        """Queue UPDATE-METADATA-BY-PUR; its slot is the changed-row count."""
+        self._ops.append(("update-metadata-by-pur", purpose, (principal, attribute, value)))
+
+    def update_metadata_by_usr(self, principal, user: str, attribute: str, value) -> None:
+        """Queue UPDATE-METADATA-BY-USR; its slot is the changed-row count."""
+        self._ops.append(("update-metadata-by-usr", user, (principal, attribute, value)))
+
+    def update_metadata_by_shr(self, principal, third_party: str, attribute: str, value) -> None:
+        """Queue UPDATE-METADATA-BY-SHR; its slot is the changed-row count."""
+        self._ops.append(("update-metadata-by-shr", third_party, (principal, attribute, value)))
 
     def _take(self) -> list[tuple[str, str, object]]:
         """Drain and return the queued (kind, key, payload) triples."""
@@ -151,10 +230,11 @@ class GDPRClient(ABC):
     engine_name = "abstract"
 
     #: Operation names the benchmark runtime may route through
-    #: :meth:`pipeline`.  Subclasses that implement a pipeline leave this
+    #: :meth:`pipeline`: the YCSB primitives plus the batchable GDPR
+    #: query surface.  Subclasses that implement a pipeline leave this
     #: as is; engines without one set it empty (the runtime then runs
     #: every operation singly).
-    PIPELINE_OP_NAMES: frozenset[str] = frozenset({"read", "update", "insert"})
+    PIPELINE_OP_NAMES: frozenset[str] = PIPELINE_READ_KINDS | PIPELINE_WRITE_KINDS
 
     def __init__(self, features: FeatureSet) -> None:
         self.features = features

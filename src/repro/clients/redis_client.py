@@ -62,72 +62,162 @@ _SCAN_BATCH = 256
 _PIPELINE_CHUNK = 256
 
 
+#: queue kinds that resolve to a single engine command (batched into one
+#: engine pipeline); everything else runs through its own already-pipelined
+#: multi-record implementation inside the batch stream
+_ENGINE_POINT_KINDS = frozenset({
+    "read", "update", "insert", "read-data-by-key", "read-metadata-by-key",
+})
+
+
 class RedisClientPipeline(GDPRPipeline):
     """minikv implementation of the shared :class:`GDPRPipeline` contract.
 
-    Queues YCSB primitives and executes them as one engine pipeline with a
-    single request and a single response crossing the (possibly TLS) wire
-    — the client half of Redis pipelining.  Queueing methods return
-    ``None`` placeholders; :meth:`execute` returns the real responses in
-    queue order.
+    Executes a queued batch with a single request and a single response
+    crossing the (possibly TLS) wire — the client half of Redis
+    pipelining.  Point operations (the YCSB primitives plus
+    ``read-data-by-key`` / ``read-metadata-by-key``, the dominant ops of
+    the processor and customer workloads) coalesce into engine pipelines:
+    one multi-stripe lock acquisition, one expiry tick, one AOF group
+    commit per run of consecutive point ops.  Multi-record GDPR
+    operations (``read-data-by-pur``, ``delete-record-by-ttl``,
+    ``update-metadata-by-*``, ...) flush the pending point run and then
+    execute through their own internally-pipelined engines — a Redis
+    client cannot fuse a SCAN-shaped query into a static command batch.
+
+    Queueing methods return ``None`` placeholders; :meth:`execute`
+    returns the real responses in queue order.  Failures — including
+    per-operation access-control denials — are captured per slot and the
+    first is raised after the batch completes.
     """
 
     def __init__(self, client: "RedisGDPRClient") -> None:
         super().__init__()
         self._client = client
 
-    def execute(self) -> list:
-        ops = self._take()
-        if not ops:
-            return []
+    def _flush_points(self, buffered: list, responses: list, errors: list) -> None:
+        """Run buffered point ops as one engine pipeline; fill their slots."""
+        if not buffered:
+            return
         client = self._client
-        # One request round-trip carries the whole batch.
-        client._wire([(kind, key) for kind, key, _ in ops])
         arm_ttl = client.features.timely_deletion
         pipe = client.engine.pipeline()
-        for kind, key, payload in ops:
+        for _slot, kind, key, _payload in buffered:
+            if kind in ("read-data-by-key", "read-metadata-by-key"):
+                pipe.hgetall(_REC_PREFIX + key)
+                continue
             redis_key = _YCSB_PREFIX + key
             if kind == "read":
                 pipe.hgetall(redis_key)
             elif kind == "update":
                 pipe.hmset_if_exists(
-                    redis_key, {f: v.encode() for f, v in payload.items()}
+                    redis_key, {f: v.encode() for f, v in _payload.items()}
                 )
             else:  # insert
-                pipe.hmset(redis_key, {f: v.encode() for f, v in payload.items()})
+                pipe.hmset(redis_key, {f: v.encode() for f, v in _payload.items()})
                 if arm_ttl:
                     pipe.expire(redis_key, client.YCSB_TTL_SECONDS)
         raw = pipe.execute()
-        responses: list = []
         inserted: list[str] = []
-        slot = 0
-        for kind, key, payload in ops:
-            result = raw[slot]
-            slot += 1
-            if kind == "read":
-                if not result:
-                    responses.append(None)
-                elif payload is None:
-                    responses.append({f: v.decode() for f, v in result.items()})
-                else:
-                    responses.append({
-                        f: v.decode() for f, v in result.items() if f in payload
-                    })
-            elif kind == "update":
-                responses.append(result)
-            else:
-                if arm_ttl:
-                    slot += 1  # the paired EXPIRE result
-                inserted.append(key)
-                responses.append(None)
+        cursor = 0
+        for slot, kind, key, payload in buffered:
+            result = raw[cursor]
+            cursor += 1
+            try:
+                if kind == "read":
+                    if not result:
+                        responses[slot] = None
+                    elif payload is None:
+                        responses[slot] = {f: v.decode() for f, v in result.items()}
+                    else:
+                        responses[slot] = {
+                            f: v.decode() for f, v in result.items() if f in payload
+                        }
+                elif kind == "update":
+                    responses[slot] = result
+                elif kind == "insert":
+                    if arm_ttl:
+                        cursor += 1  # the paired EXPIRE result
+                    inserted.append(key)
+                    responses[slot] = None
+                else:  # read-data-by-key / read-metadata-by-key
+                    principal = payload
+                    op = kind
+                    client.acl.check_operation(principal, op)
+                    if not result:
+                        responses[slot] = None
+                        continue
+                    record = client._record_from_fields(key, result)
+                    if op == "read-data-by-key":
+                        client.acl.check_record_access(principal, record)
+                        responses[slot] = record.data
+                    else:
+                        client.acl.check_metadata_access(principal, record)
+                        responses[slot] = record.metadata()
+            except Exception as exc:  # captured per slot, batch continues
+                responses[slot] = exc
+                errors.append(exc)
         if inserted:
             with client._ycsb_keys_lock:
                 for key in inserted:
                     idx = bisect.bisect_left(client._ycsb_keys, key)
                     if idx >= len(client._ycsb_keys) or client._ycsb_keys[idx] != key:
                         client._ycsb_keys.insert(idx, key)
-        # ...and one response round-trip carries every result back.
-        client._wire(responses)
+        buffered.clear()
+
+    def _run_multi(self, kind: str, key: str, payload):
+        """One multi-record GDPR op through its single-op implementation."""
+        client = self._client
+        if kind == "delete-record-by-ttl":
+            return client.delete_record_by_ttl(payload)
+        if kind.startswith("update-metadata-by-"):
+            principal, attribute, value = payload
+            method = getattr(client, kind.replace("-", "_"))
+            return method(principal, key, attribute, value)
+        # read-data-by-{pur,usr,obj,dec} / read-metadata-by-usr
+        method = getattr(client, kind.replace("-", "_"))
+        return method(payload, key)
+
+    def execute(self) -> list:
+        ops = self._take()
+        if not ops:
+            return []
+        client = self._client
+        # One request round-trip carries the whole batch.  Multi-record
+        # ops wire their own full request inside their single-op
+        # implementation, so their slots travel as bare kind markers here
+        # (same no-double-count rule as the response frame below).
+        client._wire([
+            (kind, key) if kind in _ENGINE_POINT_KINDS else (kind,)
+            for kind, key, _ in ops
+        ])
+        responses: list = [None] * len(ops)
+        errors: list[Exception] = []
+        buffered: list = []  # (slot, kind, key, payload) point-op run
+        multi_slots: set[int] = set()
+        for slot, (kind, key, payload) in enumerate(ops):
+            if kind in _ENGINE_POINT_KINDS:
+                buffered.append((slot, kind, key, payload))
+                continue
+            multi_slots.add(slot)
+            self._flush_points(buffered, responses, errors)
+            try:
+                responses[slot] = self._run_multi(kind, key, payload)
+            except Exception as exc:
+                responses[slot] = exc
+                errors.append(exc)
+        self._flush_points(buffered, responses, errors)
+        # ...and one response round-trip carries the point results back.
+        # Multi-record responses already crossed the wire inside their
+        # single-op implementations; shipping them again here would
+        # double-count their serialisation, so their slots travel as
+        # placeholders in the batch frame.
+        client._wire([
+            None if slot in multi_slots else response
+            for slot, response in enumerate(responses)
+        ])
+        if errors:
+            raise errors[0]
         return responses
 
 

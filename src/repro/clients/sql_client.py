@@ -49,7 +49,13 @@ from repro.minisql.expr import Cmp, Contains, Expr, Not
 from repro.minisql.schema import Column
 from repro.minisql.types import FLOAT, TEXT, TEXT_LIST, TIMESTAMP
 
-from .base import FeatureSet, GDPRClient, GDPRPipeline, normalise_attribute
+from .base import (
+    PIPELINE_WRITE_KINDS,
+    FeatureSet,
+    GDPRClient,
+    GDPRPipeline,
+    normalise_attribute,
+)
 
 RECORDS_TABLE = "personal_records"
 YCSB_TABLE = "usertable"
@@ -59,62 +65,104 @@ YCSB_FIELDS = 10
 METADATA_INDEX_COLUMNS = ("usr", "pur", "obj", "dec", "shr", "src", "expiry")
 
 
+#: YCSB pipeline kinds (live in the usertable; GDPR kinds live in
+#: personal_records)
+_YCSB_KINDS = frozenset({"read", "update", "insert"})
+
+
 class SQLClientPipeline(GDPRPipeline):
     """minisql implementation of the shared :class:`GDPRPipeline` contract.
 
-    Queued YCSB primitives execute inside **one engine transaction**: one
-    lock-set acquisition (the usertable's read lock for pure-read batches,
-    its write lock otherwise), one maintenance tick, one WAL group commit,
-    and one request + one response crossing the (possibly TLS) wire —
-    the SQL analogue of Redis pipelining, built on
+    Queued operations — YCSB primitives *and* the batchable GDPR query
+    surface (``read-data-by-*``, ``read-metadata-by-key/usr``,
+    ``delete-record-by-ttl``, ``update-metadata-by-*``) — execute inside
+    **one engine transaction**: one lock-set acquisition over exactly the
+    tables the batch touches, one maintenance tick, one WAL group commit,
+    and one request + one response crossing the (possibly TLS) wire — the
+    SQL analogue of Redis pipelining, built on
     :meth:`repro.minisql.database.Database.transaction`.
 
+    Under ``locking="mvcc"`` a pure-read batch skips the transaction
+    machinery entirely: every query runs lock-free against **one MVCC
+    snapshot** (:meth:`repro.minisql.database.Database.snapshot_reader`),
+    so the whole batch observes one consistent state, pays one statement-
+    accounting hop, and never waits on — or delays — a concurrent purge.
+
     Statement errors follow the Redis pipeline semantics: every queued
-    statement runs, failures are captured per slot, and the first one is
-    raised after the batch commits.
+    statement runs, failures (including per-operation access-control
+    denials) are captured per slot, and the first one is raised after the
+    batch commits.
     """
 
     def __init__(self, client: "SQLGDPRClient") -> None:
         super().__init__()
         self._client = client
 
+    def _run_op(self, runner, kind: str, key: str, payload):
+        """One queued operation against ``runner`` (txn or snapshot reader)."""
+        client = self._client
+        if kind == "read":
+            rows = runner.select_point(
+                YCSB_TABLE, "key", key,
+                columns=list(payload) if payload is not None else None,
+            )
+            return rows[0] if rows else None
+        if kind == "update":
+            return runner.update(YCSB_TABLE, payload, Cmp("key", "=", key))
+        if kind == "insert":
+            row = {"key": key, **payload}
+            if client.features.timely_deletion:
+                row["expiry"] = client.clock.now() + client.YCSB_TTL_SECONDS
+            runner.insert(YCSB_TABLE, row)
+            return None
+        if kind == "delete-record-by-ttl":
+            return client._do_delete_record_by_ttl(runner, payload)
+        if kind.startswith("update-metadata-by-"):
+            principal, attribute, value = payload
+            return client._do_update_metadata(
+                runner, kind, principal, key, attribute, value
+            )
+        # the read-data-by-* / read-metadata-by-* family
+        return client._do_gdpr_read(runner, kind, payload, key)
+
     def execute(self) -> list:
         ops = self._take()
         if not ops:
             return []
         client = self._client
-        client._ensure_ycsb_table()
+        kinds = {kind for kind, _, _ in ops}
+        if kinds & _YCSB_KINDS:
+            client._ensure_ycsb_table()
         # One request round-trip carries the whole batch.
         client._wire([(kind, key) for kind, key, _ in ops])
-        writes = any(kind != "read" for kind, _, _ in ops)
-        arm_ttl = client.features.timely_deletion
+        read_tables: set[str] = set()
+        write_tables: set[str] = set()
+        for kind in kinds:
+            table = YCSB_TABLE if kind in _YCSB_KINDS else RECORDS_TABLE
+            if kind in PIPELINE_WRITE_KINDS:
+                write_tables.add(table)
+            else:
+                read_tables.add(table)
         responses: list = []
         errors: list[Exception] = []
-        with client.db.transaction(
-            read=() if writes else (YCSB_TABLE,),
-            write=(YCSB_TABLE,) if writes else (),
-        ) as txn:
+
+        def drain(runner) -> None:
             for kind, key, payload in ops:
                 try:
-                    if kind == "read":
-                        rows = txn.select_point(
-                            YCSB_TABLE, "key", key,
-                            columns=list(payload) if payload is not None else None,
-                        )
-                        responses.append(rows[0] if rows else None)
-                    elif kind == "update":
-                        responses.append(
-                            txn.update(YCSB_TABLE, payload, Cmp("key", "=", key))
-                        )
-                    else:  # insert
-                        row = {"key": key, **payload}
-                        if arm_ttl:
-                            row["expiry"] = client.clock.now() + client.YCSB_TTL_SECONDS
-                        txn.insert(YCSB_TABLE, row)
-                        responses.append(None)
+                    responses.append(self._run_op(runner, kind, key, payload))
                 except Exception as exc:  # captured per slot, batch continues
                     responses.append(exc)
                     errors.append(exc)
+
+        if not write_tables and client.db.config.locking == "mvcc":
+            # Lock-free fast path: one snapshot for the whole read batch.
+            with client.db.snapshot_reader(statements=len(ops)) as reader:
+                drain(reader)
+        else:
+            with client.db.transaction(
+                read=read_tables - write_tables, write=write_tables
+            ) as txn:
+                drain(txn)
         # ...and one response round-trip carries every result back.
         client._wire(responses)
         if errors:
@@ -286,10 +334,14 @@ class SQLGDPRClient(GDPRClient):
         self._wire(deleted)
         return deleted
 
-    def delete_record_by_ttl(self, principal: Principal) -> int:
+    def _do_delete_record_by_ttl(self, runner, principal: Principal) -> int:
+        """DELETE-RECORD-BY-TTL core against any statement runner."""
         self.acl.check_operation(principal, "delete-record-by-ttl")
+        return runner.delete(RECORDS_TABLE, Cmp("expiry", "<=", self.clock.now()))
+
+    def delete_record_by_ttl(self, principal: Principal) -> int:
         self._wire(("delete-record-by-ttl",))
-        deleted = self.db.delete(RECORDS_TABLE, Cmp("expiry", "<=", self.clock.now()))
+        deleted = self._do_delete_record_by_ttl(self.db, principal)
         self._wire(deleted)
         return deleted
 
@@ -304,78 +356,85 @@ class SQLGDPRClient(GDPRClient):
     # READ-DATA
     # ------------------------------------------------------------------
 
-    def read_data_by_key(self, principal: Principal, key: str) -> str | None:
-        self.acl.check_operation(principal, "read-data-by-key")
-        self._wire(("read-data-by-key", key))
-        rows = self.db.select(RECORDS_TABLE, Cmp("key", "=", key))
-        if not rows:
-            self._wire(None)
-            return None
-        record = self._record_from_row(rows[0])
-        self.acl.check_record_access(principal, record)
-        self._wire(record.data)
-        return record.data
+    #: metadata-conditioned read -> its WHERE tree (shared by the single-op
+    #: wrappers and the pipelined batch path)
+    _GDPR_READ_WHERE = {
+        "read-data-by-pur": lambda arg: Contains("pur", arg),
+        "read-data-by-usr": lambda arg: Cmp("usr", "=", arg),
+        "read-data-by-obj": lambda arg: Not(Contains("obj", arg)),
+        "read-data-by-dec": lambda arg: Contains("dec", arg),
+        "read-metadata-by-usr": lambda arg: Cmp("usr", "=", arg),
+        "read-metadata-by-shr": lambda arg: Contains("shr", arg),
+    }
 
-    def _read_data_where(self, principal: Principal, op: str, where: Expr) -> list:
+    def _do_gdpr_read(self, runner, op: str, principal: Principal, arg: str):
+        """One GDPR read query against any statement runner.
+
+        ``runner`` is anything with the shared statement surface — the
+        :class:`~repro.minisql.database.Database` facade (single-op path),
+        an open :class:`~repro.minisql.transaction.Transaction`, or a
+        lock-free :class:`~repro.minisql.database.SnapshotReader` (the
+        MVCC batch path).  Access control is checked per operation and
+        per record, exactly as the single-op methods always have.
+        """
         self.acl.check_operation(principal, op)
-        self._wire((op,))
+        if op in ("read-data-by-key", "read-metadata-by-key"):
+            rows = runner.select(RECORDS_TABLE, Cmp("key", "=", arg))
+            if not rows:
+                return None
+            record = self._record_from_row(rows[0])
+            if op == "read-data-by-key":
+                self.acl.check_record_access(principal, record)
+                return record.data
+            self.acl.check_metadata_access(principal, record)
+            return record.metadata()
+        where = self._GDPR_READ_WHERE[op](arg)
+        metadata = op.startswith("read-metadata")
         out = []
-        for row in self.db.select(RECORDS_TABLE, where):
+        for row in runner.select(RECORDS_TABLE, where):
             record = self._record_from_row(row)
-            self.acl.check_record_access(principal, record)
-            out.append((record.key, record.data))
-        self._wire(out)
+            if metadata:
+                self.acl.check_metadata_access(principal, record)
+                out.append((record.key, record.metadata()))
+            else:
+                self.acl.check_record_access(principal, record)
+                out.append((record.key, record.data))
         return out
 
+    def _gdpr_read(self, op: str, principal: Principal, arg: str):
+        """Single-op wrapper: wire the request, run the core, wire the reply."""
+        self._wire((op, arg) if arg else (op,))
+        result = self._do_gdpr_read(self.db, op, principal, arg)
+        self._wire(result)
+        return result
+
+    def read_data_by_key(self, principal: Principal, key: str) -> str | None:
+        return self._gdpr_read("read-data-by-key", principal, key)
+
     def read_data_by_pur(self, principal: Principal, purpose: str) -> list:
-        return self._read_data_where(principal, "read-data-by-pur", Contains("pur", purpose))
+        return self._gdpr_read("read-data-by-pur", principal, purpose)
 
     def read_data_by_usr(self, principal: Principal, user: str) -> list:
-        return self._read_data_where(principal, "read-data-by-usr", Cmp("usr", "=", user))
+        return self._gdpr_read("read-data-by-usr", principal, user)
 
     def read_data_by_obj(self, principal: Principal, purpose: str) -> list:
-        return self._read_data_where(
-            principal, "read-data-by-obj", Not(Contains("obj", purpose))
-        )
+        return self._gdpr_read("read-data-by-obj", principal, purpose)
 
     def read_data_by_dec(self, principal: Principal, decision: str) -> list:
-        return self._read_data_where(principal, "read-data-by-dec", Contains("dec", decision))
+        return self._gdpr_read("read-data-by-dec", principal, decision)
 
     # ------------------------------------------------------------------
     # READ-METADATA
     # ------------------------------------------------------------------
 
     def read_metadata_by_key(self, principal: Principal, key: str) -> dict | None:
-        self.acl.check_operation(principal, "read-metadata-by-key")
-        self._wire(("read-metadata-by-key", key))
-        rows = self.db.select(RECORDS_TABLE, Cmp("key", "=", key))
-        if not rows:
-            self._wire(None)
-            return None
-        record = self._record_from_row(rows[0])
-        self.acl.check_metadata_access(principal, record)
-        metadata = record.metadata()
-        self._wire(metadata)
-        return metadata
-
-    def _read_metadata_where(self, principal: Principal, op: str, where: Expr) -> list:
-        self.acl.check_operation(principal, op)
-        self._wire((op,))
-        out = []
-        for row in self.db.select(RECORDS_TABLE, where):
-            record = self._record_from_row(row)
-            self.acl.check_metadata_access(principal, record)
-            out.append((record.key, record.metadata()))
-        self._wire(out)
-        return out
+        return self._gdpr_read("read-metadata-by-key", principal, key)
 
     def read_metadata_by_usr(self, principal: Principal, user: str) -> list:
-        return self._read_metadata_where(principal, "read-metadata-by-usr", Cmp("usr", "=", user))
+        return self._gdpr_read("read-metadata-by-usr", principal, user)
 
     def read_metadata_by_shr(self, principal: Principal, third_party: str) -> list:
-        return self._read_metadata_where(
-            principal, "read-metadata-by-shr", Contains("shr", third_party)
-        )
+        return self._gdpr_read("read-metadata-by-shr", principal, third_party)
 
     # ------------------------------------------------------------------
     # UPDATE
@@ -400,42 +459,45 @@ class SQLGDPRClient(GDPRClient):
             return {"ttl": canonical, "expiry": self.clock.now() + canonical}
         return {attribute.lower(): canonical}
 
-    def update_metadata_by_key(self, principal: Principal, key: str, attribute: str, value) -> int:
-        self.acl.check_operation(principal, "update-metadata-by-key")
-        self._wire(("update-metadata-by-key", key, attribute))
-        rows = self.db.select(RECORDS_TABLE, Cmp("key", "=", key))
-        if not rows:
-            self._wire(0)
-            return 0
-        self.acl.check_metadata_access(principal, self._record_from_row(rows[0]))
-        changed = self.db.update(
-            RECORDS_TABLE, self._assignments_for(attribute, value), Cmp("key", "=", key)
-        )
+    #: group metadata update -> its WHERE tree (shared with the batch path)
+    _GDPR_UPDATE_WHERE = {
+        "update-metadata-by-pur": lambda arg: Contains("pur", arg),
+        "update-metadata-by-usr": lambda arg: Cmp("usr", "=", arg),
+        "update-metadata-by-shr": lambda arg: Contains("shr", arg),
+    }
+
+    def _do_update_metadata(self, runner, op: str, principal: Principal,
+                            arg: str, attribute: str, value) -> int:
+        """One UPDATE-METADATA query against any writable statement runner."""
+        self.acl.check_operation(principal, op)
+        if op == "update-metadata-by-key":
+            rows = runner.select(RECORDS_TABLE, Cmp("key", "=", arg))
+            if not rows:
+                return 0
+            self.acl.check_metadata_access(principal, self._record_from_row(rows[0]))
+            where: Expr = Cmp("key", "=", arg)
+        else:
+            where = self._GDPR_UPDATE_WHERE[op](arg)
+        return runner.update(RECORDS_TABLE, self._assignments_for(attribute, value), where)
+
+    def _update_metadata(self, op: str, principal: Principal, arg: str,
+                         attribute: str, value) -> int:
+        self._wire((op, arg, attribute))
+        changed = self._do_update_metadata(self.db, op, principal, arg, attribute, value)
         self._wire(changed)
         return changed
 
-    def _update_metadata_where(self, principal: Principal, op: str, where: Expr,
-                               attribute: str, value) -> int:
-        self.acl.check_operation(principal, op)
-        self._wire((op, attribute))
-        changed = self.db.update(RECORDS_TABLE, self._assignments_for(attribute, value), where)
-        self._wire(changed)
-        return changed
+    def update_metadata_by_key(self, principal: Principal, key: str, attribute: str, value) -> int:
+        return self._update_metadata("update-metadata-by-key", principal, key, attribute, value)
 
     def update_metadata_by_pur(self, principal: Principal, purpose: str, attribute: str, value) -> int:
-        return self._update_metadata_where(
-            principal, "update-metadata-by-pur", Contains("pur", purpose), attribute, value
-        )
+        return self._update_metadata("update-metadata-by-pur", principal, purpose, attribute, value)
 
     def update_metadata_by_usr(self, principal: Principal, user: str, attribute: str, value) -> int:
-        return self._update_metadata_where(
-            principal, "update-metadata-by-usr", Cmp("usr", "=", user), attribute, value
-        )
+        return self._update_metadata("update-metadata-by-usr", principal, user, attribute, value)
 
     def update_metadata_by_shr(self, principal: Principal, third_party: str, attribute: str, value) -> int:
-        return self._update_metadata_where(
-            principal, "update-metadata-by-shr", Contains("shr", third_party), attribute, value
-        )
+        return self._update_metadata("update-metadata-by-shr", principal, third_party, attribute, value)
 
     # ------------------------------------------------------------------
     # GET-SYSTEM

@@ -12,7 +12,8 @@ fig6        YCSB vs GDPRbench representative throughput            ``fig6``
 fig7        Effect of scale, Redis (YCSB-C flat, customer linear)  ``scale``
 fig7t       Redis thread scaling, single-lock vs striped+pipelined ``scale``
 fig8        Effect of scale, PostgreSQL (muted growth)             ``scale``
-fig8t       SQL thread scaling, global-lock vs rw+batched          ``scale``
+fig8t       SQL thread scaling, global-lock vs rw/mvcc batched     ``scale``
+fig9p       Readers vs TTL purge, rw locking vs MVCC snapshots     ``scale``
 ==========  =====================================================  ==============
 """
 
@@ -31,6 +32,7 @@ ALL_EXPERIMENTS = {
     "fig7t": scale.redis_thread_scaling,
     "fig8": scale.run_fig8,
     "fig8t": scale.sql_thread_scaling,
+    "fig9p": scale.sql_readers_vs_purge,
 }
 
 __all__ = ["ExperimentResult", "ALL_EXPERIMENTS", "fig3a", "fig3b", "fig4",

@@ -15,6 +15,8 @@ paper's x-axis.
 
 from __future__ import annotations
 
+import statistics
+
 from repro.bench.session import YCSBSession, YCSBSessionConfig
 from repro.bench.ycsb import YCSBConfig
 from repro.clients.base import FeatureSet
@@ -35,23 +37,55 @@ DEFAULT_WORKLOADS = ("A", "B", "C", "D", "E", "F")
 
 
 def throughputs(engine: str, workloads, records: int, operations: int,
-                threads: int, seed: int) -> tuple[dict, int]:
-    """(ops/sec for every (feature, workload) cell, total errored ops)."""
-    out: dict = {}
+                threads: int, seed: int, repeats: int = 3) -> tuple[dict, int]:
+    """(ops/sec for every (feature, workload) cell, total errored ops).
+
+    The five feature configurations are measured in **interleaved rounds**
+    (every configuration runs each workload once per round) and each cell
+    is its median per-round ratio to the baseline's same round, rescaled
+    by the baseline median.  A burst of scheduler noise therefore lands
+    inside one round — skewing one ratio sample the median discards —
+    instead of depressing one configuration's whole measurement window,
+    the failure mode that made the disjoint-window comparison checks
+    (e.g. "logging costs more than encryption") flaky on busy runners.
+    """
+    sessions = {}
     failures = 0
-    for feature_name, features in FEATURE_CONFIGS.items():
-        config = YCSBSessionConfig(
-            engine=engine,
-            features=features,
-            ycsb=YCSBConfig(record_count=records, operation_count=operations, seed=seed),
-            threads=threads,
-        )
-        with YCSBSession(config) as session:
+    try:
+        for feature_name, features in FEATURE_CONFIGS.items():
+            config = YCSBSessionConfig(
+                engine=engine,
+                features=features,
+                ycsb=YCSBConfig(record_count=records, operation_count=operations, seed=seed),
+                threads=threads,
+            )
+            sessions[feature_name] = session = YCSBSession(config)
             session.load()
-            for workload in workloads:
-                report = session.run(workload)
-                out[(feature_name, workload)] = report.throughput_ops_s
-                failures += report.failed
+        raw: dict[tuple[str, str], list[float]] = {}
+        for workload in workloads:
+            for _ in range(repeats):
+                for feature_name, session in sessions.items():
+                    report = session.run(workload)
+                    failures += report.failed
+                    raw.setdefault((feature_name, workload), []).append(
+                        report.throughput_ops_s
+                    )
+    finally:
+        for session in sessions.values():
+            session.close()
+    out: dict = {}
+    for workload in workloads:
+        base_rounds = raw[("baseline", workload)]
+        base = statistics.median(base_rounds)
+        out[("baseline", workload)] = base
+        for feature_name in FEATURE_CONFIGS:
+            if feature_name == "baseline":
+                continue
+            ratio = statistics.median([
+                ops / base_ops
+                for ops, base_ops in zip(raw[(feature_name, workload)], base_rounds)
+            ])
+            out[(feature_name, workload)] = base * ratio
     return out, failures
 
 

@@ -68,25 +68,49 @@ _SCAN_SNAPSHOT_CAP = 64
 
 @dataclass
 class MiniKVConfig:
-    """Feature switches for the GDPR retrofit (defaults = stock Redis)."""
+    """Feature switches for the GDPR retrofit (defaults = stock Redis).
 
+    Every default preserves the paper's measured Redis v5.0 behaviour;
+    the non-default settings are this repo's scaling retrofits.
+    """
+
+    #: Default ``False`` — plaintext persistence, the paper's stock Redis.
+    #: ``True`` encrypts the AOF at the disk boundary (the LUKS retrofit
+    #: of Section 5.1; in-memory values stay plaintext as on dm-crypt).
     encryption_at_rest: bool = False
+    #: Default ``False`` — Redis' lazy sampling expiry cycle, the stock
+    #: engine the paper benchmarks.  ``True`` applies the paper's ~120-line
+    #: patch: a full expires-dict scan per tick (strict timely deletion).
     strict_ttl: bool = False
+    #: Default ``None`` — no persistence, Redis' in-memory baseline.  A
+    #: path arms the append-only file (and the audit trail when
+    #: ``log_reads`` is set).
     aof_path: str | None = None
+    #: Default ``"everysec"`` — Redis' appendfsync default, the paper's
+    #: configuration; ``"always"`` fsyncs per command (or per group, see
+    #: ``aof_batch_size``), ``"no"`` leaves flushing to the OS.
     fsync: str = "everysec"
+    #: Default ``False`` — only writes reach the AOF, stock Redis.
+    #: ``True`` extends the log to reads and scans (Section 5.1's
+    #: monitoring retrofit: "log all interactions including reads").
     log_reads: bool = False
+    #: Default ``0`` — deterministic seed for the lazy expiry cycle's
+    #: sampling; any fixed value reproduces the paper's probabilistic
+    #: expiry behaviour reproducibly.
     expiry_seed: int = 0
+    #: Default ``""`` — defer to ``strict_ttl`` (backwards compatible):
     #: 'lazy' (stock Redis), 'strict' (the paper's patch), or 'heap' (the
     #: paper's §7.2 "efficient time-based deletion" challenge: deadline-
     #: ordered min-heap, strict timeliness at O(k log n) per tick).
-    #: Empty string defers to ``strict_ttl`` for backwards compatibility.
     ttl_algorithm: str = ""
-    #: Lock stripes over the keyspace.  1 = Redis' single-event-loop
-    #: semantics (the paper's model); >1 lets independent keys proceed in
-    #: parallel under multi-threaded clients.
+    #: Default ``1`` — Redis' single-event-loop semantics, the paper's
+    #: execution model (one lock serialises everything); >1 hash-partitions
+    #: the keyspace into that many lock stripes so independent keys
+    #: proceed in parallel under multi-threaded clients.
     stripes: int = 1
-    #: AOF group-commit batch: under ``fsync='always'`` the fsync is
-    #: amortised over this many entries (1 = fsync per command).
+    #: Default ``1`` — under ``fsync='always'`` every command pays its own
+    #: fsync, the paper's per-command durability cost; larger values
+    #: amortise the fsync over that many AOF entries (group commit).
     aof_batch_size: int = 1
 
     def resolved_ttl_algorithm(self) -> str:

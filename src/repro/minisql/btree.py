@@ -49,6 +49,10 @@ class BTreeIndex:
         self._distinct = 0    # number of distinct keys
         self._height = 1
         self._node_count = 1
+        #: seqlock generation for lock-free MVCC readers: writers bump it
+        #: to odd before mutating and back to even after, so an optimistic
+        #: reader can detect (and retry past) a concurrent node split.
+        self.version = 0
 
     # -- stats -----------------------------------------------------------
 
@@ -224,6 +228,8 @@ class InvertedIndex:
     def __init__(self) -> None:
         self._postings: dict[str, set[int]] = {}
         self._entries = 0
+        #: seqlock generation (see :class:`BTreeIndex.version`)
+        self.version = 0
 
     def __len__(self) -> int:
         return self._entries

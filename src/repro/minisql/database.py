@@ -3,18 +3,23 @@
 One :class:`Database` composes the engine's three layers:
 
 * :class:`~repro.minisql.storage.Storage` — catalog, heap tables,
-  secondary indices, and the write-ahead log (with group commit);
+  secondary indices, the write-ahead log (with group commit), and the
+  per-scope :class:`~repro.minisql.storage.WriteSession` undo logs;
 * :class:`~repro.minisql.executor.Executor` — plan → rows: access-path
   selection (cached by predicate shape), residual filtering, projection,
-  and the MVCC-style write protocol;
+  the MVCC write protocol, and snapshot-visibility reads;
 * :class:`~repro.minisql.transaction.LockManager` /
   :class:`~repro.minisql.transaction.Transaction` — per-table
-  reader-writer locking (or the seed's single global lock) and
-  ``begin()/commit()`` statement batches with one WAL fsync per commit.
+  reader-writer locking, the seed's single global lock, or MVCC
+  (lock-free snapshot reads + writer-only table locks), plus
+  ``begin()/commit()/rollback()`` statement batches with one WAL fsync
+  per commit.
 
 The facade keeps the seed's public statement surface and adds
-:meth:`begin` / :meth:`transaction` for batched execution.  The GDPR
-retrofit switches map onto the paper's Section 5.2 changes:
+:meth:`begin` / :meth:`transaction` for batched execution and
+:meth:`snapshot_reader` for a lock-free read-only statement surface at
+one MVCC snapshot.  The GDPR retrofit switches map onto the paper's
+Section 5.2 changes:
 
 * ``encryption_at_rest`` — the persistence files (WAL, csvlog) are
   encrypted at the disk boundary, the LUKS analogue; buffer-cache pages
@@ -22,7 +27,8 @@ retrofit switches map onto the paper's Section 5.2 changes:
   volume, and the in-transit half lives in the client stub (SSL analogue).
 * ``csvlog_path`` + ``log_statements`` — statement logging incl. SELECT
   responses (csvlog + row-level-security policy).
-* ``enable_ttl()`` — expiry-timestamp column + 1-second sweeper daemon.
+* ``enable_ttl()`` — expiry-timestamp column + 1-second sweeper daemon
+  (which also runs the version vacuum for its table).
 * ``create_index()`` — metadata indexing via secondary B-tree / inverted
   indices (Figure 3b / Figure 5c).
 
@@ -34,6 +40,7 @@ and offers ``execute_batch`` for pipelined statement streams.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -43,7 +50,8 @@ from repro.crypto.luks import FileCipher
 
 from .csvlog import CSVLogger
 from .executor import Executor
-from .expr import Expr
+from .expr import Cmp, Expr
+from .mvcc import CommitClock, SnapshotManager
 from .planner import Plan
 from .schema import Column
 from .storage import Storage
@@ -53,21 +61,47 @@ from .ttl_daemon import TTLSweeper
 
 @dataclass
 class MiniSQLConfig:
-    """Feature switches for the GDPR retrofit (defaults = stock engine)."""
+    """Feature switches for the GDPR retrofit (defaults = stock engine).
 
+    Every default preserves the paper's measured behaviour; the non-default
+    settings are this repo's scaling retrofits.
+    """
+
+    #: Default ``False`` — plaintext persistence, the paper's stock
+    #: PostgreSQL.  ``True`` seals rows, WAL, and csvlog at the disk
+    #: boundary (the LUKS retrofit of Section 5.2).
     encryption_at_rest: bool = False
+    #: Default ``None`` — no write-ahead log, the in-memory baseline every
+    #: figure measures unless durability is under test.  A path arms WAL
+    #: logging + crash recovery by replay.
     wal_path: str | None = None
+    #: Default ``"everysec"`` — PostgreSQL-style background flush cadence;
+    #: ``"always"`` fsyncs per record (or per group, see
+    #: ``wal_batch_size``), ``"no"`` leaves flushing to close().
     fsync: str = "everysec"
+    #: Default ``None`` — no statement log.  A path arms the csvlog (the
+    #: paper's monitoring retrofit needs ``log_statements=True`` too).
     csvlog_path: str | None = None
-    log_statements: bool = False   # also log SELECTs + their responses
+    #: Default ``False`` — only writes are logged.  ``True`` also logs
+    #: SELECTs with their response payloads (the row-level-security audit
+    #: policy of Section 5.2 the monitoring feature measures).
+    log_statements: bool = False
+    #: Default ``1.0`` second — the paper's timely-deletion daemon period
+    #: ("currently set to 1 sec").
     ttl_interval: float = 1.0
-    #: ``"table-rw"`` — per-table reader-writer locks (readers share,
-    #: writers exclusive); ``"global"`` — the seed's single lock, kept as
-    #: the benchmark baseline.  Observable results are identical.
+    #: Concurrency mode.  Default ``"table-rw"`` — per-table
+    #: reader-writer locks (readers share, writers exclusive).
+    #: ``"global"`` — the seed's single lock, kept as the benchmark
+    #: baseline (the paper's single-session execution model).
+    #: ``"mvcc"`` — snapshot-isolated lock-free reads + writer-only table
+    #: locks + WAL-backed rollback (see docs/minisql-concurrency.md).
+    #: Observable single-threaded results are identical in all modes.
     locking: str = "table-rw"
-    #: WAL group commit (mirrors minikv's ``aof_batch_size``): under
-    #: ``fsync='always'`` the fsync is amortised over this many records;
-    #: transactions always commit with one fsync regardless.
+    #: WAL group commit (mirrors minikv's ``aof_batch_size``).  Default
+    #: ``1`` — under ``fsync='always'`` every record pays its own fsync,
+    #: the paper's per-statement durability cost; larger values amortise
+    #: the fsync over that many records.  Transactions always commit with
+    #: one fsync regardless.
     wal_batch_size: int = 1
 
     def gdpr_features(self, has_indices: bool, has_ttl: bool) -> dict[str, bool]:
@@ -84,6 +118,78 @@ class MiniSQLConfig:
 _SELECT_AUDIT_CAP = 4096
 
 
+class SnapshotReader:
+    """A read-only statement surface pinned to one snapshot.
+
+    Obtained from :meth:`Database.snapshot_reader`.  Under MVCC every
+    method reads the same commit-timestamp snapshot without taking any
+    table lock — the batched GDPR metadata-scan path.  In the lock-based
+    modes the reader degrades gracefully: each method takes the ordinary
+    per-statement read lock and reads latest (there are no snapshots to
+    pin).
+    """
+
+    def __init__(self, db: "Database", ts: int | None) -> None:
+        self._db = db
+        self._ts = ts
+
+    def select(self, table: str, where: Expr | None = None,
+               columns: Sequence[str] | None = None, limit: int | None = None,
+               order_by: str | None = None, descending: bool = False) -> list[dict]:
+        db = self._db
+        if self._ts is not None:  # MVCC: the snapshot replaces the lock
+            rows, plan = db._executor.select(
+                table, where, columns=columns, limit=limit,
+                order_by=order_by, descending=descending, at=self._ts,
+            )
+            db._audit_select(table, rows, plan)
+            return rows
+        with db._locks.read(table):
+            rows, plan = db._executor.select(
+                table, where, columns=columns, limit=limit,
+                order_by=order_by, descending=descending, at=None,
+            )
+            db._audit_select(table, rows, plan)
+        return rows
+
+    def select_point(self, table: str, column: str, value,
+                     columns: Sequence[str] | None = None) -> list[dict]:
+        db = self._db
+        if self._ts is not None:
+            rows = db._executor.select_point(
+                table, column, value, columns=columns, at=self._ts
+            )
+        else:
+            with db._locks.read(table):
+                rows = db._executor.select_point(table, column, value, columns=columns)
+        if db.csvlog is not None and db.csvlog.log_reads:
+            # same audit contract as Transaction.select_point: batched
+            # point reads must not drop out of the SELECT audit trail
+            plan = db._executor.plan(table, Cmp(column, "=", value))
+            db._audit_select(table, rows, plan)
+        return rows
+
+    def count(self, table: str, where: Expr | None = None) -> int:
+        db = self._db
+        if self._ts is not None:
+            return db._executor.count(table, where, at=self._ts)
+        with db._locks.read(table):
+            return db._executor.count(table, where)
+
+    def aggregate(self, table: str, function: str, column: str | None = None,
+                  where: Expr | None = None, group_by: str | None = None):
+        db = self._db
+        if self._ts is not None:
+            return db._executor.aggregate(
+                table, function, column=column, where=where,
+                group_by=group_by, at=self._ts,
+            )
+        with db._locks.read(table):
+            return db._executor.aggregate(
+                table, function, column=column, where=where, group_by=group_by,
+            )
+
+
 class Database:
     """A single-node relational database instance (layer facade)."""
 
@@ -91,15 +197,20 @@ class Database:
         self.config = config or MiniSQLConfig()
         self.clock = clock or SystemClock()
         self._file_cipher = FileCipher() if self.config.encryption_at_rest else None
+        self._locks = LockManager(self.config.locking)  # validates the mode
         self._storage = Storage(
             wal_path=self.config.wal_path,
             fsync=self.config.fsync,
             wal_batch_size=self.config.wal_batch_size,
             cipher=self._file_cipher,
             clock=self.clock,
+            mvcc=(self.config.locking == "mvcc"),
         )
         self._executor = Executor(self._storage, clock=self.clock)
-        self._locks = LockManager(self.config.locking)
+        #: the MVCC machinery exists in every mode (lock-based modes simply
+        #: never acquire snapshots, so the vacuum horizon stays unbounded)
+        self._commit_clock = CommitClock()
+        self._snapshots = SnapshotManager(self._commit_clock)
         #: reentrant: DDL statements nest (create_table -> pkey index)
         self._ddl_lock = threading.RLock()
         self._sweepers: dict[str, TTLSweeper] = {}
@@ -131,6 +242,11 @@ class Database:
     def _count_statement(self) -> None:
         with self._statements_lock:
             self._statements += 1
+
+    def _count_statements(self, n: int) -> None:
+        """Batch form of the statement counter (one lock hop per batch)."""
+        with self._statements_lock:
+            self._statements += n
 
     def _on_statement(self, internal: bool = False) -> None:
         """Per-statement hook: count it, then run due maintenance.
@@ -166,13 +282,17 @@ class Database:
                         continue  # table dropped concurrently
             for name, heap in list(self._storage.heaps.items()):
                 if heap.dead_count > self.AUTOVACUUM_THRESHOLD + self.AUTOVACUUM_SCALE * heap.live_count:
-                    with self._locks.write(name):
-                        try:
-                            self._storage.vacuum_table(name)
-                        except CatalogError:
-                            continue  # table dropped concurrently
+                    try:
+                        self._vacuum_locked(name)
+                    except CatalogError:
+                        continue  # table dropped concurrently
         finally:
             self._in_maintenance.active = False
+
+    def _vacuum_locked(self, table: str) -> int:
+        """Write-locked, horizon-gated vacuum of one table (maintenance)."""
+        with self._locks.write(table):
+            return self._storage.vacuum_table(table, self._snapshots.horizon())
 
     def _log_csv(self, kind: str, table: str, detail: str, rows: int) -> None:
         if self.csvlog is not None and not self._storage.replaying:
@@ -189,6 +309,98 @@ class Database:
             self._log_csv("SELECT", table, detail, len(rows))
 
     # ------------------------------------------------------------------
+    # Write sessions (commit stamping / statement scopes)
+    # ------------------------------------------------------------------
+
+    def _commit_session(self, session) -> None:
+        """Stamp a write session's versions under one commit timestamp.
+
+        Version stamps only carry meaning for MVCC snapshot readers; the
+        lock-based modes skip the stamping pass (their deletes are marked
+        dead immediately and nobody reads ``xmin``), keeping the seed's
+        per-statement cost on the write hot path.
+        """
+        if not session.changes:
+            return
+        if self._locks.mode != "mvcc":
+            session.changes.clear()
+            return
+        with self._commit_clock.committing() as ts:
+            self._storage.commit_session(session, ts)
+
+    @contextmanager
+    def _write_scope(self, table: str):
+        """One autocommit write statement: lock (+ session + stamp in MVCC).
+
+        Under MVCC the statement runs in a write session so an error rolls
+        it back (statement atomicity — pending version stamps must not
+        leak) and a success stamps one commit timestamp.  The lock-based
+        modes take just the write lock, exactly the seed's hot path: an
+        autocommit statement there never rolls back (a failing statement's
+        earlier row effects stand, the seed semantics), so the session
+        bookkeeping would buy nothing.  Explicit transactions open
+        sessions in every mode — that is where ``rollback()`` lives.
+        """
+        if self._locks.mode != "mvcc":
+            with self._locks.write(table):
+                yield
+            return
+        with self._locks.write(table):
+            session = self._storage.begin_session()
+            try:
+                yield
+            except BaseException:
+                self._storage.rollback_session(session)
+                raise
+            else:
+                self._commit_session(session)
+            finally:
+                self._storage.end_session(session)
+
+    @contextmanager
+    def _read_scope(self, table: str):
+        """One autocommit read statement; yields the snapshot ts (or None).
+
+        MVCC acquires a snapshot and takes **no lock**; the lock-based
+        modes take the table's shared (or global) lock and read latest.
+        """
+        if self._locks.mode == "mvcc":
+            ts = self._snapshots.acquire()
+            try:
+                yield ts
+            finally:
+                self._snapshots.release(ts)
+        else:
+            with self._locks.read(table):
+                yield None
+
+    @contextmanager
+    def snapshot_reader(self, statements: int = 0):
+        """A read-only statement surface pinned to one snapshot.
+
+        Under MVCC the yielded :class:`SnapshotReader` runs every query
+        lock-free at one commit-timestamp snapshot — the natural unit for
+        a batched compliance scan (all reads of the batch observe one
+        consistent state).  In lock-based modes it falls back to ordinary
+        per-statement read locking.  ``statements`` is the batch's
+        statement count, charged up front in one counter hop (maintenance
+        also runs once, before the snapshot is taken, mirroring the
+        per-statement hook).
+        """
+        if statements:
+            self._count_statements(statements)
+            if not self._storage.replaying:
+                self._maintain()
+        if self._locks.mode == "mvcc":
+            ts = self._snapshots.acquire()
+            try:
+                yield SnapshotReader(self, ts)
+            finally:
+                self._snapshots.release(ts)
+        else:
+            yield SnapshotReader(self, None)
+
+    # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
 
@@ -198,9 +410,12 @@ class Database:
 
         Statements on the returned :class:`Transaction` run without
         re-locking; ``commit()`` releases the locks after one WAL group
-        commit.  Tables touched but not declared are locked on first use
-        when that preserves ascending-name acquisition order (refused
-        otherwise — see :class:`~repro.minisql.transaction.Transaction`).
+        commit, and ``rollback()`` undoes the batch via WAL-backed undo.
+        Tables touched but not declared are locked on first use when that
+        preserves ascending-name acquisition order (refused otherwise —
+        see :class:`~repro.minisql.transaction.Transaction`).  Under MVCC
+        the read set costs nothing: those tables are covered by the
+        transaction's snapshot.
         """
         return Transaction(self, read=read, write=write, internal=_internal).begin()
 
@@ -272,7 +487,7 @@ class Database:
 
     def insert(self, table: str, values: Mapping[str, object], _internal: bool = False) -> int:
         self._on_statement(internal=_internal)
-        with self._locks.write(table):
+        with self._write_scope(table):
             # audit lines are written inside the lock scope so the csvlog
             # order matches the apply order (the seed's guarantee — an
             # auditor replaying the log must reconstruct the final state)
@@ -292,18 +507,18 @@ class Database:
     ) -> list[dict]:
         """Run a query; returns a list of column->value dicts."""
         self._on_statement(internal=_internal)
-        with self._locks.read(table):
+        with self._read_scope(table) as at:
             rows, plan = self._executor.select(
                 table, where, columns=columns, limit=limit,
-                order_by=order_by, descending=descending,
+                order_by=order_by, descending=descending, at=at,
             )
             self._audit_select(table, rows, plan)
         return rows
 
     def count(self, table: str, where: Expr | None = None) -> int:
         self._on_statement()  # a user statement: sweepers/autovacuum may run
-        with self._locks.read(table):
-            return self._executor.count(table, where)
+        with self._read_scope(table) as at:
+            return self._executor.count(table, where, at=at)
 
     def aggregate(
         self,
@@ -321,9 +536,10 @@ class Database:
         customer — without ever touching personal data.
         """
         self._on_statement()
-        with self._locks.read(table):
+        with self._read_scope(table) as at:
             return self._executor.aggregate(
-                table, function, column=column, where=where, group_by=group_by
+                table, function, column=column, where=where, group_by=group_by,
+                at=at,
             )
 
     def update(
@@ -334,14 +550,14 @@ class Database:
         _internal: bool = False,
     ) -> int:
         self._on_statement(internal=_internal)
-        with self._locks.write(table):
+        with self._write_scope(table):
             changed = self._executor.update(table, assignments, where)
             self._log_csv("UPDATE", table, repr(sorted(assignments)), changed)
         return changed
 
     def delete(self, table: str, where: Expr | None = None, _internal: bool = False) -> int:
         self._on_statement(internal=_internal)
-        with self._locks.write(table):
+        with self._write_scope(table):
             removed = self._executor.delete(table, where)
             self._log_csv("DELETE", table, repr(where), removed)
         return removed
@@ -351,13 +567,12 @@ class Database:
         tables = [table] if table is not None else self.catalog.tables()
         reclaimed = 0
         for name in tables:
-            with self._locks.write(name):
-                try:
-                    reclaimed += self._storage.vacuum_table(name)
-                except CatalogError:
-                    if table is not None:
-                        raise  # an explicit target must exist
-                    # a database-wide sweep skips concurrently dropped tables
+            try:
+                reclaimed += self._vacuum_locked(name)
+            except CatalogError:
+                if table is not None:
+                    raise  # an explicit target must exist
+                # a database-wide sweep skips concurrently dropped tables
         return reclaimed
 
     def explain(self, table: str, where: Expr | None = None) -> str:

@@ -5,12 +5,23 @@ statements (select/count/aggregate/insert/update/delete) into physical
 operations on a :class:`~repro.minisql.storage.Storage`.  It owns the
 per-statement query machinery — access-path selection (with a shape-keyed
 plan cache), residual predicate filtering, projection, ordering, and the
-MVCC-style update protocol — and nothing else: locking, statement
-accounting, audit logging, and maintenance all live in the layers above.
+MVCC update protocol — and nothing else: locking, statement accounting,
+audit logging, and maintenance all live in the layers above.
 
-Callers must hold the appropriate per-table lock for every call (shared
-for the read methods, exclusive for the write methods); the executor never
-acquires locks itself.
+Read methods take an optional snapshot timestamp ``at``:
+
+* ``at=None`` — *latest* read: exactly the live heap rows.  Used by the
+  lock-based modes (the caller holds the table's shared lock) and by
+  writers reading their own tables (the caller holds the write lock).
+* ``at=ts`` — *snapshot* read: the row versions visible to an MVCC
+  snapshot at ``ts`` (see :mod:`repro.minisql.mvcc`), taken **without any
+  table lock**.  Index accesses are wrapped in the storage layer's
+  per-table latch so B-tree node splits never tear under a concurrent
+  lock-free descent; the latch is held per index operation, never across
+  a statement.
+
+For the write methods the caller must hold the table's exclusive lock in
+every mode; the executor never acquires locks itself.
 """
 
 from __future__ import annotations
@@ -58,45 +69,58 @@ class Executor:
     def plan(self, table: str, where: Expr | None) -> Plan:
         return self._plans.plan(table, where)
 
-    def _plan_rows(self, plan: Plan) -> Iterator[tuple[int, tuple]]:
+    def _plan_rows(self, plan: Plan, at: float | None = None) -> Iterator[tuple[int, tuple]]:
         """Yield candidate (rid, row) pairs for a plan, pre-residual."""
         heap = self.storage.heaps[plan.table]
         if plan.kind == "seqscan":
-            yield from heap.scan()
+            yield from (heap.scan() if at is None else heap.scan_at(at))
             return
         assert plan.index is not None
         index = self.storage.indices[plan.index.name]
         if plan.op in ("eq", "contains"):
-            rids: Iterable[int] = index.search(plan.value)
+            if at is None:
+                rids: Iterable[int] = index.search(plan.value)
+            else:
+                rids = self.storage.index_read(
+                    plan.table, index, lambda: index.search(plan.value)
+                )
         else:  # range
             assert isinstance(index, BTreeIndex)
-            rids = [
-                rid
-                for _, rid in index.range_scan(
-                    plan.lo, plan.hi, inclusive=(plan.lo_inclusive, plan.hi_inclusive)
-                )
-            ]
-        yield from heap.fetch_many(rids)
+
+            def scan_rids() -> list[int]:
+                return [
+                    rid
+                    for _, rid in index.range_scan(
+                        plan.lo, plan.hi, inclusive=(plan.lo_inclusive, plan.hi_inclusive)
+                    )
+                ]
+
+            rids = scan_rids() if at is None else self.storage.index_read(
+                plan.table, index, scan_rids
+            )
+        yield from (heap.fetch_many(rids) if at is None else heap.fetch_many_at(rids, at))
 
     def matching(
-        self, table: str, where: Expr | None, limit: int | None = None
+        self, table: str, where: Expr | None, limit: int | None = None,
+        at: float | None = None,
     ) -> tuple[list[tuple[int, tuple]], Plan]:
         """(rid, row) pairs satisfying ``where``, and the plan that drove it.
 
         ``limit`` stops collecting after that many matches — the chunked
         paths (TTL sweeps, limited DELETE) use it so a bounded batch never
-        pays for materialising every match.
+        pays for materialising every match.  ``at`` selects snapshot
+        visibility (see the module docstring).
         """
         plan = self._plans.plan(table, where)
         if plan.exact:
             # The index lookup satisfies the whole predicate: no residual.
-            rows = self._plan_rows(plan)
+            rows = self._plan_rows(plan, at)
             matches = list(rows if limit is None else islice(rows, limit))
             return matches, plan
         schema = self.storage.catalog.table(table)
         predicate = where if where is not None else ALWAYS
         matches = []
-        for rid, row in self._plan_rows(plan):
+        for rid, row in self._plan_rows(plan, at):
             if predicate.evaluate(row, schema):
                 matches.append((rid, row))
                 if limit is not None and len(matches) >= limit:
@@ -104,7 +128,8 @@ class Executor:
         return matches, plan
 
     def select_point(self, table: str, column: str, value,
-                     columns: Sequence[str] | None = None) -> list[dict]:
+                     columns: Sequence[str] | None = None,
+                     at: float | None = None) -> list[dict]:
         """Prepared point lookup: ``SELECT <columns> WHERE column = value``.
 
         The per-statement machinery (predicate tree, plan construction,
@@ -132,9 +157,27 @@ class Executor:
         index, names, idxs, col_idx = prepared
         heap = self.storage.heaps[table]
         if index is not None:
-            pairs = heap.fetch_many(index.search(value))
-        else:
+            if at is None:
+                rids = index.search(value)
+            else:
+                # One inlined optimistic attempt (no closure allocation on
+                # the hot point-read path); any miss delegates to the full
+                # seqlock retry protocol in Storage.index_read.
+                version = index.version
+                try:
+                    rids = index.search(value)
+                    clean = not (version & 1) and index.version == version
+                except Exception:
+                    clean = False
+                if not clean:
+                    rids = self.storage.index_read(
+                        table, index, lambda: index.search(value)
+                    )
+            pairs = heap.fetch_many(rids) if at is None else heap.fetch_many_at(rids, at)
+        elif at is None:
             pairs = ((rid, row) for rid, row in heap.scan() if row[col_idx] == value)
+        else:
+            pairs = ((rid, row) for rid, row in heap.scan_at(at) if row[col_idx] == value)
         return [
             {name: row[idx] for name, idx in zip(names, idxs)}
             for _, row in pairs
@@ -153,7 +196,8 @@ class Executor:
             return names, idxs
 
     # ------------------------------------------------------------------
-    # Read statements (caller holds the table's read lock)
+    # Read statements (caller holds the table's read lock, or passes a
+    # snapshot timestamp and holds nothing)
     # ------------------------------------------------------------------
 
     def select(
@@ -164,11 +208,12 @@ class Executor:
         limit: int | None = None,
         order_by: str | None = None,
         descending: bool = False,
+        at: float | None = None,
     ) -> tuple[list[dict], Plan]:
         """Run a query; returns (column->value dicts, the plan used)."""
         schema = self.storage.catalog.table(table)
         names, idxs = self._projection(table, schema, columns)
-        matches, plan = self.matching(table, where)
+        matches, plan = self.matching(table, where, at=at)
         if order_by is not None:
             key_idx = schema.column_index(order_by)
             matches.sort(
@@ -183,8 +228,9 @@ class Executor:
         ]
         return out, plan
 
-    def count(self, table: str, where: Expr | None = None) -> int:
-        matches, _ = self.matching(table, where)
+    def count(self, table: str, where: Expr | None = None,
+              at: float | None = None) -> int:
+        matches, _ = self.matching(table, where, at=at)
         return len(matches)
 
     def aggregate(
@@ -194,6 +240,7 @@ class Executor:
         column: str | None = None,
         where: Expr | None = None,
         group_by: str | None = None,
+        at: float | None = None,
     ):
         """COUNT/SUM/MIN/MAX/AVG, optionally grouped by one column.
 
@@ -217,7 +264,7 @@ class Executor:
                 return rows  # COUNT(*): count whole rows
             return [row[col_idx] for _, row in rows if row[col_idx] is not None]
 
-        matches, _ = self.matching(table, where)
+        matches, _ = self.matching(table, where, at=at)
         if group_idx is None:
             return fold(values_of(matches))
         groups: dict = {}
@@ -248,12 +295,13 @@ class Executor:
             name: schema.column(name).validate(value)
             for name, value in assignments.items()
         }
-        heap = self.storage.heaps[table]
         changed = 0
-        # MVCC-style update: the new row version is a fresh tuple at a
+        # MVCC update protocol: the new row version is a fresh tuple at a
         # new rid, so every index on the table must be maintained (no
         # HOT optimisation) and the old version leaves a dead tuple
-        # until vacuum — PostgreSQL's cost model for Figure 3b.
+        # until vacuum — PostgreSQL's cost model for Figure 3b.  The
+        # storage layer records both halves in the active write session,
+        # so rollback undoes the pair and commit stamps it.
         matches, _ = self.matching(table, where)
         for rid, row in matches:
             new_row = list(row)
@@ -262,9 +310,7 @@ class Executor:
             new_tuple = tuple(new_row)
             self.storage.check_unique(table, schema, new_tuple, skip_rid=rid)
             self.storage.delete_row(table, rid, row)
-            new_rid = heap.insert(new_tuple)
-            self.storage.index_add(table, new_tuple, new_rid)
-            self.storage.log(("insert", table, new_rid, new_tuple))
+            self.storage.insert_version(table, new_tuple)
             changed += 1
         return changed
 

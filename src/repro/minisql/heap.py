@@ -5,6 +5,29 @@ tombstone — the slot keeps its storage accounted until VACUUM reclaims it,
 mirroring PostgreSQL's dead-tuple bloat.  UPDATE rewrites the slot in place
 (rid-stable), with the executor responsible for index maintenance.
 
+Version visibility (MVCC)
+-------------------------
+Every row version carries commit stamps: ``xmin`` (the commit timestamp of
+the transaction that created it; ``inf`` while that transaction is still
+pending) and, once deleted, ``xmax`` (the deleting transaction's commit
+timestamp; ``None`` while the delete is pending).  Deleting a row moves its
+bytes into a retained dead-version table instead of discarding them, so
+
+* snapshot readers (:meth:`scan_at` / :meth:`fetch_at` /
+  :meth:`fetch_many_at`) can still see the old version:
+  visible iff ``xmin <= ts`` and (``xmax is None`` or ``xmax > ts``);
+* latest readers (:meth:`scan` / :meth:`fetch` / :meth:`fetch_many`) see
+  exactly the live slots, ignoring stamps — the behaviour of the
+  lock-based modes, where readers are serialised against writers;
+* rollback can resurrect the version (:meth:`undelete`).
+
+:meth:`vacuum` takes a *horizon* (the oldest active snapshot timestamp)
+and only reclaims dead versions whose ``xmax`` is at or below it; with no
+active snapshot the horizon is ``inf`` and vacuum reclaims every
+tombstone, the pre-MVCC behaviour.  Reclaimed slots return to the
+free list in ascending rid order so WAL replay (which is handed the exact
+reclaimed rid list) reproduces rid allocation deterministically.
+
 When the database runs with encryption at rest, the heap stores each row as
 a sealed pickle blob (the LUKS boundary): every fetch pays decrypt +
 deserialise, every write pays serialise + encrypt — the genuine cost
@@ -18,6 +41,7 @@ from typing import Callable, Iterator
 
 from repro.common.errors import SQLError
 
+from .mvcc import NO_HORIZON, PENDING
 from .schema import TableSchema
 
 _TOMBSTONE = object()
@@ -39,18 +63,28 @@ class RowCodec:
 
 
 class HeapTable:
-    """Slotted row storage with tombstones and vacuum."""
+    """Slotted row storage with tombstones, version stamps, and vacuum."""
 
-    def __init__(self, schema: TableSchema, codec: RowCodec | None = None) -> None:
+    def __init__(self, schema: TableSchema, codec: RowCodec | None = None,
+                 mvcc: bool = False) -> None:
         self.schema = schema
         self._codec = codec
+        #: version-stamp bookkeeping is only paid when snapshot readers
+        #: exist; the lock-based modes never consult xmin/xmax.
+        self._mvcc = mvcc
         self._slots: list = []
         self._free: list[int] = []
         self._live = 0
         self._dead = 0
         self._live_bytes = 0
         self._dead_bytes = 0
-        self._tombstone_bytes: dict[int, int] = {}
+        #: rid -> creating commit timestamp (``PENDING`` until stamped).
+        #: Written *before* the slot is published so lock-free snapshot
+        #: readers never see a live slot without its xmin.
+        self._xmin: dict[int, float] = {}
+        #: rid -> (stored, xmin, xmax, size) for tombstoned versions,
+        #: retained until vacuum so snapshots and rollback can reach them.
+        self._dead_rows: dict[int, tuple] = {}
 
     # -- size accounting ---------------------------------------------------
 
@@ -82,16 +116,34 @@ class HeapTable:
     # -- row operations ------------------------------------------------------
 
     def insert(self, row: tuple) -> int:
+        """Insert a new version; its ``xmin`` is pending until stamped."""
         if self._free:
             rid = self._free.pop()
         else:
             rid = len(self._slots)
             self._slots.append(None)
         stored = self._codec.encode(rid, row) if self._codec else row
+        if self._mvcc:
+            self._xmin[rid] = PENDING  # before publishing: no torn visibility
         self._slots[rid] = stored
         self._live += 1
         self._live_bytes += self._stored_bytes(rid, stored)
         return rid
+
+    def stamp_insert(self, rid: int, ts: float) -> None:
+        """Commit-stamp a pending insert (makes it visible to ts+ snapshots)."""
+        if rid in self._xmin:
+            self._xmin[rid] = ts
+
+    def stamp_delete(self, rid: int, ts: float) -> None:
+        """Commit-stamp a pending delete (hides it from ts+ snapshots)."""
+        entry = self._dead_rows.get(rid)
+        if entry is not None and entry[2] is None:
+            stored, xmin, _, size = entry
+            self._dead_rows[rid] = (stored, xmin, ts, size)
+
+    def xmin_of(self, rid: int) -> float:
+        return self._xmin.get(rid, 0.0)
 
     def fetch(self, rid: int) -> tuple | None:
         """The live row at ``rid`` or None (absent / tombstoned)."""
@@ -101,6 +153,35 @@ class HeapTable:
         if stored is None or stored is _TOMBSTONE:
             return None
         return self._codec.decode(rid, stored) if self._codec else stored
+
+    def fetch_at(self, rid: int, ts: float) -> tuple | None:
+        """The version at ``rid`` visible to a snapshot at ``ts``, or None.
+
+        When a tombstoned slot has no dead entry, the slot is re-read
+        once: a concurrent rollback's ``undelete`` publishes the restored
+        slot *before* popping the dead entry, so the re-check closes the
+        window where a reader saw the tombstone but missed the entry.
+        (A vacuumed slot re-reads as ``None`` — correctly invisible,
+        since vacuum respects the snapshot horizon.)
+        """
+        if rid < 0 or rid >= len(self._slots):
+            return None
+        stored = self._slots[rid]
+        if stored is not None and stored is not _TOMBSTONE:
+            if self._xmin.get(rid, 0.0) <= ts:
+                return self._codec.decode(rid, stored) if self._codec else stored
+            return None
+        entry = self._dead_rows.get(rid)
+        if entry is None:
+            stored = self._slots[rid]  # re-check: concurrent undelete?
+            if stored is not None and stored is not _TOMBSTONE \
+                    and self._xmin.get(rid, 0.0) <= ts:
+                return self._codec.decode(rid, stored) if self._codec else stored
+            return None
+        dstored, dxmin, dxmax, _ = entry
+        if dxmin <= ts and (dxmax is None or dxmax > ts):
+            return self._codec.decode(rid, dstored) if self._codec else dstored
+        return None
 
     def fetch_many(self, rids) -> Iterator[tuple[int, tuple]]:
         """Yield (rid, row) for the live rows among ``rids``.
@@ -120,6 +201,32 @@ class HeapTable:
                 continue
             yield rid, (codec.decode(rid, stored) if codec else stored)
 
+    def fetch_many_at(self, rids, ts: float) -> Iterator[tuple[int, tuple]]:
+        """Yield (rid, row) for the versions among ``rids`` visible at ``ts``."""
+        slots = self._slots
+        n = len(slots)
+        codec = self._codec
+        xmin = self._xmin
+        dead = self._dead_rows
+        for rid in rids:
+            if rid < 0 or rid >= n:
+                continue
+            stored = slots[rid]
+            if stored is not None and stored is not _TOMBSTONE:
+                if xmin.get(rid, 0.0) <= ts:
+                    yield rid, (codec.decode(rid, stored) if codec else stored)
+                continue
+            entry = dead.get(rid)
+            if entry is None:
+                stored = slots[rid]  # re-check: concurrent undelete?
+                if stored is not None and stored is not _TOMBSTONE \
+                        and xmin.get(rid, 0.0) <= ts:
+                    yield rid, (codec.decode(rid, stored) if codec else stored)
+                continue
+            dstored, dxmin, dxmax, _ = entry
+            if dstored is not None and dxmin <= ts and (dxmax is None or dxmax > ts):
+                yield rid, (codec.decode(rid, dstored) if codec else dstored)
+
     def update(self, rid: int, row: tuple) -> tuple:
         """Replace the row at ``rid`` in place; returns the old row."""
         old = self.fetch(rid)
@@ -131,19 +238,66 @@ class HeapTable:
         self._live_bytes += self._stored_bytes(rid, stored) - old_size
         return old
 
-    def delete(self, rid: int) -> tuple:
-        """Tombstone the row at ``rid``; returns the old row."""
+    def delete(self, rid: int, xmax: float | None = 0.0, retain: bool = True) -> tuple:
+        """Tombstone the row at ``rid``; returns the old row.
+
+        The version's bytes are retained (with its ``xmin`` and ``xmax``)
+        so snapshot readers and rollback can still reach it; vacuum
+        reclaims it once no snapshot needs it.  The default ``xmax=0``
+        marks the version dead-to-everyone immediately (the lock-based /
+        raw-heap behaviour); the storage layer passes ``xmax=None``
+        (pending) while a write session is open, and the session's commit
+        stamps the real timestamp.  ``retain=False`` (storage's
+        session-less non-MVCC path) drops the payload immediately —
+        nothing can snapshot-read or resurrect such a version, so only
+        its size accounting survives until vacuum.
+
+        The ``_xmin`` entry is deliberately *not* removed here: a
+        lock-free reader that sampled the live slot just before this
+        delete must still find the version's true xmin (a pending
+        insert's ``inf`` in particular — dropping the entry would let the
+        0.0 default turn that race into a dirty read).  Vacuum and
+        undelete consume the entry instead.
+        """
         old = self.fetch(rid)
         if old is None:
             raise SQLError(f"delete of missing rid {rid}")
-        size = self._stored_bytes(rid, self._slots[rid])
+        stored = self._slots[rid]
+        size = self._stored_bytes(rid, stored)
+        # Publish the dead version before tombstoning the slot so a
+        # concurrent snapshot reader finds one or the other, never neither.
+        self._dead_rows[rid] = (
+            stored if retain else None, self._xmin.get(rid, 0.0), xmax, size,
+        )
         self._slots[rid] = _TOMBSTONE
-        self._tombstone_bytes[rid] = size
         self._live -= 1
         self._dead += 1
         self._live_bytes -= size
         self._dead_bytes += size
         return old
+
+    def undelete(self, rid: int) -> tuple:
+        """Resurrect the tombstoned version at ``rid`` (rollback of a delete).
+
+        Publication order matters for lock-free snapshot readers: the
+        slot is restored (with its xmin) *before* the dead entry is
+        popped, so a reader always finds one representation or the other;
+        the narrow window where both exist is resolved by the readers'
+        slot re-check (see :meth:`fetch_at`).
+        """
+        entry = self._dead_rows.get(rid)
+        if entry is None or entry[0] is None or self._slots[rid] is not _TOMBSTONE:
+            raise SQLError(f"undelete of non-tombstoned rid {rid}")
+        stored, xmin, _, size = entry
+        if self._mvcc:
+            self._xmin[rid] = xmin
+        self._slots[rid] = stored
+        self._dead_rows.pop(rid, None)
+        self._live += 1
+        self._dead -= 1
+        self._live_bytes += size
+        self._dead_bytes -= size
+        return self._codec.decode(rid, stored) if self._codec else stored
 
     def scan(self) -> Iterator[tuple[int, tuple]]:
         """Yield (rid, row) for every live row — the sequential scan."""
@@ -152,15 +306,109 @@ class HeapTable:
                 continue
             yield rid, (self._codec.decode(rid, stored) if self._codec else stored)
 
-    def vacuum(self) -> int:
-        """Reclaim tombstoned slots for reuse; returns slots reclaimed."""
-        reclaimed = 0
-        for rid, stored in enumerate(self._slots):
+    def scan_at(self, ts: float) -> Iterator[tuple[int, tuple]]:
+        """Yield (rid, row) for every version visible to a snapshot at ``ts``.
+
+        Safe to run without any table lock while a writer mutates the
+        heap: slots are read once each, dead versions are looked up per
+        rid (never by iterating the dict), and the visibility stamps
+        decide which side of a concurrent change this snapshot sees.
+        """
+        slots = self._slots
+        codec = self._codec
+        xmin = self._xmin
+        dead = self._dead_rows
+        for rid in range(len(slots)):
+            stored = slots[rid]
+            if stored is None:
+                continue
             if stored is _TOMBSTONE:
-                self._slots[rid] = None
-                self._free.append(rid)
-                reclaimed += 1
-        self._dead = 0
-        self._dead_bytes = 0
-        self._tombstone_bytes.clear()
+                entry = dead.get(rid)
+                if entry is None:
+                    stored = slots[rid]  # re-check: concurrent undelete?
+                    if stored is not None and stored is not _TOMBSTONE \
+                            and xmin.get(rid, 0.0) <= ts:
+                        yield rid, (codec.decode(rid, stored) if codec else stored)
+                    continue
+                dstored, dxmin, dxmax, _ = entry
+                if dstored is not None and dxmin <= ts and (dxmax is None or dxmax > ts):
+                    yield rid, (codec.decode(rid, dstored) if codec else dstored)
+            elif xmin.get(rid, 0.0) <= ts:
+                yield rid, (codec.decode(rid, stored) if codec else stored)
+
+    def dead_rids(self) -> list[int]:
+        """Rids of every retained dead version (index cleanup sweeps)."""
+        return list(self._dead_rows)
+
+    def reclaimable_versions(self, horizon: float) -> list[tuple[int, tuple]]:
+        """(rid, row) of dead versions vacuum may reclaim at ``horizon``.
+
+        Excludes pending deletes (``xmax is None``) and versions some
+        snapshot at or before ``horizon`` can still see.
+        """
+        out: list[tuple[int, tuple]] = []
+        for rid in list(self._dead_rows):
+            entry = self._dead_rows.get(rid)
+            if entry is None or entry[0] is None:
+                continue
+            stored, _xmin, xmax, _size = entry
+            if xmax is None or xmax > horizon:
+                continue
+            out.append((rid, self._codec.decode(rid, stored) if self._codec else stored))
+        return out
+
+    def dead_row(self, rid: int) -> tuple | None:
+        """The retained dead version's row at ``rid`` (for index cleanup)."""
+        entry = self._dead_rows.get(rid)
+        if entry is None or entry[0] is None:
+            return None
+        stored = entry[0]
+        return self._codec.decode(rid, stored) if self._codec else stored
+
+    def vacuum(self, horizon: float = NO_HORIZON) -> list[int]:
+        """Reclaim dead versions no snapshot at/after ``horizon`` can see.
+
+        Returns the reclaimed rids in ascending order (the order they
+        re-enter the free list) — the storage layer logs exactly this
+        list so WAL replay reproduces rid allocation.  A version with a
+        pending ``xmax`` (its deleting transaction has not committed) is
+        never reclaimed.
+        """
+        # Walk the dead-version table, not every slot: a sweep of a huge,
+        # mostly-live table must cost O(dead), since the TTL daemon runs
+        # this under the table's write lock on every sweep.  Every
+        # tombstoned slot has a _dead_rows entry (delete() always records
+        # one), and sorting keeps the free list in ascending rid order —
+        # the replay-determinism contract.
+        reclaimed: list[int] = []
+        for rid in sorted(self._dead_rows):
+            entry = self._dead_rows.get(rid)
+            if entry is None or self._slots[rid] is not _TOMBSTONE:
+                continue
+            xmax = entry[2]
+            if xmax is None or xmax > horizon:
+                continue  # a live snapshot (or pending delete) needs it
+            self._dead_rows.pop(rid, None)
+            self._xmin.pop(rid, None)  # delete keeps it for racing readers
+            self._dead_bytes -= entry[3]
+            self._slots[rid] = None
+            self._free.append(rid)
+            self._dead -= 1
+            reclaimed.append(rid)
         return reclaimed
+
+    def vacuum_rids(self, rids) -> int:
+        """Reclaim exactly ``rids`` (WAL replay of a logged vacuum)."""
+        count = 0
+        for rid in rids:
+            if self._slots[rid] is not _TOMBSTONE:
+                continue
+            entry = self._dead_rows.pop(rid, None)
+            if entry is not None:
+                self._dead_bytes -= entry[3]
+            self._xmin.pop(rid, None)
+            self._slots[rid] = None
+            self._free.append(rid)
+            self._dead -= 1
+            count += 1
+        return count

@@ -1,0 +1,135 @@
+"""Multi-version concurrency control primitives for minisql.
+
+Two small pieces give the engine PostgreSQL-style snapshot reads when
+``MiniSQLConfig.locking == "mvcc"``:
+
+* :class:`CommitClock` — the logical commit-timestamp oracle.  Writers
+  allocate a timestamp inside :meth:`CommitClock.committing`, stamp every
+  row version they created or deleted with it, and the timestamp is
+  *published* (becomes visible in ``last_committed``) only after stamping
+  finishes.  Readers therefore never observe a half-stamped commit: a
+  snapshot taken at ``last_committed`` either predates a commit entirely
+  or includes all of it.
+* :class:`SnapshotManager` — the registry of active snapshot timestamps.
+  A snapshot pins every row version it can still see: vacuum asks
+  :meth:`SnapshotManager.horizon` for the oldest active snapshot and only
+  reclaims dead versions whose deleting commit is at or below it.
+
+Timestamps are logical (a monotonically increasing integer), not wall
+clock: only their order matters for visibility.
+
+Visibility rule (shared with :mod:`repro.minisql.heap`): a version
+stamped ``(xmin, xmax)`` is visible to a snapshot at ``ts`` iff
+``xmin <= ts`` and (``xmax is None`` or ``xmax > ts``).  Pending
+(uncommitted) inserts carry ``xmin = inf`` so no snapshot sees them;
+pending deletes carry ``xmax = None`` so every snapshot still sees the
+old version until the deleting transaction commits.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+#: xmin of a row whose inserting transaction has not committed yet —
+#: greater than every snapshot timestamp, so invisible to all readers.
+PENDING = float("inf")
+
+#: vacuum horizon when no snapshot is active: everything dead is
+#: reclaimable (the lock-based modes always run here).
+NO_HORIZON = float("inf")
+
+
+class CommitClock:
+    """Logical commit-timestamp oracle with publish-after-stamp semantics."""
+
+    __slots__ = ("_lock", "_last_committed")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._last_committed = 0
+
+    @property
+    def last_committed(self) -> int:
+        """The newest fully-stamped commit timestamp (a snapshot basis).
+
+        Reading an int attribute is atomic under the GIL, so readers take
+        snapshots without touching the commit lock.
+        """
+        return self._last_committed
+
+    @contextmanager
+    def committing(self):
+        """Allocate the next commit timestamp; publish it on clean exit.
+
+        The lock is held across the caller's stamping loop, serialising
+        commits globally (stamping is O(rows changed) of pure attribute
+        writes, so the critical section is tiny).  Holding it guarantees
+        that once ``last_committed`` advances to ``ts``, every version
+        stamped with a timestamp <= ``ts`` is fully in place.
+        """
+        with self._lock:
+            ts = self._last_committed + 1
+            yield ts
+            self._last_committed = ts
+
+
+class SnapshotManager:
+    """Registry of active snapshot timestamps (the vacuum fence).
+
+    ``acquire()`` pins the current ``last_committed`` timestamp and
+    returns it; ``release(ts)`` unpins it.  Multiple concurrent readers
+    at the same timestamp share one refcount entry.
+    """
+
+    __slots__ = ("_clock", "_lock", "_active")
+
+    def __init__(self, clock: CommitClock) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._active: dict[int, int] = {}  # snapshot ts -> refcount
+
+    def acquire(self) -> int:
+        # The timestamp must be read inside the lock: sampling it first
+        # would let a vacuum compute horizon() between the sample and the
+        # registration and reclaim a version this snapshot must see.
+        # (Anything reclaimed before we register is still safe — its xmax
+        # is <= last_committed, hence never visible to a snapshot taken
+        # at last_committed.)
+        with self._lock:
+            ts = self._clock.last_committed
+            self._active[ts] = self._active.get(ts, 0) + 1
+        return ts
+
+    def release(self, ts: int) -> None:
+        with self._lock:
+            count = self._active.get(ts, 0) - 1
+            if count > 0:
+                self._active[ts] = count
+            else:
+                self._active.pop(ts, None)
+
+    def horizon(self) -> float:
+        """Oldest active snapshot timestamp, or ``NO_HORIZON`` when idle.
+
+        Vacuum may reclaim a dead version iff its ``xmax`` is at or below
+        this: every active snapshot (ts >= horizon) and every future
+        snapshot (ts >= last_committed >= xmax) already finds it
+        invisible.
+        """
+        with self._lock:
+            return min(self._active) if self._active else NO_HORIZON
+
+    @property
+    def active_count(self) -> int:
+        with self._lock:
+            return sum(self._active.values())
+
+    @contextmanager
+    def snapshot(self):
+        """Context-manager form: acquire a snapshot ts, release on exit."""
+        ts = self.acquire()
+        try:
+            yield ts
+        finally:
+            self.release(ts)

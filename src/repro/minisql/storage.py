@@ -13,11 +13,36 @@ audit logging** — those belong to the layers above.  Callers must hold the
 appropriate table locks (see :mod:`repro.minisql.transaction`); WAL appends
 made while a table's write lock is held preserve per-table record order,
 which is all replay needs for rid-allocation determinism.
+
+Write sessions and undo
+-----------------------
+Every DML scope (one autocommit statement, or one transaction) runs inside
+a :class:`WriteSession` installed via :meth:`Storage.begin_session`.  The
+physical row operations record their inverse into the active session, so
+the layer above can either
+
+* **commit** — :meth:`commit_session` stamps every created version's
+  ``xmin`` and every deleted version's ``xmax`` with the commit timestamp
+  (see :mod:`repro.minisql.mvcc`), or
+* **roll back** — :meth:`rollback_session` applies the inverses in reverse
+  order and appends *compensation records* to the WAL (a ``delete`` for
+  each undone insert, an ``undelete`` for each undone delete), so replaying
+  the log reproduces the rolled-back state byte-for-byte, including rid
+  allocation.
+
+MVCC index retention: with ``mvcc=True`` a deleted row's index entries are
+*kept* until vacuum (snapshot readers resolve them through visibility
+checks), and unique B-trees are physically multimaps — logical uniqueness
+is enforced by :meth:`check_unique` against live versions only, exactly
+PostgreSQL's split between index structure and constraint.  Vacuum removes
+the retained entries when it reclaims the dead version, and logs the
+reclaimed rid list so replay frees the same slots in the same order.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import nullcontext
 from typing import Sequence
 
@@ -27,8 +52,23 @@ from repro.common.errors import CatalogError, ConstraintError, SQLError
 from . import wal as wal_mod
 from .btree import BTreeIndex, InvertedIndex
 from .heap import HeapTable
+from .mvcc import NO_HORIZON
 from .schema import Catalog, Column, IndexInfo, TableSchema
 from .types import TEXT_LIST, type_by_name
+
+
+class WriteSession:
+    """The undo log of one DML scope (statement or transaction).
+
+    ``changes`` holds ``("insert", table, rid, row)`` and
+    ``("delete", table, rid, row)`` entries in apply order; commit stamps
+    them, rollback applies their inverses in reverse.
+    """
+
+    __slots__ = ("changes",)
+
+    def __init__(self) -> None:
+        self.changes: list[tuple] = []
 
 
 class Storage:
@@ -41,6 +81,7 @@ class Storage:
         wal_batch_size: int = 1,
         cipher=None,
         clock: Clock | None = None,
+        mvcc: bool = False,
     ) -> None:
         self.clock = clock or SystemClock()
         self.catalog = Catalog()
@@ -48,6 +89,14 @@ class Storage:
         self.indices: dict[str, BTreeIndex | InvertedIndex] = {}
         self.wal: wal_mod.WALWriter | None = None
         self.replaying = False
+        #: snapshot readers take no table locks; per-table latches keep
+        #: individual index operations atomic against concurrent writers
+        #: (held per B-tree op, never across a statement).
+        self.mvcc = mvcc
+        self._latches: dict[str, threading.Lock] = {}
+        self._latch_registry = threading.Lock()
+        #: per-thread stack of active WriteSessions (undo recording).
+        self._sessions = threading.local()
         self._cipher = cipher
         if wal_path is not None:
             self.replay(wal_path)
@@ -71,6 +120,135 @@ class Storage:
         return self.wal.batch()
 
     # ------------------------------------------------------------------
+    # Write sessions (undo recording + commit stamping)
+    # ------------------------------------------------------------------
+
+    def _session_stack(self) -> list:
+        stack = getattr(self._sessions, "stack", None)
+        if stack is None:
+            stack = self._sessions.stack = []
+        return stack
+
+    def begin_session(self) -> WriteSession:
+        """Install a write session for this thread's subsequent row ops."""
+        session = WriteSession()
+        self._session_stack().append(session)
+        return session
+
+    def end_session(self, session: WriteSession) -> None:
+        stack = self._session_stack()
+        if stack and stack[-1] is session:
+            stack.pop()
+
+    def _active_session(self) -> WriteSession | None:
+        if self.replaying:
+            return None
+        stack = self._session_stack()
+        return stack[-1] if stack else None
+
+    def _record_change(self, change: tuple) -> None:
+        session = self._active_session()
+        if session is not None:
+            session.changes.append(change)
+
+    def commit_session(self, session: WriteSession, ts: float) -> None:
+        """Stamp the session's versions with commit timestamp ``ts``.
+
+        Call inside :meth:`~repro.minisql.mvcc.CommitClock.committing` so
+        the timestamp is published only after every stamp is in place.
+        """
+        for kind, table, rid, _row in session.changes:
+            heap = self.heaps.get(table)
+            if heap is None:
+                continue  # table dropped after the change (DDL races sessions only in tests)
+            if kind == "insert":
+                heap.stamp_insert(rid, ts)
+            else:
+                heap.stamp_delete(rid, ts)
+        session.changes.clear()
+
+    def rollback_session(self, session: WriteSession) -> None:
+        """Undo the session's changes (WAL-backed: compensations are logged).
+
+        Inverses apply in reverse order.  An undone insert becomes a
+        tombstone with ``xmax = 0`` (invisible to every snapshot,
+        reclaimable by the next vacuum) plus a compensating ``delete`` WAL
+        record; an undone delete resurrects the retained version plus a
+        compensating ``undelete`` record.  Replaying insert→delete or
+        delete→undelete touches the same rids in the same order as the
+        live rollback, so rid allocation stays deterministic.
+        """
+        changes, session.changes = session.changes, []
+        for kind, table, rid, row in reversed(changes):
+            heap = self.heaps.get(table)
+            if heap is None:
+                continue
+            if kind == "insert":
+                if not self.mvcc:
+                    self.index_remove(table, row, rid)
+                heap.delete(rid)  # xmax=0: never visible, vacuum-ready
+                self.log(("delete", table, rid))
+            else:
+                restored = heap.undelete(rid)
+                if not self.mvcc:
+                    self.index_add(table, restored, rid)
+                self.log(("undelete", table, rid))
+
+    # ------------------------------------------------------------------
+    # Index latches (MVCC lock-free readers vs index node mutation)
+    # ------------------------------------------------------------------
+
+    def index_latch(self, table: str):
+        """The per-table index latch (a real lock only in MVCC mode).
+
+        Writers hold it per index mutation (cheap: the table write lock
+        already serialises them, so it is uncontended) and the slow path
+        of :meth:`index_read` falls back to it.  Lock-based modes return
+        a null context: their table locks already exclude readers from
+        writers.
+        """
+        if not self.mvcc:
+            return nullcontext()
+        try:
+            return self._latches[table]
+        except KeyError:
+            with self._latch_registry:
+                return self._latches.setdefault(table, threading.Lock())
+
+    #: optimistic index-read attempts before falling back to the latch
+    _INDEX_READ_RETRIES = 64
+
+    def index_read(self, table: str, index, fn):
+        """Run the index read ``fn()`` safely against concurrent mutation.
+
+        MVCC snapshot readers hold no table lock, so a B-tree node split
+        could tear under their descent.  Rather than a latch per read
+        (which serialises the whole lock-free read fleet through one
+        mutex), reads are **optimistic seqlock-style**: sample the index's
+        generation counter, run the read, and accept the result only if
+        the generation is unchanged and even (writers bump it to odd
+        before mutating and to even after).  A torn read — wrong result
+        or a transient exception from a half-split node — is simply
+        retried; after ``_INDEX_READ_RETRIES`` failed attempts the reader
+        takes the writer latch for guaranteed progress.  Lock-based modes
+        run ``fn()`` directly (their table locks exclude writers).
+        """
+        if not self.mvcc:
+            return fn()
+        for _ in range(self._INDEX_READ_RETRIES):
+            version = index.version
+            if version & 1:
+                continue  # mutation in flight
+            try:
+                result = fn()
+            except Exception:
+                continue  # torn descent; retry
+            if index.version == version:
+                return result
+        with self.index_latch(table):
+            return fn()
+
+    # ------------------------------------------------------------------
     # DDL (physical)
     # ------------------------------------------------------------------
 
@@ -79,7 +257,7 @@ class Storage:
     ) -> TableSchema:
         schema = TableSchema(name, list(columns), primary_key)
         self.catalog.add_table(schema)
-        self.heaps[name] = HeapTable(schema)
+        self.heaps[name] = HeapTable(schema, mvcc=self.mvcc)
         self.log(
             (
                 "create_table",
@@ -101,21 +279,38 @@ class Storage:
         """Create a secondary index; kind is inferred from the column type.
 
         TEXT_LIST columns get an inverted (GIN-like) index; everything else
-        a B-tree.  The index is built immediately from the existing heap.
+        a B-tree.  The index is built immediately from the existing heap,
+        and published to ``self.indices`` *before* the catalog entry so a
+        planner that sees the catalog entry always finds the index.
+
+        In MVCC mode even UNIQUE B-trees are physically multimaps (a key
+        may map to several versions of the same logical row until vacuum);
+        uniqueness among *live* rows is enforced by :meth:`check_unique`.
         """
         schema = self.catalog.table(table)
         col = schema.column(column)
         kind = "inverted" if col.type is TEXT_LIST else "btree"
         if kind == "inverted" and unique:
             raise CatalogError("inverted indices cannot be UNIQUE")
+        # Validate the name up front: publishing into self.indices must
+        # never overwrite a live index (a failed duplicate CREATE INDEX
+        # has to leave the existing one untouched).
+        if name in self.indices:
+            raise CatalogError(f"index {name!r} already exists")
         info = IndexInfo(name=name, table=table, column=column, kind=kind, unique=unique)
-        self.catalog.add_index(info)
         index: BTreeIndex | InvertedIndex
-        index = InvertedIndex() if kind == "inverted" else BTreeIndex(unique=unique)
+        index = InvertedIndex() if kind == "inverted" else BTreeIndex(
+            unique=unique and not self.mvcc
+        )
         col_idx = schema.column_index(column)
         for rid, row in self.heaps[table].scan():
             index.insert(row[col_idx], rid)
         self.indices[name] = index
+        try:
+            self.catalog.add_index(info)
+        except Exception:
+            self.indices.pop(name, None)
+            raise
         self.log(("create_index", name, table, column, unique))
 
     def drop_index(self, name: str) -> IndexInfo:
@@ -134,26 +329,57 @@ class Storage:
 
     def index_add(self, table: str, row: tuple, rid: int) -> None:
         schema = self.catalog.table(table)
+        if not self.mvcc:
+            for info in self.catalog.indices_for(table):
+                key = row[schema.column_index(info.column)]
+                self.indices[info.name].insert(key, rid)
+            return
+        latch = self.index_latch(table)
         for info in self.catalog.indices_for(table):
             key = row[schema.column_index(info.column)]
-            self.indices[info.name].insert(key, rid)
+            index = self.indices[info.name]
+            with latch:
+                index.version += 1  # odd: mutation in flight
+                try:
+                    index.insert(key, rid)
+                finally:
+                    index.version += 1
 
     def index_remove(self, table: str, row: tuple, rid: int) -> None:
         schema = self.catalog.table(table)
+        if not self.mvcc:
+            for info in self.catalog.indices_for(table):
+                key = row[schema.column_index(info.column)]
+                self.indices[info.name].remove(key, rid)
+            return
+        latch = self.index_latch(table)
         for info in self.catalog.indices_for(table):
             key = row[schema.column_index(info.column)]
-            self.indices[info.name].remove(key, rid)
+            index = self.indices[info.name]
+            with latch:
+                index.version += 1
+                try:
+                    index.remove(key, rid)
+                finally:
+                    index.version += 1
 
     def check_unique(self, table: str, schema: TableSchema, row: tuple, skip_rid: int | None) -> None:
-        """Pre-check unique indices so a failed insert leaves no trace."""
+        """Pre-check unique indices so a failed insert leaves no trace.
+
+        Index hits are filtered through the heap's *live* view: in MVCC
+        mode a unique index retains entries for dead versions until
+        vacuum, and those must not fail a new insert of the same key.
+        """
+        heap = self.heaps[table]
         for info in self.catalog.indices_for(table):
             if not info.unique:
                 continue
             key = row[schema.column_index(info.column)]
             if key is None:
                 continue
-            hits = [r for r in self.indices[info.name].search(key) if r != skip_rid]
-            if hits:
+            with self.index_latch(table):
+                hits = self.indices[info.name].search(key)
+            if any(r != skip_rid and heap.fetch(r) is not None for r in hits):
                 raise ConstraintError(
                     f"duplicate key {key!r} violates unique index {info.name!r}"
                 )
@@ -165,21 +391,63 @@ class Storage:
         try:
             self.index_add(table, row, rid)
         except ConstraintError:
-            self.heaps[table].delete(rid)
+            self.heaps[table].delete(rid)  # xmax=0: never visible
             raise
         self.log(("insert", table, rid, row))
+        self._record_change(("insert", table, rid, row))
+        return rid
+
+    def insert_version(self, table: str, row: tuple) -> int:
+        """Heap insert + index maintenance + WAL record, *not* unique-checked.
+
+        The executor's MVCC-style update protocol uses this for the new
+        row version after running its own :meth:`check_unique` with the
+        old version's rid excluded.
+        """
+        rid = self.heaps[table].insert(row)
+        self.index_add(table, row, rid)
+        self.log(("insert", table, rid, row))
+        self._record_change(("insert", table, rid, row))
         return rid
 
     def delete_row(self, table: str, rid: int, row: tuple) -> None:
-        """Index removal + heap tombstone + WAL record."""
-        self.index_remove(table, row, rid)
-        self.heaps[table].delete(rid)
-        self.log(("delete", table, rid))
+        """Heap tombstone + WAL record (+ index removal outside MVCC).
 
-    def vacuum_table(self, name: str) -> int:
-        reclaimed = self.heap(name).vacuum()
-        self.log(("vacuum", name))
-        return reclaimed
+        In MVCC mode the index entries stay until vacuum so snapshot
+        readers can still resolve the dead version through an index scan.
+        """
+        session = self._active_session()
+        if self.mvcc:
+            # Pending (xmax=None) while a session is open — the commit
+            # stamps the real timestamp so concurrent snapshots keep
+            # seeing the old version until then.
+            self.heaps[table].delete(rid, xmax=None if session is not None else 0.0)
+        else:
+            # Lock-based modes have no snapshot readers: the version is
+            # dead-to-everyone immediately and never needs a stamp.  With
+            # no session there is no rollback either, so the payload is
+            # dropped outright (only size accounting survives to vacuum).
+            self.index_remove(table, row, rid)
+            self.heaps[table].delete(rid, retain=session is not None)
+        self.log(("delete", table, rid))
+        if session is not None:
+            session.changes.append(("delete", table, rid, row))
+
+    def vacuum_table(self, name: str, horizon: float = NO_HORIZON) -> int:
+        """Reclaim dead versions up to ``horizon``; returns slots reclaimed.
+
+        In MVCC mode the retained index entries of each reclaimed version
+        are removed here.  The reclaimed rid list is logged so WAL replay
+        frees the same slots in the same order (rid-allocation
+        determinism).
+        """
+        heap = self.heap(name)
+        if self.mvcc:
+            for rid, row in heap.reclaimable_versions(horizon):
+                self.index_remove(name, row, rid)
+        reclaimed = heap.vacuum(horizon)
+        self.log(("vacuum", name, reclaimed))
+        return len(reclaimed)
 
     # ------------------------------------------------------------------
     # Recovery
@@ -241,6 +509,7 @@ class Storage:
             got = heap.insert(row)
             if got != rid:
                 raise SQLError(f"WAL replay divergence on {table}: rid {got} != {rid}")
+            heap.stamp_insert(rid, 0)  # recovered rows predate every snapshot
             self.index_add(table, row, rid)
         elif op == "update":
             _, table, rid, row = record
@@ -257,10 +526,29 @@ class Storage:
             old = heap.fetch(rid)
             if old is None:
                 raise SQLError(f"WAL replay: delete of missing rid {rid}")
-            self.index_remove(table, old, rid)
-            heap.delete(rid)
+            if not self.mvcc:
+                self.index_remove(table, old, rid)
+            heap.delete(rid)  # recovered deletes predate every snapshot
+        elif op == "undelete":
+            # Rollback compensation: resurrect the tombstoned version.
+            _, table, rid = record
+            heap = self.heaps[table]
+            restored = heap.undelete(rid)
+            if not self.mvcc:
+                self.index_add(table, restored, rid)
         elif op == "vacuum":
-            self.heaps[record[1]].vacuum()
+            name = record[1]
+            heap = self.heaps[name]
+            rids = record[2] if len(record) > 2 else None
+            if self.mvcc:
+                for rid in (rids if rids is not None else heap.dead_rids()):
+                    row = heap.dead_row(rid)
+                    if row is not None:
+                        self.index_remove(name, row, rid)
+            if rids is None:  # legacy record: full reclaim
+                heap.vacuum()
+            else:
+                heap.vacuum_rids(rids)
         else:
             raise SQLError(f"unknown WAL record {op!r}")
 

@@ -5,7 +5,7 @@ WAL is fsynced.
 
 Locking
 -------
-:class:`LockManager` hands out per-table locks in one of two modes:
+:class:`LockManager` hands out per-table locks in one of three modes:
 
 * ``"table-rw"`` (the default) — one :class:`~repro.common.rwlock.RWLock`
   per table.  SELECT/COUNT/AGGREGATE take the shared side, so the paper's
@@ -14,6 +14,15 @@ Locking
 * ``"global"`` — a single reentrant lock serialises every statement,
   byte-for-byte the seed engine's execution model.  The benchmark grid
   keeps this configuration as the scaling baseline.
+* ``"mvcc"`` — readers take **no locks at all**: every read statement
+  (or read-only transaction) runs against a commit-timestamp snapshot
+  (:mod:`repro.minisql.mvcc`), so a long compliance scan never blocks —
+  and is never blocked by — the write stream.  Writers still take the
+  per-table exclusive lock against *each other*; index node mutations
+  are guarded by per-table latches held per B-tree operation (see
+  :meth:`~repro.minisql.storage.Storage.index_latch`).  DDL remains a
+  stop-the-world operation and should be quiesced before opening
+  lock-free read traffic.
 
 Multi-table acquisition always walks tables in ascending name order, the
 same total-order rule the minikv stripes use, which makes deadlock between
@@ -27,15 +36,24 @@ every statement inside runs against the executor without re-locking, and
 ``commit()`` releases the locks after **one WAL group commit** — the
 transaction's appends buffer and a single fsync-policy application runs at
 the commit boundary (see :meth:`~repro.minisql.wal.WALWriter.batch`).
-Crash mid-commit tears at most the trailing WAL record; replay keeps every
-intact record before it, exactly the per-statement semantics.
+Under MVCC the transaction additionally pins one snapshot at ``begin()``
+(repeatable reads for the tables it does not write) and stamps every row
+version it created or deleted with one commit timestamp at ``commit()``,
+making the whole batch visible atomically.
 
-This is grouped durability plus two-phase-locking isolation, **not**
-rollback: statements apply to the heap as they execute, and ``abort()``
-only releases locks.  That is the honest analogue of the paper's engines —
-Redis MULTI offers no rollback either, and the GDPR workloads are
-single-statement — while giving batched clients the one-fsync-per-batch
-cost structure of real group commit.
+``rollback()`` undoes the transaction via the storage layer's WAL-backed
+undo: every row operation recorded its inverse in the transaction's
+:class:`~repro.minisql.storage.WriteSession`, the inverses apply in
+reverse order, and compensation records go to the WAL so crash recovery
+reproduces the rolled-back state (rids included).
+
+``abort()`` is the exit path of the context manager on error.  Under MVCC
+it must roll back — uncommitted version stamps cannot be left pending —
+and does.  In the lock-based modes it keeps the seed semantics the module
+has always had (statements applied to the heap stand; only locks are
+released), which is the honest analogue of the paper's engines: Redis
+MULTI offers no rollback either.  Call :meth:`Transaction.rollback`
+explicitly when undo is wanted in a lock-based mode.
 """
 
 from __future__ import annotations
@@ -49,11 +67,11 @@ from repro.common.rwlock import RWLock
 
 from .expr import Cmp, Expr
 
-LOCKING_MODES = ("table-rw", "global")
+LOCKING_MODES = ("table-rw", "global", "mvcc")
 
 
 class LockManager:
-    """Per-table reader-writer locks, or one global lock (seed semantics)."""
+    """Per-table reader-writer locks, one global lock, or MVCC writer locks."""
 
     def __init__(self, mode: str = "table-rw") -> None:
         if mode not in LOCKING_MODES:
@@ -79,6 +97,8 @@ class LockManager:
         if self._global is not None:
             with self._global:
                 yield
+        elif self.mode == "mvcc":
+            yield  # snapshot visibility replaces the read lock
         else:
             with self._table_lock(table).read_locked():
                 yield
@@ -99,10 +119,12 @@ class LockManager:
 
         Tables are locked in ascending name order (write mode winning when
         a table appears in both sets), so concurrent transactions cannot
-        deadlock on each other.
+        deadlock on each other.  In MVCC mode the read set acquires
+        nothing — those tables are covered by the transaction's snapshot.
         """
         write_set = set(write)
-        plan = sorted(set(read) | write_set)
+        read_set = set() if self.mode == "mvcc" else set(read)
+        plan = sorted(read_set | write_set)
         if self._global is not None:
             if not plan:
                 return []
@@ -139,8 +161,11 @@ class Transaction:
     locking) — but only while that keeps the acquisition sequence in
     ascending table-name order, the global deadlock-freedom rule.  An
     out-of-order first touch, like upgrading a read-declared table to a
-    write, is refused rather than attempted: either would deadlock under
-    concurrency, so declare the full intent at ``begin()``.
+    write in a lock-based mode, is refused rather than attempted: either
+    would deadlock under concurrency, so declare the full intent at
+    ``begin()``.  (Under MVCC reads hold no locks, so reading any table
+    at any point — and writing a previously-read one, order permitting —
+    is always allowed.)
     """
 
     def __init__(self, db, read: Sequence[str] = (), write: Sequence[str] = (),
@@ -151,7 +176,14 @@ class Transaction:
         self._internal = internal
         self._held: list = []
         self._wal_batch = None
+        self._session = None
+        self._snapshot_ts: int | None = None
         self._active = False
+        self._owner: int | None = None
+
+    @property
+    def _mvcc(self) -> bool:
+        return self._db._locks.mode == "mvcc"
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -167,26 +199,66 @@ class Transaction:
         )
         self._wal_batch = self._db._storage.wal_batch()
         self._wal_batch.__enter__()
+        # The undo session is installed on this thread's session stack, so
+        # statements must run on the thread that called begin() — a
+        # statement from another thread would silently escape the session
+        # (never stamped, never undoable).  _touch enforces this.
+        self._owner = threading.get_ident()
+        self._session = self._db._storage.begin_session()
+        if self._mvcc:
+            # One snapshot for the whole transaction: repeatable reads on
+            # every table outside the write set, without read locks.
+            self._snapshot_ts = self._db._snapshots.acquire()
         self._active = True
         return self
 
     def commit(self) -> None:
-        """Group-commit the WAL (one fsync policy application) + unlock."""
-        self._finish()
+        """Stamp + group-commit the WAL (one fsync application) + unlock."""
+        self._finish(stamp=True)
+
+    def rollback(self) -> None:
+        """Undo every statement of the transaction, then unlock.
+
+        Rollback is WAL-backed: the storage layer applies the recorded
+        inverses in reverse order and appends compensation records inside
+        this transaction's WAL batch, so crash recovery replays into the
+        rolled-back state.  Pre-images return to the heap (and, under
+        MVCC, the undone versions are never visible to any snapshot).
+        """
+        if not self._active:
+            return
+        self._db._storage.rollback_session(self._session)
+        self._finish(stamp=False)
 
     def abort(self) -> None:
-        """Release locks.  Heap changes are NOT rolled back (see module doc)."""
-        self._finish()
+        """Error exit: roll back under MVCC, release-only otherwise.
 
-    def _finish(self) -> None:
+        Lock-based modes keep the seed semantics (heap changes stand —
+        see the module docstring); MVCC cannot leave pending version
+        stamps behind, so abort performs a full :meth:`rollback`.
+        """
+        if self._mvcc:
+            self.rollback()
+        else:
+            self._finish(stamp=True)
+
+    def _finish(self, stamp: bool) -> None:
         if not self._active:
             return
         self._active = False
         try:
-            self._wal_batch.__exit__(None, None, None)
+            if stamp:
+                self._db._commit_session(self._session)
         finally:
-            self._db._locks.release(self._held)
-            self._held = []
+            self._db._storage.end_session(self._session)
+            try:
+                self._wal_batch.__exit__(None, None, None)
+            finally:
+                if self._snapshot_ts is not None:
+                    self._db._snapshots.release(self._snapshot_ts)
+                    self._snapshot_ts = None
+                self._db._locks.release(self._held)
+                self._held = []
 
     def __enter__(self) -> "Transaction":
         if not self._active:
@@ -201,23 +273,48 @@ class Transaction:
 
     # -- lock bookkeeping -----------------------------------------------------
 
+    def _read_at(self, table: str) -> int | None:
+        """Visibility for a read in this transaction.
+
+        MVCC reads outside the write set use the transaction's snapshot;
+        reads of tables this transaction writes use latest visibility
+        (read-your-own-writes — the write lock makes latest == committed
+        state + our own changes).  Lock-based modes always read latest
+        under their locks.
+        """
+        if self._snapshot_ts is None or table in self._write:
+            return None
+        return self._snapshot_ts
+
     def _touch(self, table: str, write: bool) -> None:
         if not self._active:
             raise SQLError("transaction is not active")
-        if write:
+        if threading.get_ident() != self._owner:
+            raise SQLError(
+                "transaction is bound to the thread that called begin(); "
+                "open a separate transaction per thread"
+            )
+        mvcc = self._mvcc
+        if not write:
+            if mvcc:
+                self._read.add(table)  # snapshot-covered; nothing to lock
+                return
+            if table in self._write or table in self._read:
+                return
+        else:
             if table in self._write:
                 return
-            if table in self._read:
+            if table in self._read and not mvcc:
                 raise SQLError(
                     f"table {table!r} was declared read-only in this "
                     "transaction; declare write intent at begin()"
                 )
-        elif table in self._write or table in self._read:
-            return
         # A late acquisition is safe only if it extends the ascending-name
         # order every lock holder follows; acquiring out of order could
         # deadlock against a transaction that declared its set up front.
-        held_tables = self._read | self._write
+        # Only tables that actually hold locks constrain the order — under
+        # MVCC that is the write set alone.
+        held_tables = self._write if mvcc else (self._read | self._write)
         if held_tables and table < max(held_tables):
             raise SQLError(
                 f"table {table!r} sorts before an already-locked table; "
@@ -240,7 +337,7 @@ class Transaction:
         self._db._count_statement()
         rows, plan = self._db._executor.select(
             table, where, columns=columns, limit=limit,
-            order_by=order_by, descending=descending,
+            order_by=order_by, descending=descending, at=self._read_at(table),
         )
         self._db._audit_select(table, rows, plan)
         return rows
@@ -251,7 +348,9 @@ class Transaction:
         db = self._db
         self._touch(table, write=False)
         db._count_statement()
-        rows = db._executor.select_point(table, column, value, columns=columns)
+        rows = db._executor.select_point(
+            table, column, value, columns=columns, at=self._read_at(table)
+        )
         if db.csvlog is not None and db.csvlog.log_reads:
             plan = db._executor.plan(table, Cmp(column, "=", value))
             db._audit_select(table, rows, plan)
@@ -260,14 +359,15 @@ class Transaction:
     def count(self, table: str, where: Expr | None = None) -> int:
         self._touch(table, write=False)
         self._db._count_statement()
-        return self._db._executor.count(table, where)
+        return self._db._executor.count(table, where, at=self._read_at(table))
 
     def aggregate(self, table: str, function: str, column: str | None = None,
                   where: Expr | None = None, group_by: str | None = None):
         self._touch(table, write=False)
         self._db._count_statement()
         return self._db._executor.aggregate(
-            table, function, column=column, where=where, group_by=group_by
+            table, function, column=column, where=where, group_by=group_by,
+            at=self._read_at(table),
         )
 
     def explain(self, table: str, where: Expr | None = None) -> str:
@@ -303,7 +403,9 @@ class Transaction:
         for name in tables:
             self._touch(name, write=True)
             try:
-                reclaimed += self._db._storage.vacuum_table(name)
+                reclaimed += self._db._storage.vacuum_table(
+                    name, self._db._snapshots.horizon()
+                )
             except CatalogError:
                 if table is not None:
                     raise  # an explicit target must exist

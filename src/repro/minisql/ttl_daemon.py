@@ -16,7 +16,16 @@ Concurrency: each sweep runs through the transaction API in chunks of
 ``batch_rows`` deletes, taking the table's *write* lock per chunk and
 group-committing each chunk's WAL records with one fsync.  Between chunks
 the lock is released, so a large purge no longer stalls every concurrent
-reader for its whole duration the way the seed's global lock did.
+reader for its whole duration the way the seed's global lock did — and
+under ``locking="mvcc"`` readers never block at all: they keep reading
+their snapshots while the purge runs.
+
+Version vacuum: the daemon doubles as the background vacuum for its
+table.  After the expired rows are deleted, any dead versions no live
+snapshot can still see (purge tombstones, MVCC update chains) are
+reclaimed under the snapshot horizon — PostgreSQL's autovacuum duty folded
+into the same periodic task, so a TTL-enabled table never accumulates
+unbounded version garbage between explicit ``VACUUM`` statements.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from .expr import Cmp
 class SweepStats:
     sweeps: int = 0
     rows_deleted: int = 0
+    versions_reclaimed: int = 0
     last_run: float = field(default=float("-inf"))
 
 
@@ -57,7 +67,8 @@ class TTLSweeper:
         return self.run(now)
 
     def run(self, now: float) -> int:
-        """One sweep: delete everything expired as of ``now``, in batches."""
+        """One sweep: delete everything expired as of ``now``, in batches,
+        then vacuum the versions nothing can see any more."""
         self.stats.last_run = now
         self.stats.sweeps += 1
         predicate = Cmp(self.column, "<=", now)
@@ -70,4 +81,9 @@ class TTLSweeper:
             if chunk < self.batch_rows:
                 break
         self.stats.rows_deleted += deleted
+        # Background version vacuum: reclaim dead versions up to the
+        # oldest live snapshot (everything, when no snapshot is active).
+        heap = self._db._storage.heaps.get(self.table)
+        if heap is not None and heap.dead_count:
+            self.stats.versions_reclaimed += self._db._vacuum_locked(self.table)
         return deleted

@@ -10,7 +10,10 @@ engines.
 
 import pytest
 
+from repro.bench.records import RecordCorpusConfig, generate_corpus
 from repro.clients import FeatureSet, GDPRPipeline, make_client
+from repro.common.errors import GDPRError
+from repro.gdpr.acl import Principal
 
 ENGINES = ("redis", "postgres")
 N_ROWS = 30
@@ -29,7 +32,14 @@ class TestPipelineContract:
     def test_pipeline_is_a_gdpr_pipeline(self, client):
         pipe = client.pipeline()
         assert isinstance(pipe, GDPRPipeline)
-        assert client.PIPELINE_OP_NAMES == frozenset({"read", "update", "insert"})
+        # the batchable surface covers the YCSB primitives and the hot
+        # GDPR query families on every engine
+        assert {"read", "update", "insert"} <= client.PIPELINE_OP_NAMES
+        assert {
+            "read-data-by-key", "read-data-by-usr", "read-metadata-by-key",
+            "read-metadata-by-usr", "delete-record-by-ttl",
+            "update-metadata-by-key", "update-metadata-by-usr",
+        } <= client.PIPELINE_OP_NAMES
 
     def test_queueing_returns_placeholders_and_counts(self, client):
         pipe = client.pipeline()
@@ -108,6 +118,75 @@ class TestPipelineContract:
         pipe.execute()
         rows = client.ycsb_scan("zzz0000", 5)
         assert len(rows) == 5
+
+    def test_gdpr_batch_matches_unbatched(self, client):
+        """The GDPR query surface batches on both engines: a pipelined
+        run must return exactly what the single-op methods return, and
+        its write effects must be equivalent."""
+        corpus = RecordCorpusConfig(record_count=40, user_count=6)
+        records = list(generate_corpus(corpus))
+        principal = Principal.controller()
+        twin = make_client(client.engine_name, FeatureSet.none())
+        try:
+            client.load_records(records)
+            twin.load_records(records)
+            purpose = records[2].purposes[0]
+            expected = [
+                twin.read_data_by_key(principal, records[3].key),
+                twin.read_data_by_usr(principal, records[0].user),
+                twin.read_data_by_pur(principal, purpose),
+                twin.read_metadata_by_key(principal, records[5].key),
+                twin.read_metadata_by_usr(principal, records[1].user),
+                twin.update_metadata_by_key(principal, records[7].key, "SRC", "batched"),
+                twin.update_metadata_by_usr(principal, records[1].user, "SRC", "bulk"),
+                twin.delete_record_by_ttl(principal),
+                twin.read_metadata_by_key(principal, records[7].key),
+            ]
+            pipe = client.pipeline()
+            pipe.read_data_by_key(principal, records[3].key)
+            pipe.read_data_by_usr(principal, records[0].user)
+            pipe.read_data_by_pur(principal, purpose)
+            pipe.read_metadata_by_key(principal, records[5].key)
+            pipe.read_metadata_by_usr(principal, records[1].user)
+            pipe.update_metadata_by_key(principal, records[7].key, "SRC", "batched")
+            pipe.update_metadata_by_usr(principal, records[1].user, "SRC", "bulk")
+            pipe.delete_record_by_ttl(principal)
+            pipe.read_metadata_by_key(principal, records[7].key)  # sees the update
+            responses = pipe.execute()
+        finally:
+            twin.close()
+        assert len(responses) == len(expected)
+        for got, want in zip(responses, expected):
+            if isinstance(want, list):
+                assert sorted(got) == sorted(want)  # scan order may differ
+            else:
+                assert got == want
+        # the batched writes landed: slot 8 re-read reflects the updates
+        assert responses[8]["SRC"] in ("batched", "bulk")
+
+    def test_gdpr_batch_acl_denial_captured_per_slot(self, client):
+        """An access-control denial inside a batch follows the pipeline
+        error contract: later slots still execute, then the first error
+        is raised."""
+        corpus = RecordCorpusConfig(record_count=10, user_count=3)
+        records = list(generate_corpus(corpus))
+        acl_client = make_client(client.engine_name, FeatureSet(access_control=True))
+        try:
+            acl_client.load_records(records)
+            stranger = Principal.customer("nobody-else")
+            pipe = acl_client.pipeline()
+            pipe.read_data_by_key(stranger, records[0].key)  # denied
+            pipe.read_metadata_by_usr(Principal.regulator(), records[1].user)
+            with pytest.raises(GDPRError):
+                pipe.execute()
+            # the regulator's slot still executed (batch completed)
+            ok = acl_client.pipeline()
+            ok.read_metadata_by_usr(Principal.regulator(), records[1].user)
+            assert ok.execute()[0] == acl_client.read_metadata_by_usr(
+                Principal.regulator(), records[1].user
+            )
+        finally:
+            acl_client.close()
 
     def test_error_semantics_batch_completes_then_raises(self, client):
         """Contract: every command executes, failures are captured per

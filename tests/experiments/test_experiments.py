@@ -35,7 +35,7 @@ class TestExperimentResult:
     def test_registry_covers_every_figure_and_table(self):
         assert set(ALL_EXPERIMENTS) == {
             "fig3a", "fig3b", "fig4a", "fig4b", "fig5",
-            "table3", "fig6", "fig7", "fig7t", "fig8", "fig8t",
+            "table3", "fig6", "fig7", "fig7t", "fig8", "fig8t", "fig9p",
         }
 
 

@@ -1,0 +1,408 @@
+"""MVCC snapshot anomalies, WAL-backed rollback, and vacuum safety.
+
+The ``locking="mvcc"`` mode's contract, stated as the classic anomaly
+checks:
+
+* repeatable reads — a transaction's snapshot is immune to concurrent
+  committed writers;
+* read-your-own-writes — a transaction sees its own uncommitted changes
+  on the tables it writes;
+* no dirty reads — uncommitted changes are invisible to every other
+  reader until commit, and the whole transaction becomes visible
+  atomically;
+* rollback — restores pre-images, releases locks, and survives crash
+  recovery (the WAL's compensation records replay to the same state);
+* vacuum — never reclaims a version a live snapshot can still see.
+"""
+
+import threading
+
+import pytest
+
+from repro.minisql import Cmp, Column, Database, MiniSQLConfig, load_wal
+from repro.minisql.types import INTEGER, TEXT
+
+ALL_MODES = ["table-rw", "global", "mvcc"]
+
+
+def make_db(**config) -> Database:
+    db = Database(MiniSQLConfig(**config))
+    db.create_table(
+        "t", [Column("id", INTEGER, nullable=False), Column("v", TEXT)],
+        primary_key="id",
+    )
+    for i in range(10):
+        db.insert("t", {"id": i, "v": f"row{i}"})
+    return db
+
+
+class TestSnapshotReads:
+    def test_repeatable_reads_under_concurrent_committed_writer(self):
+        db = make_db(locking="mvcc")
+        txn = db.begin(read=("t",))
+        first = txn.select("t", Cmp("id", "=", 1))
+        assert first == [{"id": 1, "v": "row1"}]
+        # a concurrent writer commits an update, a delete, and an insert
+        db.update("t", {"v": "CHANGED"}, Cmp("id", "=", 1))
+        db.delete("t", Cmp("id", "=", 2))
+        db.insert("t", {"id": 100, "v": "new"})
+        # the snapshot still sees the world as of begin()
+        assert txn.select("t", Cmp("id", "=", 1)) == first
+        assert txn.select("t", Cmp("id", "=", 2)) == [{"id": 2, "v": "row2"}]
+        assert txn.select("t", Cmp("id", "=", 100)) == []
+        assert txn.count("t") == 10
+        txn.commit()
+        # a fresh statement sees the committed state
+        assert db.select("t", Cmp("id", "=", 1))[0]["v"] == "CHANGED"
+        assert db.count("t") == 10  # -1 delete, +1 insert
+
+    def test_read_your_own_writes_inside_transaction(self):
+        db = make_db(locking="mvcc")
+        with db.transaction(write=("t",)) as txn:
+            txn.insert("t", {"id": 50, "v": "mine"})
+            assert txn.select("t", Cmp("id", "=", 50)) == [{"id": 50, "v": "mine"}]
+            txn.update("t", {"v": "patched"}, Cmp("id", "=", 3))
+            assert txn.select("t", Cmp("id", "=", 3))[0]["v"] == "patched"
+            txn.delete("t", Cmp("id", "=", 4))
+            assert txn.select("t", Cmp("id", "=", 4)) == []
+            assert txn.count("t") == 10  # +1 insert, -1 delete
+        assert db.count("t") == 10
+
+    def test_no_dirty_reads_and_atomic_visibility(self):
+        db = make_db(locking="mvcc")
+        txn = db.begin(write=("t",))
+        txn.insert("t", {"id": 60, "v": "pending"})
+        txn.update("t", {"v": "pending"}, Cmp("id", "=", 5))
+        txn.delete("t", Cmp("id", "=", 6))
+        # an autocommit reader (own snapshot) sees none of it
+        assert db.select("t", Cmp("id", "=", 60)) == []
+        assert db.select("t", Cmp("id", "=", 5))[0]["v"] == "row5"
+        assert db.select("t", Cmp("id", "=", 6)) == [{"id": 6, "v": "row6"}]
+        txn.commit()
+        # ...and all of it after commit
+        assert db.select("t", Cmp("id", "=", 60)) == [{"id": 60, "v": "pending"}]
+        assert db.select("t", Cmp("id", "=", 5))[0]["v"] == "pending"
+        assert db.select("t", Cmp("id", "=", 6)) == []
+
+    def test_readers_do_not_block_on_a_held_write_lock(self):
+        """The point of MVCC: a snapshot read proceeds while a writer
+        transaction holds the table's write lock."""
+        db = make_db(locking="mvcc")
+        txn = db.begin(write=("t",))  # write lock held until commit
+        txn.insert("t", {"id": 70, "v": "held"})
+        result = {}
+
+        def reader():
+            result["rows"] = db.count("t")
+
+        worker = threading.Thread(target=reader)
+        worker.start()
+        worker.join(timeout=5.0)
+        assert not worker.is_alive(), "snapshot reader blocked on a write lock"
+        assert result["rows"] == 10  # the pending insert is invisible
+        txn.commit()
+        assert db.count("t") == 11
+
+    def test_snapshot_reader_surface_is_lock_free_and_consistent(self):
+        db = make_db(locking="mvcc")
+        with db.snapshot_reader() as reader:
+            before = reader.count("t")
+            db.delete("t", Cmp("id", "<", 5))
+            # every query in the batch observes the same snapshot
+            assert reader.count("t") == before
+            assert reader.select_point("t", "id", 0) == [{"id": 0, "v": "row0"}]
+            assert reader.aggregate("t", "count") == before
+        assert db.count("t") == 5
+
+    @pytest.mark.parametrize("locking", ALL_MODES)
+    def test_observable_results_identical_across_modes(self, locking):
+        db = make_db(locking=locking)
+        db.update("t", {"v": "x"}, Cmp("id", "<", 3))
+        db.delete("t", Cmp("id", ">=", 8))
+        assert db.count("t") == 8
+        assert sorted(r["id"] for r in db.select("t", Cmp("v", "=", "x"))) == [0, 1, 2]
+
+    @pytest.mark.parametrize("locking", ALL_MODES)
+    def test_duplicate_create_index_leaves_existing_index_intact(self, locking):
+        """A failed duplicate CREATE INDEX must not touch the live index
+        (regression: publish-before-validate once bricked the table)."""
+        from repro.common.errors import CatalogError
+        db = make_db(locking=locking)
+        db.create_index("t_v", "t", "v")
+        with pytest.raises(CatalogError):
+            db.create_index("t_v", "t", "v")
+        # the original index still serves queries and accepts writes
+        assert db.select("t", Cmp("v", "=", "row4")) == [{"id": 4, "v": "row4"}]
+        db.insert("t", {"id": 40, "v": "row40"})
+        assert db.select("t", Cmp("v", "=", "row40")) == [{"id": 40, "v": "row40"}]
+
+    def test_unique_key_reusable_after_delete_before_vacuum(self):
+        """Dead unique-index entries (version retention) must not block a
+        live re-insert of the same key."""
+        db = make_db(locking="mvcc")
+        db.delete("t", Cmp("id", "=", 7))
+        db.insert("t", {"id": 7, "v": "reborn"})
+        assert db.select("t", Cmp("id", "=", 7)) == [{"id": 7, "v": "reborn"}]
+        from repro.common.errors import ConstraintError
+        with pytest.raises(ConstraintError):
+            db.insert("t", {"id": 7, "v": "dup"})
+
+
+class TestVersionStampInvariants:
+    def test_deleted_pending_insert_keeps_its_xmin(self):
+        """delete() must not drop the xmin entry: a lock-free reader that
+        sampled the live slot just before the delete still needs the
+        pending-insert ``inf`` stamp, or the 0.0 default would turn the
+        race into a dirty read of an uncommitted row."""
+        db = make_db(locking="mvcc")
+        heap = db._storage.heaps["t"]
+        txn = db.begin(write=("t",))
+        txn.insert("t", {"id": 50, "v": "pending"})
+        rid = next(r for r, row in heap.scan() if row[0] == 50)
+        assert heap.xmin_of(rid) == float("inf")
+        txn.delete("t", Cmp("id", "=", 50))
+        # the stamp survives the tombstoning until vacuum reclaims it
+        assert heap.xmin_of(rid) == float("inf")
+        assert heap.fetch_at(rid, ts=10**9) is None  # never visible
+        txn.commit()
+        db.vacuum("t")
+        assert rid not in heap._xmin  # vacuum consumed the entry
+
+    def test_transaction_is_bound_to_its_creating_thread(self):
+        """Statements from another thread would escape the write session
+        (never stamped, never undoable) and are refused."""
+        db = make_db(locking="mvcc")
+        txn = db.begin(write=("t",))
+        errors: list[Exception] = []
+
+        def other_thread():
+            try:
+                txn.insert("t", {"id": 60, "v": "foreign"})
+            except Exception as exc:
+                errors.append(exc)
+
+        worker = threading.Thread(target=other_thread)
+        worker.start()
+        worker.join()
+        txn.commit()
+        assert len(errors) == 1
+        assert db.select("t", Cmp("id", "=", 60)) == []
+
+
+class TestRollback:
+    @pytest.mark.parametrize("locking", ALL_MODES)
+    def test_rollback_restores_preimage_and_releases_locks(self, locking):
+        db = make_db(locking=locking)
+        txn = db.begin(write=("t",))
+        txn.insert("t", {"id": 80, "v": "doomed"})
+        txn.update("t", {"v": "doomed"}, Cmp("id", "=", 1))
+        txn.delete("t", Cmp("id", "=", 2))
+        txn.rollback()
+        # pre-images restored
+        assert db.select("t", Cmp("id", "=", 80)) == []
+        assert db.select("t", Cmp("id", "=", 1))[0]["v"] == "row1"
+        assert db.select("t", Cmp("id", "=", 2)) == [{"id": 2, "v": "row2"}]
+        assert db.count("t") == 10
+        # locks released: a fresh write proceeds
+        assert db.update("t", {"v": "after"}, Cmp("id", "=", 1)) == 1
+
+    def test_rollback_restores_index_entries(self):
+        db = make_db(locking="table-rw")
+        db.create_index("t_v", "t", "v")
+        txn = db.begin(write=("t",))
+        txn.delete("t", Cmp("id", "=", 3))
+        txn.rollback()
+        # the secondary index finds the resurrected row again
+        assert db.select("t", Cmp("v", "=", "row3")) == [{"id": 3, "v": "row3"}]
+        assert "IndexScan" in db.explain("t", Cmp("v", "=", "row3"))
+
+    def test_mvcc_error_exit_rolls_back(self):
+        """Under MVCC the context manager's error path must undo the
+        batch — pending version stamps cannot be left behind."""
+        db = make_db(locking="mvcc")
+        with pytest.raises(RuntimeError):
+            with db.transaction(write=("t",)) as txn:
+                txn.insert("t", {"id": 90, "v": "gone"})
+                txn.delete("t", Cmp("id", "=", 0))
+                raise RuntimeError("client crashed mid-batch")
+        assert db.select("t", Cmp("id", "=", 90)) == []
+        assert db.select("t", Cmp("id", "=", 0)) == [{"id": 0, "v": "row0"}]
+        assert db.count("t") == 10
+
+    def test_lock_based_error_exit_keeps_seed_semantics(self):
+        """Lock-based modes keep the historical abort contract: applied
+        statements stand, only the locks are released."""
+        db = make_db(locking="table-rw")
+        with pytest.raises(RuntimeError):
+            with db.transaction(write=("t",)) as txn:
+                txn.insert("t", {"id": 91, "v": "stays"})
+                raise RuntimeError("boom")
+        assert db.select("t", Cmp("id", "=", 91)) == [{"id": 91, "v": "stays"}]
+
+    @pytest.mark.parametrize("locking", ALL_MODES)
+    def test_rollback_replays_identically_from_wal(self, tmp_path, locking):
+        """WAL-backed undo: compensation records make crash recovery land
+        on the rolled-back state, rid allocation included."""
+        wal = str(tmp_path / "wal.bin")
+        db = Database(MiniSQLConfig(locking=locking, wal_path=wal))
+        db.create_table(
+            "t", [Column("id", INTEGER, nullable=False), Column("v", TEXT)],
+            primary_key="id",
+        )
+        db.insert("t", {"id": 1, "v": "a"})
+        db.insert("t", {"id": 2, "v": "b"})
+        txn = db.begin(write=("t",))
+        txn.insert("t", {"id": 3, "v": "c"})
+        txn.update("t", {"v": "patched"}, Cmp("id", "=", 1))
+        txn.delete("t", Cmp("id", "=", 2))
+        txn.rollback()
+        # post-rollback writes exercise rid reuse determinism
+        db.insert("t", {"id": 4, "v": "d"})
+        db.vacuum("t")
+        db.insert("t", {"id": 5, "v": "e"})
+        state = sorted((r["id"], r["v"]) for r in db.select("t"))
+        db.close()
+        recovered = Database(MiniSQLConfig(locking=locking, wal_path=wal))
+        assert sorted((r["id"], r["v"]) for r in recovered.select("t")) == state
+        # the recovered engine keeps accepting writes on the same rids
+        recovered.insert("t", {"id": 6, "v": "f"})
+        assert recovered.count("t") == len(state) + 1
+        recovered.close()
+        records = load_wal(wal)
+        assert ("undelete", "t", 1) in records  # the compensation trail
+
+    def test_rollback_of_failed_statement_inside_transaction(self):
+        db = make_db(locking="mvcc")
+        from repro.common.errors import ConstraintError
+        with pytest.raises(ConstraintError):
+            with db.transaction(write=("t",)) as txn:
+                txn.insert("t", {"id": 95, "v": "ok"})
+                txn.insert("t", {"id": 1, "v": "dup"})  # unique violation
+        # abort under MVCC rolled the whole batch back
+        assert db.select("t", Cmp("id", "=", 95)) == []
+        assert db.count("t") == 10
+
+
+class TestVacuumSafety:
+    def test_vacuum_never_reclaims_a_version_a_snapshot_can_see(self):
+        db = make_db(locking="mvcc")
+        snap = db.begin(read=("t",))
+        assert snap.count("t") == 10
+        db.delete("t", Cmp("id", "<", 4))
+        # the snapshot still needs those four versions: nothing reclaimed
+        assert db.vacuum("t") == 0
+        assert snap.count("t") == 10
+        assert snap.select("t", Cmp("id", "=", 0)) == [{"id": 0, "v": "row0"}]
+        snap.commit()
+        # snapshot released: the versions are reclaimable now
+        assert db.vacuum("t") == 4
+        assert db.count("t") == 6
+
+    def test_vacuum_respects_oldest_of_several_snapshots(self):
+        db = make_db(locking="mvcc")
+        old = db.begin(read=("t",))
+        db.delete("t", Cmp("id", "=", 0))
+        young = db.begin(read=("t",))  # taken after the delete committed
+        assert old.count("t") == 10
+        assert young.count("t") == 9
+        assert db.vacuum("t") == 0  # fenced by the old snapshot
+        old.commit()
+        assert db.vacuum("t") == 1  # young never saw the dead version
+        assert young.count("t") == 9
+        young.commit()
+
+    def test_ttl_sweeper_runs_version_vacuum(self):
+        from repro.common.clock import VirtualClock
+        clock = VirtualClock()
+        db = Database(MiniSQLConfig(locking="mvcc"), clock=clock)
+        db.create_table(
+            "p", [Column("id", INTEGER, nullable=False), Column("expiry", INTEGER)],
+            primary_key="id",
+        )
+        sweeper = db.enable_ttl("p", "expiry", interval=1.0)
+        for i in range(20):
+            db.insert("p", {"id": i, "expiry": 5})
+        clock.advance(10)
+        deleted = sweeper.run(clock.now())
+        assert deleted == 20
+        # the sweep's own vacuum reclaimed the purge's dead versions
+        assert sweeper.stats.versions_reclaimed >= 20
+        assert db._storage.heaps["p"].dead_count == 0
+
+    def test_concurrent_snapshot_scans_during_rollback(self):
+        """Lock-free scans racing a rollback's undeletes must never see a
+        torn row count (regression: undelete once popped the dead entry
+        before republishing the slot, leaving a window with neither)."""
+        db = Database(MiniSQLConfig(locking="mvcc"))
+        db.create_table(
+            "t", [Column("id", INTEGER, nullable=False), Column("v", TEXT)],
+            primary_key="id",
+        )
+        total = 200
+        for i in range(total):
+            db.insert("t", {"id": i, "v": f"r{i}"})
+        stop = threading.Event()
+        torn: list[int] = []
+
+        def reader():
+            while not stop.is_set():
+                n = db.count("t")
+                if n != total:
+                    torn.append(n)
+                    return
+
+        workers = [threading.Thread(target=reader) for _ in range(3)]
+        for w in workers:
+            w.start()
+        try:
+            for _ in range(200):
+                txn = db.begin(write=("t",))
+                txn.delete("t", Cmp("id", "<", 50))
+                txn.rollback()  # the undeletes race the lock-free scans
+        finally:
+            stop.set()
+            for w in workers:
+                w.join()
+        assert not torn
+        assert db.count("t") == total
+
+    def test_concurrent_snapshot_scans_during_purge(self):
+        """Stress: lock-free readers sweep the table while a writer purges
+        and vacuums; every scan must observe a consistent count (a
+        snapshot boundary), never a torn intermediate."""
+        db = Database(MiniSQLConfig(locking="mvcc"))
+        db.create_table(
+            "t", [Column("id", INTEGER, nullable=False), Column("v", TEXT)],
+            primary_key="id",
+        )
+        total = 400
+        with db.transaction(write=("t",)) as txn:
+            for i in range(total):
+                txn.insert("t", {"id": i, "v": f"r{i}"})
+        chunk = 40
+        seen: list[int] = []
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader():
+            while not stop.is_set():
+                n = db.count("t")
+                if n % chunk != 0 or not (0 <= n <= total):
+                    failures.append(f"torn count {n}")
+                    return
+                seen.append(n)
+
+        workers = [threading.Thread(target=reader) for _ in range(3)]
+        for w in workers:
+            w.start()
+        try:
+            for lo in range(0, total, chunk):
+                with db.transaction(write=("t",)) as txn:
+                    txn.delete("t", Cmp("id", "<", lo + chunk))
+                db.vacuum("t")
+        finally:
+            stop.set()
+            for w in workers:
+                w.join()
+        assert not failures
+        assert db.count("t") == 0

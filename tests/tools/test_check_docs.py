@@ -1,0 +1,51 @@
+"""The docs checker passes on the repo's own docs, and catches drift."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+TOOLS = os.path.join(os.path.dirname(__file__), "..", "..", "tools")
+sys.path.insert(0, os.path.abspath(TOOLS))
+
+import check_docs  # noqa: E402
+
+
+def test_repo_docs_are_consistent():
+    """Links resolve and every documented knob exists in code."""
+    assert check_docs.main() == 0
+
+
+def test_cli_exit_status():
+    script = os.path.join(TOOLS, "check_docs.py")
+    proc = subprocess.run([sys.executable, script], capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_broken_link_detected(tmp_path):
+    text = "see [here](does-not-exist.md) and [ok](https://example.com)"
+    path = tmp_path / "doc.md"
+    path.write_text(text)
+    problems = check_docs.check_links(str(path), text)
+    assert len(problems) == 1 and "does-not-exist.md" in problems[0]
+
+
+def test_anchor_and_external_links_skipped(tmp_path):
+    text = "[a](#section) [b](mailto:x@y.z) [c](http://x)"
+    problems = check_docs.check_links(str(tmp_path / "doc.md"), text)
+    assert problems == []
+
+
+@pytest.mark.parametrize("mention,broken", [
+    ("`MiniSQLConfig.locking`", False),
+    ("`MiniSQLConfig.wal_batch_size`", False),
+    ("`MiniKVConfig.stripes`", False),
+    ("`MiniKVConfig.aof_batch_size`", False),
+    ("`MiniSQLConfig.no_such_knob`", True),
+    ("`MiniKVConfig.vanished`", True),
+])
+def test_knob_mentions_checked(mention, broken):
+    fields = check_docs._config_fields()
+    problems = check_docs.check_knobs("doc.md", mention, fields)
+    assert bool(problems) == broken

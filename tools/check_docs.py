@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Docs consistency checker: links resolve, knobs exist.
+
+Two classes of drift this catches, both of which have bitten real
+projects' docs:
+
+1. **Broken intra-repo markdown links** — every ``[text](target)`` whose
+   target is a relative path must point at an existing file (external
+   ``http(s)://`` / ``mailto:`` targets and pure ``#anchor`` links are
+   skipped; a ``path#fragment`` target is checked for the path part).
+2. **Phantom config knobs** — every ``MiniKVConfig.<field>`` /
+   ``MiniSQLConfig.<field>`` mention in the docs must name a real field
+   of the dataclass in code, so a renamed or removed knob cannot survive
+   in prose.
+
+Checked files: ``README.md``, ``ROADMAP.md``, and every ``*.md`` under
+``docs/``.  Exits non-zero with a report when anything is broken.  Run
+from anywhere: paths resolve relative to the repo root (the parent of
+this file's directory).
+
+Used by the ``docs`` CI job and by ``tests/tools/test_check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: markdown inline link: [text](target) — good enough for our docs; code
+#: spans with literal parens in URLs are not a pattern we use
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: a knob mention: ConfigClass.field_name
+_KNOB_RE = re.compile(r"\b(MiniKVConfig|MiniSQLConfig)\.([A-Za-z_][A-Za-z_0-9]*)")
+
+#: documentation files under the repo root to check
+DOC_FILES = ("README.md", "ROADMAP.md")
+DOCS_DIR = "docs"
+
+
+def _config_fields() -> dict[str, set[str]]:
+    """Field names of the two engine config dataclasses, from the code."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        from repro.minikv.engine import MiniKVConfig
+        from repro.minisql.database import MiniSQLConfig
+    finally:
+        sys.path.pop(0)
+    return {
+        "MiniKVConfig": {f.name for f in dataclasses.fields(MiniKVConfig)},
+        "MiniSQLConfig": {f.name for f in dataclasses.fields(MiniSQLConfig)},
+    }
+
+
+def _doc_paths() -> list[str]:
+    paths = [
+        os.path.join(REPO_ROOT, name)
+        for name in DOC_FILES
+        if os.path.exists(os.path.join(REPO_ROOT, name))
+    ]
+    docs_dir = os.path.join(REPO_ROOT, DOCS_DIR)
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                paths.append(os.path.join(docs_dir, name))
+    return paths
+
+
+def check_links(path: str, text: str) -> list[str]:
+    problems = []
+    base = os.path.dirname(path)
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:  # pure #anchor
+            continue
+        resolved = os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(resolved):
+            rel = os.path.relpath(path, REPO_ROOT)
+            problems.append(f"{rel}: broken link -> {target}")
+    return problems
+
+
+def check_knobs(path: str, text: str, fields: dict[str, set[str]]) -> list[str]:
+    problems = []
+    for match in _KNOB_RE.finditer(text):
+        config, field = match.group(1), match.group(2)
+        if field not in fields[config]:
+            rel = os.path.relpath(path, REPO_ROOT)
+            problems.append(
+                f"{rel}: {config}.{field} is documented but is not a "
+                f"field of {config} (fields: {sorted(fields[config])})"
+            )
+    return problems
+
+
+def main() -> int:
+    fields = _config_fields()
+    paths = _doc_paths()
+    if not paths:
+        print("check_docs: no documentation files found", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        problems.extend(check_links(path, text))
+        problems.extend(check_knobs(path, text, fields))
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({len(paths)} files, links + knobs consistent)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
