@@ -19,25 +19,53 @@ from .runtime import RunReport, run_workload
 
 @dataclass
 class GDPRBenchConfig:
-    """One GDPRbench invocation (paper defaults, scaled by the caller)."""
+    """One GDPRbench invocation (paper defaults, scaled by the caller).
 
+    Every default reproduces the paper's GDPRbench setup; the
+    non-default settings opt into this repo's scaling retrofits.
+    """
+
+    #: Default ``"redis"`` — which engine stub :func:`make_client`
+    #: builds (``"redis"`` = minikv, ``"postgres"`` = minisql).
     engine: str = "redis"
+    #: Default :meth:`FeatureSet.full` — all GDPR retrofits armed, the
+    #: paper's "GDPR-compliant configuration" bars.
     features: FeatureSet = field(default_factory=FeatureSet.full)
+    #: Default :class:`RecordCorpusConfig` defaults — the deterministic
+    #: personal-record corpus loaded before any workload runs.
     corpus: RecordCorpusConfig = field(default_factory=RecordCorpusConfig)
+    #: Default ``1000`` — operations generated per workload run.
     operation_count: int = 1000
-    threads: int = 8       # the paper runs GDPRbench with 8 threads
+    #: Default ``8`` — the paper runs GDPRbench with 8 client threads.
+    threads: int = 8
+    #: Default ``11`` — seed for the deterministic operation stream.
     seed: int = 11
-    #: command-pipelining batch per worker (1 = one round trip per op).
-    #: With >1 the batchable GDPR operations (``read-data-by-*``,
-    #: ``delete-record-by-ttl``, metadata updates, ...) run through the
-    #: shared :class:`~repro.clients.base.GDPRPipeline` contract.
+    #: Default ``1`` — one wire round-trip per operation, the paper's
+    #: execution model.  >1 enables command pipelining: each worker
+    #: drains up to this many consecutive batchable operations
+    #: (``read-data-by-*``, ``delete-record-by-ttl``, metadata updates,
+    #: ...) onto one :class:`~repro.clients.base.GDPRPipeline` and
+    #: executes them as a single round-trip; non-batchable operations
+    #: flush the pending batch and run singly, preserving issue order.
     batch_size: int = 1
-    #: extra client-constructor knobs (e.g. ``stripes``/``client_indices``)
+    #: Default ``{}`` — extra client-constructor knobs forwarded
+    #: verbatim (e.g. ``stripes``/``shards``/``client_indices`` for the
+    #: redis stub, ``locking``/``wal_batch_size`` for the SQL stub).
     client_kwargs: dict = field(default_factory=dict)
 
 
 class GDPRBenchSession:
-    """Owns a client and a loaded corpus; runs workloads on demand."""
+    """Owns a client and a loaded corpus; runs workloads on demand.
+
+    :meth:`run` lazily loads the corpus on first use, regenerates the
+    deterministic operation stream for the requested workload, and
+    delegates to :func:`~repro.bench.runtime.run_workload` with the
+    config's ``threads`` and ``batch_size`` — so pipelining behaves
+    identically whether a workload is driven here or directly through
+    the runtime.  The session owns its client: :meth:`close` (or the
+    context manager) releases engine resources, including any sharded
+    worker processes.
+    """
 
     def __init__(self, config: GDPRBenchConfig, client=None) -> None:
         self.config = config
@@ -90,21 +118,47 @@ class GDPRBenchSession:
 
 @dataclass
 class YCSBSessionConfig:
-    """One YCSB invocation (Section 6.1 uses 16 threads, 2M/2M)."""
+    """One YCSB invocation (Section 6.1 uses 16 threads, 2M/2M).
 
+    Defaults mirror the paper's traditional-workload setup at
+    laptop-friendly scale; non-defaults opt into the scaling retrofits.
+    """
+
+    #: Default ``"redis"`` — which engine stub :func:`make_client`
+    #: builds (``"redis"`` = minikv, ``"postgres"`` = minisql).
     engine: str = "redis"
+    #: Default :meth:`FeatureSet.none` — the stock engines the paper's
+    #: YCSB baselines measure (no GDPR retrofits).
     features: FeatureSet = field(default_factory=FeatureSet.none)
+    #: Default :class:`~repro.bench.ycsb.YCSBConfig` defaults — record
+    #: count, operation count, field sizing, and workload seed.
     ycsb: ycsb_mod.YCSBConfig = field(default_factory=ycsb_mod.YCSBConfig)
+    #: Default ``16`` — the paper's YCSB thread count (Section 6.1).
     threads: int = 16
-    #: command-pipelining batch per worker (1 = one round trip per op)
+    #: Default ``1`` — one wire round-trip per operation.  >1 batches
+    #: consecutive YCSB primitives (read/update/insert) through the
+    #: client's :class:`~repro.clients.base.GDPRPipeline`: one engine
+    #: lock scope, one persistence group commit, and one round-trip per
+    #: batch.  Non-batchable operations (scan, read-modify-write) flush
+    #: the pending batch and run singly.
     batch_size: int = 1
-    #: extra client-constructor knobs (e.g. ``stripes``/``aof_batch_size``
-    #: for the lock-striped minikv engine)
+    #: Default ``{}`` — extra client-constructor knobs forwarded
+    #: verbatim (e.g. ``stripes``/``aof_batch_size``/``shards`` for
+    #: minikv, ``locking``/``wal_batch_size`` for minisql).
     client_kwargs: dict = field(default_factory=dict)
 
 
 class YCSBSession:
-    """Loads the usertable then runs any of workloads A-F."""
+    """Loads the usertable then runs any of workloads A-F.
+
+    :meth:`load` replays the YCSB load phase (auto-invoked by the first
+    :meth:`run` if skipped); each :meth:`run` generates that workload's
+    transaction stream and reserves primary-key space for its inserts,
+    so back-to-back workloads on one database never collide.  Both
+    phases batch through the client pipeline when ``batch_size > 1``.
+    The session owns its client; :meth:`close` releases engine
+    resources, including any sharded worker processes.
+    """
 
     def __init__(self, config: YCSBSessionConfig, client=None) -> None:
         self.config = config

@@ -138,6 +138,37 @@ class GDPRPipeline(ABC):
     The queueing half is concrete — every engine batches the same
     ``(kind, key, payload)`` triples — so a stub only implements
     :meth:`execute` (draining ``self._take()``).
+
+    **Implementor contract.**  Every ``execute()`` implementation must
+    uphold, in order:
+
+    1. *Drain first.*  Take the queue via ``self._take()`` before doing
+       anything that can fail, so the pipeline object is reusable even
+       after an error (a second ``execute()`` returns ``[]``, it never
+       replays the failed batch).
+    2. *One round-trip.*  The whole batch crosses the client<->engine
+       boundary as one serialised request and one serialised response
+       (per shard, for sharded engines) — never one exchange per
+       operation.  Point operations should additionally coalesce into
+       the engine's native batching (engine pipelines / one
+       transaction), amortising lock scopes and persistence flushes.
+    3. *Flush points around multi-record ops.*  An operation that
+       cannot join the engine-native batch (a SCAN-shaped query, a
+       purge) must first flush the pending point-op run so that
+       operations observe each other in queue order.
+    4. *Slot-shaped responses.*  ``execute()`` returns one response per
+       queued operation, in queue order, shaped exactly as the
+       unbatched client primitive would have returned it.
+    5. *Per-slot error capture.*  A failing operation — including an
+       access-control denial — fills its own slot and never stops the
+       rest of the batch; after the batch completes, raise the first
+       captured error.  Access control is checked per operation at
+       execute time with the principal queued alongside the operation.
+    6. *Isolation is engine-scoped, and documented.*  Whatever
+       atomicity the engine batch provides (all involved stripes locked;
+       one transaction; per-shard only) is the batch's isolation — the
+       contract does not add cross-batch or cross-shard guarantees, so
+       each implementation documents what its engine gives.
     """
 
     def __init__(self) -> None:

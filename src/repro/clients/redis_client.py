@@ -52,6 +52,7 @@ from repro.gdpr.acl import Principal
 from repro.gdpr.audit import AuditEvent, events_from_aof
 from repro.gdpr.record import PersonalRecord, format_ttl, parse_ttl
 from repro.minikv.engine import MiniKV, MiniKVConfig
+from repro.minikv.sharded import ShardedMiniKV, open_minikv
 
 from .base import FeatureSet, GDPRClient, GDPRPipeline, normalise_attribute
 
@@ -237,6 +238,7 @@ class RedisGDPRClient(GDPRClient):
         client_indices: bool = False,
         stripes: int = 1,
         aof_batch_size: int = 1,
+        shards: int = 1,
     ) -> None:
         super().__init__(features or FeatureSet.none())
         self.clock = clock or SystemClock()
@@ -246,19 +248,27 @@ class RedisGDPRClient(GDPRClient):
         if self.features.monitoring:
             self._aof_path = os.path.join(self._data_dir, "redis.aof")
         self._engine_ttl = engine_ttl
-        self.engine = MiniKV(
-            MiniKVConfig(
-                encryption_at_rest=self.features.encryption,
-                strict_ttl=self.features.timely_deletion,
-                aof_path=self._aof_path,
-                fsync="everysec",
-                log_reads=self.features.monitoring,
-                expiry_seed=expiry_seed,
-                ttl_algorithm=ttl_algorithm,
-                stripes=stripes,
-                aof_batch_size=aof_batch_size,
-            ),
-            clock=self.clock,
+        engine_config = MiniKVConfig(
+            encryption_at_rest=self.features.encryption,
+            strict_ttl=self.features.timely_deletion,
+            aof_path=self._aof_path,
+            fsync="everysec",
+            log_reads=self.features.monitoring,
+            expiry_seed=expiry_seed,
+            ttl_algorithm=ttl_algorithm,
+            stripes=stripes,
+            aof_batch_size=aof_batch_size,
+            shards=shards,
+        )
+        # shards=1 -> the paper's in-process engine on the client clock
+        # (byte-identical to the seed construction path); shards>1 -> the
+        # multi-process router of docs/sharding.md, whose command surface
+        # is identical, so everything below — pipelines included — routes
+        # transparently.  The factory rejects a custom clock when sharded
+        # (workers keep their own system clocks), so the sharded branch
+        # forwards the caller's clock argument, not the resolved default.
+        self.engine: MiniKV | ShardedMiniKV = open_minikv(
+            engine_config, clock=self.clock if shards <= 1 else clock
         )
         self._link = LoopbackSecureLink(enabled=self.features.encryption)
         self._ycsb_keys: list[str] = []  # sorted; the ZSET-index analogue
@@ -927,11 +937,27 @@ class RedisGDPRClient(GDPRClient):
         self.acl.check_operation(principal, "get-system-logs")
         if self._aof_path is None:
             return []
-        if self.engine._aof is not None:
-            self.engine._aof.flush()
-        return events_from_aof(
-            self._aof_path, limit=limit, cipher=self.engine._file_cipher
-        )
+        self.engine.flush_aof()
+        cipher = self.engine._file_cipher
+        if isinstance(self.engine, ShardedMiniKV):
+            # The audit trail is per-shard (one AOF per worker) and the
+            # AOF carries no timestamps, so there is no global recency
+            # order to recover.  Split the limit exactly instead: every
+            # shard contributes its share of most-recent events (the
+            # first ``limit % shards`` shards take the remainder),
+            # concatenated in shard order — each shard's own trail stays
+            # ordered and no shard can crowd another out.
+            paths = self.engine.aof_paths
+            events: list[AuditEvent] = []
+            for index, path in enumerate(paths):
+                share = limit
+                if limit:
+                    share = limit // len(paths) + (1 if index < limit % len(paths) else 0)
+                    if share == 0:
+                        continue
+                events.extend(events_from_aof(path, limit=share, cipher=cipher))
+            return events
+        return events_from_aof(self._aof_path, limit=limit, cipher=cipher)
 
     def _record_exists(self, key: str) -> bool:
         return self.engine.exists(_REC_PREFIX + key)

@@ -14,6 +14,7 @@ original customers at every scale.
 
 from __future__ import annotations
 
+import os
 import threading
 
 from repro.bench import ycsb as ycsb_mod
@@ -46,6 +47,39 @@ SQL_SCALING_CONFIGS = (
     ("rw+batched", {"locking": "table-rw"}, 128),
     ("mvcc+batched", {"locking": "mvcc"}, 128),
 )
+
+#: The shard-count sweep (fig10s): the in-process engine vs the
+#: multi-process sharded deployment at 2 and 4 worker processes.  Every
+#: point uses the same batch size so the sweep isolates process
+#: parallelism — the pipelining win is PR 1's, already banked.
+REDIS_SHARD_CONFIGS = (
+    ("1-shard(in-process)", {"shards": 1, "stripes": 1}, 128),
+    ("2-shards", {"shards": 2}, 128),
+    ("4-shards", {"shards": 4}, 128),
+)
+
+#: CPU-tiered shard-scaling floor, shared by fig10s and the throughput
+#: regression harness (one definition, no drift): process sharding buys
+#: parallelism, so the asserted minimum depends on the cores available.
+#: Every GitHub-hosted CI runner has >= 4 vCPUs and asserts the full
+#: 2x; a single-core host cannot parallelise anything, so there the
+#: floor only bounds the shard router's IPC tax (>= 0.6x of the
+#: in-process engine).
+SHARD_FLOOR_TIERS = ((4, 2.0), (2, 1.2), (1, 0.6))
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def shard_floor_min(cores: int | None = None) -> float:
+    """The asserted shard-scaling minimum for a host with ``cores``."""
+    if cores is None:
+        cores = usable_cores()
+    return next(floor for tier, floor in SHARD_FLOOR_TIERS if cores >= tier)
 
 
 def ycsb_c_completion(engine: str, record_count: int, operations: int,
@@ -289,6 +323,78 @@ def sql_thread_scaling(
             "added benchmark threads cannot help; per-table reader-writer "
             "locking plus pipelined statement batches lifts the same "
             "SELECT-heavy workload substantially"
+        ),
+        rows=rows,
+        shape_checks=checks,
+    )
+
+
+def redis_shard_scaling(
+    shard_configs=REDIS_SHARD_CONFIGS,
+    threads: int = 8,
+    record_count: int = 500,
+    operations: int = 2000,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Shard-count sweep (fig10s): the GIL escape, measured.
+
+    Runs the same YCSB-C stream under the **full-GDPR** feature set —
+    strict TTL scans, read audit logging, at-rest + in-transit
+    encryption — against the in-process engine and against 2- and
+    4-worker sharded deployments.  With every GDPR retrofit armed the
+    per-operation cost is engine-dominated, which is exactly the work
+    hash-sharding spreads across worker processes; on a multi-core host
+    the sharded points scale with the worker count, while on a single
+    core the sweep can only demonstrate that the shard router's IPC tax
+    stays bounded (there is no second core to win).  The shape checks
+    are therefore CPU-tiered, mirroring the throughput-regression floor.
+    """
+    rows = []
+    throughput: dict[str, float] = {}
+    for label, client_kwargs, batch_size in shard_configs:
+        config = YCSBSessionConfig(
+            engine="redis",
+            features=FeatureSet.full(),
+            ycsb=YCSBConfig(
+                record_count=record_count, operation_count=operations,
+                field_count=1, field_length=16, seed=seed,
+            ),
+            threads=threads,
+            batch_size=batch_size,
+            client_kwargs=dict(client_kwargs),
+        )
+        with YCSBSession(config) as session:
+            session.load()
+            report = session.run("C")
+        throughput[label] = report.throughput_ops_s
+        rows.append({
+            "series": label,
+            "threads": threads,
+            "shards": client_kwargs.get("shards", 1),
+            "ops_s": round(report.throughput_ops_s),
+            "correctness_pct": round(report.correctness_pct, 2),
+        })
+    cores = usable_cores()
+    floor = shard_floor_min(cores)
+    baseline = shard_configs[0][0]
+    top = shard_configs[-1][0]
+    checks = [
+        ("every sweep point completed 100% correct",
+         all(row["correctness_pct"] == 100.0 for row in rows)),
+        (f"{top} sustains >= {floor}x {baseline} at {threads} threads on "
+         f"{cores} usable core(s) (full 2x floor needs 4+ cores; a single "
+         "core can only bound the router's IPC tax)",
+         throughput[top] >= floor * throughput[baseline]),
+    ]
+    return ExperimentResult(
+        experiment="fig10s",
+        title="Shard scaling: in-process minikv vs multi-process sharded workers",
+        paper_expectation=(
+            "One Python process serialises all engine bytecode on the GIL, "
+            "so GDPR-feature-heavy operations cannot scale past one core; "
+            "hash-sharding the keyspace across worker processes spreads "
+            "strict-TTL scans, audit logging, and cipher work, scaling "
+            "throughput with the worker count on multi-core hosts"
         ),
         rows=rows,
         shape_checks=checks,

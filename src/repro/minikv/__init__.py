@@ -3,6 +3,7 @@
 from .aof import AOFWriter, decode_entries, encode_entry, load_aof
 from .datatypes import HashValue, SetValue, StringValue, Value
 from .engine import MiniKV, MiniKVConfig, Pipeline
+from .sharded import ShardedMiniKV, ShardedPipeline, open_minikv, shard_aof_path
 from .expiry import (
     ExpiresIndex,
     HeapExpiryCycle,
@@ -19,6 +20,10 @@ __all__ = [
     "MiniKV",
     "MiniKVConfig",
     "Pipeline",
+    "ShardedMiniKV",
+    "ShardedPipeline",
+    "open_minikv",
+    "shard_aof_path",
     "StripedExpiresView",
     "AOFWriter",
     "encode_entry",

@@ -112,6 +112,15 @@ class MiniKVConfig:
     #: fsync, the paper's per-command durability cost; larger values
     #: amortise the fsync over that many AOF entries (group commit).
     aof_batch_size: int = 1
+    #: Default ``1`` — one in-process engine, the paper's deployment shape
+    #: (byte-identical to the seed: no worker processes, no IPC).  >1
+    #: selects the multi-process sharded deployment: that many worker
+    #: processes each own a hash partition of the keyspace — and its own
+    #: AOF — behind a shard router, escaping the GIL (see
+    #: docs/sharding.md).  Build sharded engines via
+    #: :func:`repro.minikv.sharded.open_minikv`; :class:`MiniKV` itself
+    #: rejects ``shards > 1``.
+    shards: int = 1
 
     def resolved_ttl_algorithm(self) -> str:
         if self.ttl_algorithm:
@@ -273,6 +282,13 @@ class MiniKV:
         self.clock = clock or SystemClock()
         if self.config.stripes < 1:
             raise ConfigurationError("stripes must be >= 1")
+        if self.config.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.config.shards > 1:
+            raise ConfigurationError(
+                "shards > 1 is the multi-process deployment; build it via "
+                "repro.minikv.sharded.open_minikv (or ShardedMiniKV)"
+            )
         algorithm = self.config.resolved_ttl_algorithm()
         cycle_classes = {
             "lazy": LazyExpiryCycle,
@@ -975,6 +991,11 @@ class MiniKV:
 
     def aof_size(self) -> int:
         return self._aof.size_bytes() if self._aof else 0
+
+    def flush_aof(self) -> None:
+        """Force buffered AOF entries to disk (audit readers need this)."""
+        if self._aof is not None:
+            self._aof.flush()
 
     @property
     def _commands_processed(self) -> int:

@@ -1,0 +1,643 @@
+"""Multi-process sharded minikv — the deployment that escapes the GIL.
+
+Every configuration so far runs the whole keyspace inside one Python
+process, so lock striping and pipelining can only shrink *contention*:
+all engine bytecode still serialises on one GIL, and throughput cannot
+scale past one core.  This module hash-partitions the keyspace across
+``MiniKVConfig.shards`` **worker processes** — the striping layer's
+natural seam, promoted to a process boundary:
+
+* each worker owns one shard: a full :class:`~repro.minikv.engine.MiniKV`
+  engine (``shards=1``) with its own expiry cycles and its own AOF
+  (``<aof_path>.shard<i>``), so persistence, replay, and the audit trail
+  are per-shard and independent;
+* the front (:class:`ShardedMiniKV`) exposes the engine's command
+  surface and routes each key with the same ``crc32(key) % N`` rule the
+  stripes use; cross-key commands (SCAN, KEYS, purge, FLUSHALL, INFO)
+  fan out to every shard and merge;
+* :meth:`ShardedMiniKV.pipeline` scatter/gathers a command batch: the
+  batch splits into one sub-batch per involved shard, every sub-batch is
+  shipped in a single message, the workers execute them **in parallel**
+  (each under its own GIL, as one engine pipeline = one lock scope + one
+  expiry tick + one AOF group commit), and the front reassembles the
+  responses in queue order — one request/response round-trip per shard
+  per batch;
+* a worker that dies is respawned on the next command that touches it;
+  the replacement replays its shard's AOF before serving, so recovery is
+  per-shard and never stalls the other shards.
+
+Consistency contract (details in ``docs/sharding.md``): single-key
+commands keep exactly the engine's per-key linearizability — a key lives
+on one shard and its worker serialises commands — but multi-key and
+fan-out operations are **not atomic across shards**: each shard applies
+its sub-batch atomically, and concurrent observers may see one shard's
+effects before another's.  A command retried through worker recovery is
+at-least-once: the replayed AOF already holds the acknowledged prefix,
+and the retried command re-applies (idempotent for the engine's
+write surface; counters such as DELETE's may differ across the retry).
+
+``shards=1`` deployments should not pay any of this: callers go through
+:func:`open_minikv`, which returns a plain in-process :class:`MiniKV`
+(the paper's semantics, byte-identical to the seed) unless ``shards > 1``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import threading
+import zlib
+
+from repro.common.errors import ConfigurationError, KVError
+from repro.crypto.luks import FileCipher
+
+from .engine import MiniKV, MiniKVConfig
+
+
+class ShardConnectionError(KVError):
+    """A shard worker could not be reached even after a respawn."""
+
+
+#: Engine commands that queue on an engine-side pipeline inside a worker
+#: (the vocabulary of a ``("batch", ...)`` message).  Everything here has
+#: a queueing twin on :class:`~repro.minikv.engine.Pipeline`.
+BATCHABLE_COMMANDS = (
+    "set", "get", "delete", "exists", "expire", "expireat", "persist",
+    "ttl", "hset", "hmset", "hset_if_exists", "hmset_if_exists", "hget",
+    "hgetall", "hdel", "sadd", "srem", "smembers", "sismember",
+)
+
+#: Single-key commands the front routes by ``crc32(key) % shards``.
+#: (``delete`` is multi-key and ``scan`` carries a composite cursor, so
+#: both get explicit implementations instead of a generated router.)
+_KEYED_COMMANDS = tuple(c for c in BATCHABLE_COMMANDS if c != "delete")
+
+#: Keyless commands that fan out to every shard.  The merge of the
+#: per-shard results is named per command in :class:`ShardedMiniKV`.
+_FANOUT_COMMANDS = (
+    "purge_expired", "cron", "keys", "randomkey", "dbsize", "flushall",
+    "memory_used", "aof_size", "flush_aof", "info",
+)
+
+
+def shard_aof_path(base_path: str, index: int) -> str:
+    """Per-shard AOF file derived from the deployment's base path."""
+    return f"{base_path}.shard{index}"
+
+
+def _worker_config(config: MiniKVConfig, index: int) -> MiniKVConfig:
+    """The engine config one worker runs: its own shard, one process."""
+    return dataclasses.replace(
+        config,
+        shards=1,
+        aof_path=(
+            shard_aof_path(config.aof_path, index)
+            if config.aof_path is not None else None
+        ),
+        # de-correlate the lazy expiry cycles across shards, mirroring
+        # how the striped engine seeds each stripe's cycle differently
+        expiry_seed=config.expiry_seed + index,
+    )
+
+
+def _worker_main(conn, config: MiniKVConfig) -> None:
+    """One shard worker: replay the shard AOF, then serve the connection.
+
+    The protocol is strictly one reply per received message, so the front
+    can always resynchronise by counting — a worker never sends
+    unsolicited data.  Messages:
+
+    * ``("call", method, args, kwargs)`` — one engine command; replies
+      ``("ok", result)`` or ``("err", exception)``.
+    * ``("batch", [(method, args, kwargs), ...])`` — an engine
+      pipeline: queued and executed under one lock scope / expiry tick
+      / AOF group commit; replies ``("ok", [result-or-exception, ...])``
+      with failures captured per slot (Redis pipeline semantics).
+    * ``("stop",)`` — flush + close the engine, reply, exit.
+    """
+    engine = MiniKV(config)  # replays this shard's AOF if one exists
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return  # front vanished; engine.close() still runs below
+            kind = message[0]
+            if kind == "stop":
+                engine.close()
+                conn.send(("ok", None))
+                return
+            try:
+                if kind == "call":
+                    _, method, args, kwargs = message
+                    reply = ("ok", getattr(engine, method)(*args, **kwargs))
+                else:  # "batch"
+                    # Queue-phase failures (e.g. an arity error the
+                    # in-process Pipeline would raise at queue time) are
+                    # captured per slot, like execution failures: one bad
+                    # command must not abort the other slots' commands.
+                    pipe = engine.pipeline()
+                    queue_errors: dict[int, Exception] = {}
+                    for position, (method, args, kwargs) in enumerate(message[1]):
+                        try:
+                            getattr(pipe, method)(*args, **kwargs)
+                        except Exception as exc:
+                            queue_errors[position] = exc
+                    executed = iter(pipe.execute(raise_on_error=False))
+                    reply = ("ok", [
+                        queue_errors[position] if position in queue_errors
+                        else next(executed)
+                        for position in range(len(message[1]))
+                    ])
+            except Exception as exc:
+                reply = ("err", exc)
+            try:
+                conn.send(reply)
+            except Exception:
+                # unpicklable result/exception: degrade, never desync
+                conn.send(("err", KVError(f"unserialisable reply: {reply!r:.200}")))
+    finally:
+        engine.close()
+        conn.close()
+
+
+class _Shard:
+    """Front-side handle for one worker: process + duplex pipe + lock.
+
+    The lock serialises request/response exchanges on the pipe — one
+    outstanding message per shard — so concurrent client threads
+    interleave at message granularity, exactly like stripe locks.
+    """
+
+    __slots__ = ("index", "config", "process", "conn", "lock")
+
+    def __init__(self, index: int, config: MiniKVConfig) -> None:
+        self.index = index
+        self.config = config
+        self.process = None
+        self.conn = None
+        self.lock = threading.Lock()
+
+
+class ShardedPipeline:
+    """A queued command batch scatter/gathered across shard workers.
+
+    Mirrors :class:`~repro.minikv.engine.Pipeline`'s queueing surface and
+    error semantics.  At :meth:`execute` the queue splits into one
+    sub-batch per involved shard; every sub-batch crosses its worker's
+    pipe as a single message and runs there as one engine pipeline, so a
+    batch costs one round-trip per involved shard — with the workers
+    executing their sub-batches concurrently.  Atomicity is therefore
+    **per shard**: each worker applies its sub-batch under one lock
+    scope, but there is no cross-shard barrier.
+    """
+
+    __slots__ = ("_front", "_slots", "_per_shard")
+
+    def __init__(self, front: "ShardedMiniKV") -> None:
+        self._front = front
+        #: one entry per queued command: a tuple of (shard index,
+        #: position in that shard's sub-batch) parts.  Single-key
+        #: commands have one part; multi-key DELETE may have several.
+        self._slots: list[tuple[tuple[int, int], ...]] = []
+        self._per_shard: dict[int, list[tuple[str, tuple, dict]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def _queue(self, method: str, key: str, args: tuple,
+               kwargs: dict) -> "ShardedPipeline":
+        index = self._front._shard_index(key)
+        calls = self._per_shard.setdefault(index, [])
+        self._slots.append(((index, len(calls)),))
+        calls.append((method, args, kwargs))
+        return self
+
+    def delete(self, *keys: str) -> "ShardedPipeline":
+        by_shard: dict[int, list[str]] = {}
+        for key in keys:
+            by_shard.setdefault(self._front._shard_index(key), []).append(key)
+        if not by_shard:  # keyless DELETE still occupies a result slot
+            by_shard[0] = []
+        parts = []
+        for index in sorted(by_shard):
+            calls = self._per_shard.setdefault(index, [])
+            parts.append((index, len(calls)))
+            calls.append(("delete", tuple(by_shard[index]), {}))
+        self._slots.append(tuple(parts))
+        return self
+
+    def execute(self, raise_on_error: bool = True) -> list:
+        """Run the batch; per-command results in queue order.
+
+        Failures are captured per slot and the first is raised after the
+        whole batch completes (pass ``raise_on_error=False`` to receive
+        them in the result list) — the engine pipeline's contract.
+        """
+        slots, self._slots = self._slots, []
+        per_shard, self._per_shard = self._per_shard, {}
+        if not slots:
+            return []
+        gathered = self._front._scatter(
+            [(index, ("batch", calls)) for index, calls in per_shard.items()]
+        )
+        results = []
+        for parts in slots:
+            if len(parts) == 1:
+                index, position = parts[0]
+                value = gathered[index][position]
+            else:  # multi-key DELETE split across shards: sum the counts
+                value = 0
+                for index, position in parts:
+                    part = gathered[index][position]
+                    if isinstance(part, Exception):
+                        value = part
+                        break
+                    value += part
+            results.append(value)
+        if raise_on_error:
+            for value in results:
+                if isinstance(value, Exception):
+                    raise value
+        return results
+
+
+def _make_keyed_command(method: str):
+    def command(self, key, *args, **kwargs):
+        shard = self._shards[self._shard_index(key)]
+        with shard.lock:
+            return self._request(shard, ("call", method, (key, *args), kwargs))
+    command.__name__ = method
+    command.__qualname__ = f"ShardedMiniKV.{method}"
+    command.__doc__ = f"Route ``{method.upper()}`` to its key's shard worker."
+    return command
+
+
+class ShardedMiniKV:
+    """Shard router: the engine command surface over N worker processes.
+
+    Construct via :func:`open_minikv` so that ``shards=1`` configurations
+    stay on the in-process engine.  The router is thread-safe: each shard
+    pipe carries one exchange at a time (per-shard lock), and fan-out
+    operations acquire shard locks in ascending index order — the same
+    deadlock-free discipline the striped engine uses.
+    """
+
+    def __init__(self, config: MiniKVConfig | None = None,
+                 start_method: str | None = None) -> None:
+        self.config = config or MiniKVConfig()
+        if self.config.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if start_method is None:
+            # fork starts workers in milliseconds and is available on the
+            # platforms we target; spawn is the portable fallback
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._file_cipher = FileCipher() if self.config.encryption_at_rest else None
+        self._nshards = self.config.shards
+        self._closed = False
+        self._shards = [
+            _Shard(i, _worker_config(self.config, i)) for i in range(self._nshards)
+        ]
+        for shard in self._shards:
+            self._start(shard)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _start(self, shard: _Shard) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, shard.config),
+            name=f"minikv-shard-{shard.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only its end: worker death -> EOF
+        shard.process = process
+        shard.conn = parent_conn
+
+    def _respawn(self, shard: _Shard) -> None:
+        """Replace a dead worker; the replacement replays its shard AOF."""
+        if self._closed:
+            # Never resurrect workers after close(): the deployment's
+            # data directory may already be gone, and a silently
+            # respawned empty shard would answer wrongly instead of
+            # failing loudly.
+            raise ShardConnectionError("sharded engine is closed")
+        try:
+            shard.conn.close()
+        except OSError:
+            pass
+        if shard.process.is_alive():
+            shard.process.terminate()
+        shard.process.join(timeout=5)
+        self._start(shard)
+
+    def restart_shard(self, index: int) -> None:
+        """Deliberately bounce one worker (stop + respawn + AOF replay).
+
+        Unlike crash recovery, a deliberate bounce asks the worker to
+        stop gracefully first, so it flushes its AOF buffer — under
+        ``fsync='everysec'`` a hard kill here would silently drop
+        acknowledged writes still sitting in the buffer.
+        """
+        shard = self._shards[index]
+        with shard.lock:
+            try:
+                shard.conn.send(("stop",))
+                shard.conn.recv()
+            except (EOFError, OSError):
+                pass  # already dead: fall through to the crash path
+            self._respawn(shard)
+
+    # ------------------------------------------------------------------
+    # Routing + transport
+    # ------------------------------------------------------------------
+
+    def _shard_index(self, key: str) -> int:
+        if self._nshards == 1:
+            return 0
+        return zlib.crc32(key.encode()) % self._nshards
+
+    def _exchange(self, shard: _Shard, message: tuple) -> tuple:
+        """One send+receive on ``shard``'s pipe (caller holds its lock).
+
+        Raises ``EOFError``/``OSError`` on transport failure — the
+        caller decides the recovery policy.
+        """
+        if self._closed:
+            raise ShardConnectionError("sharded engine is closed")
+        shard.conn.send(message)
+        return shard.conn.recv()
+
+    def _exchange_after_respawn(self, shard: _Shard, message: tuple) -> tuple:
+        """Crash recovery: respawn (AOF replay) + one retried exchange.
+
+        The retry makes commands at-least-once across a worker crash
+        (see the module docstring); a second transport failure is
+        surfaced as an ``("err", ...)`` reply for the caller to raise.
+        """
+        self._respawn(shard)
+        try:
+            return self._exchange(shard, message)
+        except (EOFError, OSError):
+            return ("err", ShardConnectionError(
+                f"shard {shard.index} worker died again on the retried "
+                f"{message[0]!r}"
+            ))
+
+    def _request(self, shard: _Shard, message: tuple):
+        """One exchange with crash recovery (caller holds ``shard.lock``)."""
+        try:
+            status, payload = self._exchange(shard, message)
+        except (EOFError, OSError):
+            status, payload = self._exchange_after_respawn(shard, message)
+        if status == "err":
+            raise payload
+        return payload
+
+    def _scatter(self, requests: list[tuple[int, tuple]]) -> dict[int, object]:
+        """Send one message per shard, gather every reply; parallel workers.
+
+        Locks are taken in ascending shard order (deadlock-free); all
+        sends complete before the first receive, so the involved workers
+        execute concurrently.  Every send is matched with exactly one
+        receive even when a reply is an error — the pipes stay in sync —
+        and the first error is raised after the gather completes.
+        """
+        if self._closed:
+            raise ShardConnectionError("sharded engine is closed")
+        requests = sorted(requests)
+        shards = [self._shards[index] for index, _ in requests]
+        for shard in shards:
+            shard.lock.acquire()
+        try:
+            sent: list[tuple[int, _Shard, tuple]] = []
+            gathered: dict[int, object] = {}
+            first_error: Exception | None = None
+            for (index, message), shard in zip(requests, shards):
+                try:
+                    shard.conn.send(message)
+                except (EOFError, OSError):
+                    try:
+                        self._respawn(shard)
+                        shard.conn.send(message)
+                    except (EOFError, OSError):
+                        # keep going: shards already sent to are still
+                        # owed exactly one reply each, and must get
+                        # their receive before anything raises
+                        first_error = first_error or ShardConnectionError(
+                            f"shard {shard.index} worker died again on the "
+                            f"retried {message[0]!r}"
+                        )
+                        continue
+                sent.append((index, shard, message))
+            for index, shard, message in sent:
+                try:
+                    status, payload = shard.conn.recv()
+                except (EOFError, OSError):
+                    status, payload = self._exchange_after_respawn(shard, message)
+                if status == "err":
+                    first_error = first_error or payload
+                else:
+                    gathered[index] = payload
+            if first_error is not None:
+                raise first_error
+            return gathered
+        finally:
+            for shard in reversed(shards):
+                shard.lock.release()
+
+    def _fanout(self, method: str, args: tuple = ()) -> dict[int, object]:
+        """Run one keyless command on every shard; per-shard results."""
+        return self._scatter([
+            (index, ("call", method, args, {})) for index in range(self._nshards)
+        ])
+
+    # ------------------------------------------------------------------
+    # Command surface
+    # ------------------------------------------------------------------
+    # Single-key commands are generated below from _KEYED_COMMANDS: each
+    # routes to its key's worker with the shard lock held for exactly one
+    # request/response exchange.
+
+    def delete(self, *keys: str) -> int:
+        """Multi-key DELETE: one message per involved shard, counts summed."""
+        by_shard: dict[int, list[str]] = {}
+        for key in keys:
+            by_shard.setdefault(self._shard_index(key), []).append(key)
+        if not by_shard:
+            return 0
+        gathered = self._scatter([
+            (index, ("call", "delete", tuple(shard_keys), {}))
+            for index, shard_keys in by_shard.items()
+        ])
+        return sum(gathered.values())
+
+    def pipeline(self) -> ShardedPipeline:
+        """A new scatter/gather command batch."""
+        return ShardedPipeline(self)
+
+    def scan(self, cursor: int = 0, match: str | None = None,
+             count: int = 10) -> tuple[int, list[str]]:
+        """Cursor iteration over the union keyspace, shard by shard.
+
+        The cursor packs ``(shard index, that shard's inner SCAN cursor)``
+        as ``inner * shards + shard + 1``; ``0`` still means "traversal
+        complete".  Guarantees compose from the per-shard engine SCAN:
+        keys stable for the whole traversal are returned at least once,
+        deletions are skipped, concurrent inserts may be missed.  There
+        is no cross-shard snapshot — each shard is traversed against its
+        own snapshot, taken when the cursor enters it.
+        """
+        if cursor == 0:
+            shard_index, inner = 0, 0
+        else:
+            shard_index = (cursor - 1) % self._nshards
+            inner = (cursor - 1) // self._nshards
+        shard = self._shards[shard_index]
+        with shard.lock:
+            inner_next, batch = self._request(
+                shard, ("call", "scan", (inner, match, count), {})
+            )
+        if inner_next != 0:
+            return inner_next * self._nshards + shard_index + 1, batch
+        if shard_index + 1 < self._nshards:
+            return shard_index + 2, batch  # (next shard, inner cursor 0)
+        return 0, batch
+
+    # -- keyless fan-outs, each with its named merge ---------------------
+
+    def purge_expired(self) -> list[str]:
+        """Erase every expired key on every shard; union of the names."""
+        gathered = self._fanout("purge_expired")
+        return [key for index in sorted(gathered) for key in gathered[index]]
+
+    def cron(self) -> int:
+        return sum(self._fanout("cron").values())
+
+    def keys(self, pattern: str = "*") -> list[str]:
+        gathered = self._fanout("keys", (pattern,))
+        return [key for index in sorted(gathered) for key in gathered[index]]
+
+    def randomkey(self) -> str | None:
+        for key in self._fanout("randomkey").values():
+            if key is not None:
+                return key
+        return None
+
+    def dbsize(self) -> int:
+        return sum(self._fanout("dbsize").values())
+
+    def flushall(self) -> None:
+        self._fanout("flushall")
+
+    def memory_used(self) -> int:
+        return sum(self._fanout("memory_used").values())
+
+    def aof_size(self) -> int:
+        return sum(self._fanout("aof_size").values())
+
+    def flush_aof(self) -> None:
+        """Flush every shard's AOF (audit readers parse the files)."""
+        self._fanout("flush_aof")
+
+    def info(self) -> dict:
+        """Aggregate INFO across shards (+ ``shards`` and per-shard keys)."""
+        gathered = self._fanout("info")
+        per_shard = [gathered[index] for index in sorted(gathered)]
+        merged = {
+            "keys": sum(i["keys"] for i in per_shard),
+            "keys_with_expiry": sum(i["keys_with_expiry"] for i in per_shard),
+            "memory_used_bytes": sum(i["memory_used_bytes"] for i in per_shard),
+            "aof_size_bytes": sum(i["aof_size_bytes"] for i in per_shard),
+            "commands_processed": sum(i["commands_processed"] for i in per_shard),
+            "expiry_algorithm": per_shard[0]["expiry_algorithm"],
+            "stripes": per_shard[0]["stripes"],
+            "gdpr_features": per_shard[0]["gdpr_features"],
+            "shards": self._nshards,
+            "keys_per_shard": [i["keys"] for i in per_shard],
+        }
+        return merged
+
+    # ------------------------------------------------------------------
+    # Introspection + lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return self._nshards
+
+    @property
+    def aof_paths(self) -> list[str]:
+        """The per-shard AOF files (empty when persistence is off)."""
+        if self.config.aof_path is None:
+            return []
+        return [shard_aof_path(self.config.aof_path, i) for i in range(self._nshards)]
+
+    def close(self) -> None:
+        """Stop every worker (each flushes + closes its AOF first)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            with shard.lock:
+                try:
+                    shard.conn.send(("stop",))
+                    shard.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                try:
+                    shard.conn.close()
+                except OSError:
+                    pass
+            shard.process.join(timeout=5)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=5)
+
+    def __enter__(self) -> "ShardedMiniKV":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+for _method in _KEYED_COMMANDS:
+    setattr(ShardedMiniKV, _method, _make_keyed_command(_method))
+for _method in BATCHABLE_COMMANDS:
+    if _method != "delete":
+        def _queue_method(self, key, *args, _m=_method, **kwargs):
+            return self._queue(_m, key, (key, *args), kwargs)
+        _queue_method.__name__ = _method
+        _queue_method.__qualname__ = f"ShardedPipeline.{_method}"
+        _queue_method.__doc__ = f"Queue ``{_method.upper()}`` for its key's shard."
+        setattr(ShardedPipeline, _method, _queue_method)
+del _method
+
+
+def open_minikv(config: MiniKVConfig | None = None, clock=None):
+    """Engine factory honouring ``MiniKVConfig.shards``.
+
+    ``shards=1`` (the default) returns the in-process :class:`MiniKV` —
+    the paper's execution model, byte-identical to the seed engine.
+    ``shards > 1`` returns a :class:`ShardedMiniKV` front over that many
+    worker processes.  Sharded workers keep their own system clocks
+    (a clock cannot be shared across processes), so injecting a custom
+    ``clock`` requires ``shards=1``.
+    """
+    config = config or MiniKVConfig()
+    if config.shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    if config.shards == 1:
+        return MiniKV(config, clock=clock)
+    if clock is not None:
+        raise ConfigurationError(
+            "sharded minikv workers run on their own system clocks; "
+            "custom clocks require shards=1"
+        )
+    return ShardedMiniKV(config)

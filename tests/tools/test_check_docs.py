@@ -41,6 +41,7 @@ def test_anchor_and_external_links_skipped(tmp_path):
     ("`MiniSQLConfig.locking`", False),
     ("`MiniSQLConfig.wal_batch_size`", False),
     ("`MiniKVConfig.stripes`", False),
+    ("`MiniKVConfig.shards`", False),
     ("`MiniKVConfig.aof_batch_size`", False),
     ("`MiniSQLConfig.no_such_knob`", True),
     ("`MiniKVConfig.vanished`", True),
@@ -49,3 +50,31 @@ def test_knob_mentions_checked(mention, broken):
     fields = check_docs._config_fields()
     problems = check_docs.check_knobs("doc.md", mention, fields)
     assert bool(problems) == broken
+
+
+def test_knob_coverage_flags_undocumented_field():
+    """A config field no doc mentions is reported (new knobs can't ship silent)."""
+    fields = {"MiniKVConfig": {"stripes", "shards"}, "MiniSQLConfig": {"locking"}}
+    texts = {
+        "a.md": "tune `MiniKVConfig.stripes` for stripe counts",
+        "b.md": "and `MiniSQLConfig.locking` for the lock mode",
+    }
+    problems = check_docs.check_knob_coverage(texts, fields)
+    assert len(problems) == 1 and "MiniKVConfig.shards" in problems[0]
+
+
+def test_knob_coverage_spans_the_doc_set():
+    """Coverage counts mentions across all docs, not per file."""
+    fields = {"MiniKVConfig": {"stripes"}, "MiniSQLConfig": set()}
+    texts = {"a.md": "nothing here", "b.md": "`MiniKVConfig.stripes`"}
+    assert check_docs.check_knob_coverage(texts, fields) == []
+
+
+def test_repo_knob_tables_cover_every_config_field():
+    """Every real MiniKVConfig/MiniSQLConfig field appears in the docs."""
+    fields = check_docs._config_fields()
+    texts = {}
+    for path in check_docs._doc_paths():
+        with open(path, encoding="utf-8") as handle:
+            texts[path] = handle.read()
+    assert check_docs.check_knob_coverage(texts, fields) == []

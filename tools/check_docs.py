@@ -12,6 +12,11 @@ projects' docs:
    ``MiniSQLConfig.<field>`` mention in the docs must name a real field
    of the dataclass in code, so a renamed or removed knob cannot survive
    in prose.
+3. **Undocumented config knobs** (the converse) — every field of
+   ``MiniKVConfig`` / ``MiniSQLConfig`` must be mentioned (as
+   ``ConfigClass.field``) somewhere in the checked docs, so a newly
+   added knob cannot ship silently undocumented.  The knob tables in
+   ``docs/architecture.md`` are the natural home.
 
 Checked files: ``README.md``, ``ROADMAP.md``, and every ``*.md`` under
 ``docs/``.  Exits non-zero with a report when anything is broken.  Run
@@ -100,6 +105,28 @@ def check_knobs(path: str, text: str, fields: dict[str, set[str]]) -> list[str]:
     return problems
 
 
+def check_knob_coverage(texts: dict[str, str], fields: dict[str, set[str]]) -> list[str]:
+    """Every config field must be documented somewhere across ``texts``.
+
+    ``texts`` maps doc path -> content; mentions are counted across the
+    whole doc set, so a knob documented in any checked file (typically a
+    knob table) satisfies coverage.  Returns one problem per field of
+    ``fields`` that no doc mentions as ``ConfigClass.field``.
+    """
+    mentioned: dict[str, set[str]] = {config: set() for config in fields}
+    for text in texts.values():
+        for match in _KNOB_RE.finditer(text):
+            mentioned[match.group(1)].add(match.group(2))
+    problems = []
+    for config in sorted(fields):
+        for field in sorted(fields[config] - mentioned[config]):
+            problems.append(
+                f"{config}.{field} exists in code but is documented "
+                "nowhere: add it to a knob table (docs/architecture.md)"
+            )
+    return problems
+
+
 def main() -> int:
     fields = _config_fields()
     paths = _doc_paths()
@@ -107,17 +134,23 @@ def main() -> int:
         print("check_docs: no documentation files found", file=sys.stderr)
         return 2
     problems: list[str] = []
+    texts: dict[str, str] = {}
     for path in paths:
         with open(path, encoding="utf-8") as handle:
-            text = handle.read()
+            texts[path] = handle.read()
+    for path, text in texts.items():
         problems.extend(check_links(path, text))
         problems.extend(check_knobs(path, text, fields))
+    problems.extend(check_knob_coverage(texts, fields))
     if problems:
         print(f"check_docs: {len(problems)} problem(s):", file=sys.stderr)
         for problem in problems:
             print(f"  {problem}", file=sys.stderr)
         return 1
-    print(f"check_docs: OK ({len(paths)} files, links + knobs consistent)")
+    print(
+        f"check_docs: OK ({len(paths)} files; links resolve, documented "
+        "knobs exist, every config field is documented)"
+    )
     return 0
 
 
