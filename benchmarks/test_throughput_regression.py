@@ -34,6 +34,14 @@ Asserted floors:
   bound (sharded throughput stays within a small constant of the
   in-process engine).  The measured ratio and the tier that was
   asserted are both recorded in the JSON.
+* **minisql sharding** (PR 5 tentpole): the SQL twin of the minikv
+  floor — 4 minisql shard worker processes vs the in-process
+  ``Database`` facade on the same full-GDPR YCSB-C stream at 8 threads,
+  same batch size on both sides, same CPU tiers.  Under the full
+  feature set every statement pays index maintenance, audit logging
+  with response payloads, and at-rest cipher work inside the engine,
+  which is exactly the work primary-key sharding spreads across worker
+  processes.
 
 Profiles: ``REPRO_BENCH_PROFILE=smoke`` shrinks the grid for the CI
 pull-request gate (the floors are still asserted); the default ``full``
@@ -68,6 +76,7 @@ ENGINE_CONFIGS = (
     ("postgres-global-lock", "postgres", {"locking": "global"}, 1),
     ("postgres-rw-batched", "postgres", {"locking": "table-rw"}, 128),
     ("postgres-mvcc", "postgres", {"locking": "mvcc"}, 128),
+    ("postgres-sharded-4", "postgres", {"shards": 4}, 128),
 )
 
 FEATURE_SETS = (
@@ -128,6 +137,15 @@ SHARD_PAIR = (
      _CONFIG_BY_LABEL["redis-sharded-4"][2]),
     _CONFIG_BY_LABEL["redis-sharded-4"],
     OPERATIONS,
+)
+
+#: the SQL sharding pair (PR 5 tentpole): 4 minisql worker processes vs
+#: the in-process Database facade at the same batch size, measured on
+#: the full-GDPR feature set — the direct twin of SHARD_PAIR.
+SQL_SHARD_PAIR = (
+    ("postgres", {"shards": 1}, _CONFIG_BY_LABEL["postgres-sharded-4"][2]),
+    _CONFIG_BY_LABEL["postgres-sharded-4"],
+    SQL_OPERATIONS,
 )
 
 #: CPU-tiered shard floor, shared with fig10s (repro.experiments.scale
@@ -278,6 +296,9 @@ def test_throughput_regression_grid(benchmark):
     shard_speedup, shard_single, shard_four = _floor_speedup(
         SHARD_PAIR, floor=SHARD_FLOOR_MIN, features_factory=FeatureSet.full
     )
+    sql_shard_speedup, sql_shard_single, sql_shard_four = _floor_speedup(
+        SQL_SHARD_PAIR, floor=SHARD_FLOOR_MIN, features_factory=FeatureSet.full
+    )
     mvcc_parity = _mvcc_read_parity()
     mixed_rw, mixed_mvcc = _mixed_purge_throughputs(ASSERT_SAMPLES)
     if mixed_mvcc / mixed_rw < 2.0:  # same noise escalation as the floors
@@ -298,6 +319,7 @@ def test_throughput_regression_grid(benchmark):
         "asserted_mvcc_read_parity_at_8_threads": round(mvcc_parity, 2),
         "asserted_mvcc_purge_speedup_at_8_threads": round(mixed_speedup, 2),
         "asserted_shard_speedup_at_8_threads": round(shard_speedup, 2),
+        "asserted_sql_shard_speedup_at_8_threads": round(sql_shard_speedup, 2),
         "shard_floor_asserted_min": SHARD_FLOOR_MIN,
         "shard_floor_usable_cores": SHARD_FLOOR_CORES,
         "results": results,
@@ -336,6 +358,13 @@ def test_throughput_regression_grid(benchmark):
         f"{SHARD_FLOOR_CORES} usable core(s) the PR 4 tentpole requires "
         f">= {SHARD_FLOOR_MIN}x (2x on the 4-core CI runners)"
     )
+    assert sql_shard_speedup >= SHARD_FLOOR_MIN, (
+        f"4-shard minisql at 8 threads (full-GDPR features) is only "
+        f"{sql_shard_speedup:.2f}x the in-process Database facade "
+        f"({sql_shard_four:.0f} vs {sql_shard_single:.0f} ops/s); with "
+        f"{SHARD_FLOOR_CORES} usable core(s) the PR 5 tentpole requires "
+        f">= {SHARD_FLOOR_MIN}x (2x on the 4-core CI runners)"
+    )
 
 
 def test_sharded_aof_replay_identity(tmp_path):
@@ -364,6 +393,37 @@ def test_sharded_aof_replay_identity(tmp_path):
         }
     assert rebuilt == expected
     assert len(rebuilt) == 398
+
+
+def test_sharded_wal_replay_identity(tmp_path):
+    """Per-shard WALs must replay independently into the same union store."""
+    from repro.minisql import MiniSQLConfig, ShardedDatabase
+    from repro.minisql.expr import Cmp
+    from repro.minisql.schema import Column
+    from repro.minisql.types import TEXT
+
+    config = MiniSQLConfig(
+        shards=4, wal_path=str(tmp_path / "sharded_wal.bin"),
+        fsync="always", wal_batch_size=32,
+    )
+    columns = [Column("key", TEXT, nullable=False), Column("val", TEXT)]
+    with ShardedDatabase(config) as db:
+        db.create_table("t", columns, primary_key="key")
+        pipe = db.pipeline()
+        for i in range(400):
+            pipe.insert("t", {"key": f"k{i}", "val": f"v{i}"})
+        pipe.execute()
+        db.delete("t", Cmp("key", "=", "k0"))
+        db.update("t", {"val": "patched"}, Cmp("key", "=", "k1"))
+        expected = sorted(
+            (row["key"], row["val"]) for row in db.select("t")
+        )
+    with ShardedDatabase(config) as replayed:
+        rebuilt = sorted(
+            (row["key"], row["val"]) for row in replayed.select("t")
+        )
+    assert rebuilt == expected
+    assert len(rebuilt) == 399
 
 
 def test_group_commit_aof_replay_identity(tmp_path):

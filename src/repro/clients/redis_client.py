@@ -52,7 +52,7 @@ from repro.gdpr.acl import Principal
 from repro.gdpr.audit import AuditEvent, events_from_aof
 from repro.gdpr.record import PersonalRecord, format_ttl, parse_ttl
 from repro.minikv.engine import MiniKV, MiniKVConfig
-from repro.minikv.sharded import ShardedMiniKV, open_minikv
+from repro.minikv.sharded import ShardedMiniKV, open_minikv, shard_aof_path
 
 from .base import FeatureSet, GDPRClient, GDPRPipeline, normalise_attribute
 
@@ -958,6 +958,28 @@ class RedisGDPRClient(GDPRClient):
                 events.extend(events_from_aof(path, limit=share, cipher=cipher))
             return events
         return events_from_aof(self._aof_path, limit=limit, cipher=cipher)
+
+    def rewrite_aof(self, archive_path: str | None = None) -> tuple[int, int]:
+        """Compact the engine AOF(s); returns summed ``(old, new)`` sizes.
+
+        With monitoring on the AOF doubles as the G 30 audit trail, so the
+        engine refuses to compact without ``archive_path`` — the archival
+        path is shard-aware: on the in-process engine the history lands at
+        ``archive_path`` itself, on a sharded deployment each worker
+        archives its own trail at ``<archive_path>.shard<i>`` (readable
+        with the same :func:`~repro.gdpr.audit.events_from_aof` tooling as
+        the live per-shard files).
+        """
+        return self.engine.rewrite_aof(archive_path)
+
+    def audit_archive_paths(self, archive_path: str) -> list[str]:
+        """Where :meth:`rewrite_aof` lands the audit history for this
+        deployment: the path itself in-process, one ``.shard<i>`` file
+        per worker when sharded."""
+        if isinstance(self.engine, ShardedMiniKV):
+            return [shard_aof_path(archive_path, index)
+                    for index in range(self.engine.shard_count)]
+        return [archive_path]
 
     def _record_exists(self, key: str) -> bool:
         return self.engine.exists(_REC_PREFIX + key)

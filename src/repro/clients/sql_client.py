@@ -44,7 +44,9 @@ from repro.crypto.tls import LoopbackSecureLink
 from repro.gdpr.acl import Principal
 from repro.gdpr.audit import AuditEvent, events_from_csvlog, split_csv_line
 from repro.gdpr.record import PersonalRecord
+from repro.minisql.csvlog import CSVLogger
 from repro.minisql.database import Database, MiniSQLConfig
+from repro.minisql.sharded import ShardedDatabase, open_database
 from repro.minisql.expr import Cmp, Contains, Expr, Not
 from repro.minisql.schema import Column
 from repro.minisql.types import FLOAT, TEXT, TEXT_LIST, TIMESTAMP
@@ -98,23 +100,43 @@ class SQLClientPipeline(GDPRPipeline):
         super().__init__()
         self._client = client
 
-    def _run_op(self, runner, kind: str, key: str, payload):
-        """One queued operation against ``runner`` (txn or snapshot reader)."""
+    def _issue_ycsb(self, target, kind: str, key: str, payload):
+        """Issue one YCSB point op's statement against ``target``.
+
+        ``target`` is anything with the shared statement surface — a
+        transaction / snapshot reader (executes immediately) or a
+        :class:`~repro.minisql.sharded.ShardedSQLPipeline` (queues) —
+        so the in-process and scatter/gather paths cannot drift in how
+        they build the statements (projection, key predicate, TTL
+        expiry stamping).
+        """
         client = self._client
         if kind == "read":
-            rows = runner.select_point(
+            return target.select_point(
                 YCSB_TABLE, "key", key,
                 columns=list(payload) if payload is not None else None,
             )
-            return rows[0] if rows else None
         if kind == "update":
-            return runner.update(YCSB_TABLE, payload, Cmp("key", "=", key))
-        if kind == "insert":
-            row = {"key": key, **payload}
-            if client.features.timely_deletion:
-                row["expiry"] = client.clock.now() + client.YCSB_TTL_SECONDS
-            runner.insert(YCSB_TABLE, row)
-            return None
+            return target.update(YCSB_TABLE, payload, Cmp("key", "=", key))
+        row = {"key": key, **payload}  # insert
+        if client.features.timely_deletion:
+            row["expiry"] = client.clock.now() + client.YCSB_TTL_SECONDS
+        return target.insert(YCSB_TABLE, row)
+
+    @staticmethod
+    def _shape_ycsb(kind: str, result):
+        """An executed YCSB statement's raw result -> the op's response."""
+        if kind == "read":
+            return result[0] if result else None
+        if kind == "update":
+            return result
+        return None  # insert
+
+    def _run_op(self, runner, kind: str, key: str, payload):
+        """One queued operation against ``runner`` (txn or snapshot reader)."""
+        client = self._client
+        if kind in _YCSB_KINDS:
+            return self._shape_ycsb(kind, self._issue_ycsb(runner, kind, key, payload))
         if kind == "delete-record-by-ttl":
             return client._do_delete_record_by_ttl(runner, payload)
         if kind.startswith("update-metadata-by-"):
@@ -135,6 +157,20 @@ class SQLClientPipeline(GDPRPipeline):
             client._ensure_ycsb_table()
         # One request round-trip carries the whole batch.
         client._wire([(kind, key) for kind, key, _ in ops])
+        if isinstance(client.db, ShardedDatabase):
+            responses, errors = self._drain_sharded(ops)
+        else:
+            responses, errors = self._drain_transactional(ops, kinds)
+        # ...and one response round-trip carries every result back.
+        client._wire(responses)
+        if errors:
+            raise errors[0]
+        return responses
+
+    def _drain_transactional(self, ops, kinds) -> tuple[list, list[Exception]]:
+        """In-process engine: the whole batch inside one transaction (or,
+        for a pure-read batch under MVCC, one lock-free snapshot)."""
+        client = self._client
         read_tables: set[str] = set()
         write_tables: set[str] = set()
         for kind in kinds:
@@ -163,11 +199,55 @@ class SQLClientPipeline(GDPRPipeline):
                 read=read_tables - write_tables, write=write_tables
             ) as txn:
                 drain(txn)
-        # ...and one response round-trip carries every result back.
-        client._wire(responses)
-        if errors:
-            raise errors[0]
-        return responses
+        return responses, errors
+
+    def _drain_sharded(self, ops) -> tuple[list, list[Exception]]:
+        """Sharded engine: scatter/gather sub-batches, one txn per shard.
+
+        Runs of YCSB point operations queue onto a
+        :class:`~repro.minisql.sharded.ShardedSQLPipeline`: the run splits
+        into one statement sub-batch per involved shard, each sub-batch
+        executes **inside one transaction on its worker** (per-shard
+        transactional atomicity — the sharded analogue of the one-engine-
+        transaction batch), and the workers run in parallel under their
+        own GILs.  Multi-record GDPR operations flush the pending run and
+        execute against the front facade, whose statements fan out
+        internally; there is no cross-shard barrier between sub-batches
+        (docs/sharding.md).
+        """
+        client = self._client
+        responses: list = [None] * len(ops)
+        errors: list[Exception] = []
+        buffered: list = []  # (slot, kind, key, payload) point-op run
+        for slot, (kind, key, payload) in enumerate(ops):
+            if kind in _YCSB_KINDS:
+                buffered.append((slot, kind, key, payload))
+                continue
+            self._flush_sharded(buffered, responses, errors)
+            try:
+                responses[slot] = self._run_op(client.db, kind, key, payload)
+            except Exception as exc:
+                responses[slot] = exc
+                errors.append(exc)
+        self._flush_sharded(buffered, responses, errors)
+        return responses, errors
+
+    def _flush_sharded(self, buffered: list, responses: list,
+                       errors: list[Exception]) -> None:
+        """Run buffered point ops as one scatter/gather statement batch."""
+        if not buffered:
+            return
+        pipe = self._client.db.pipeline()
+        for _slot, kind, key, payload in buffered:
+            self._issue_ycsb(pipe, kind, key, payload)
+        raw = pipe.execute(raise_on_error=False)
+        for (slot, kind, _key, _payload), result in zip(buffered, raw):
+            if isinstance(result, Exception):
+                responses[slot] = result
+                errors.append(result)
+            else:
+                responses[slot] = self._shape_ycsb(kind, result)
+        buffered.clear()
 
 
 class SQLGDPRClient(GDPRClient):
@@ -183,6 +263,7 @@ class SQLGDPRClient(GDPRClient):
         locking: str = "table-rw",
         wal_batch_size: int = 1,
         durable: bool = False,
+        shards: int = 1,
     ) -> None:
         super().__init__(features or FeatureSet.none())
         self.clock = clock or SystemClock()
@@ -192,7 +273,14 @@ class SQLGDPRClient(GDPRClient):
         if self.features.monitoring:
             csvlog_path = os.path.join(self._data_dir, "postgresql.csv")
         wal_path = os.path.join(self._data_dir, "pg_wal.bin") if durable else None
-        self.db = Database(
+        # shards=1 -> the paper's in-process facade on the client clock
+        # (byte-identical to the seed construction path); shards>1 -> the
+        # multi-process router of docs/sharding.md, whose statement
+        # surface is identical, so everything below routes transparently.
+        # The factory rejects a custom clock when sharded (workers keep
+        # their own system clocks), so the sharded branch forwards the
+        # caller's clock argument, not the resolved default.
+        self.db: Database | ShardedDatabase = open_database(
             MiniSQLConfig(
                 encryption_at_rest=self.features.encryption,
                 wal_path=wal_path,
@@ -200,9 +288,23 @@ class SQLGDPRClient(GDPRClient):
                 log_statements=self.features.monitoring,
                 locking=locking,
                 wal_batch_size=wal_batch_size,
+                shards=shards,
             ),
-            clock=self.clock,
+            clock=self.clock if shards <= 1 else clock,
         )
+        #: front-side readers over the per-shard audit logs (the workers
+        #: write them; get_system_logs parses them with the shared cipher)
+        self._shard_csvlogs: list[CSVLogger] = []
+        if isinstance(self.db, ShardedDatabase) and self.features.monitoring:
+            self._shard_csvlogs = [
+                CSVLogger(
+                    path,
+                    log_reads=self.features.monitoring,
+                    clock=self.clock,
+                    cipher=self.db._file_cipher,
+                )
+                for path in self.db.csvlog_paths
+            ]
         self._link = LoopbackSecureLink(enabled=self.features.encryption)
         self._create_records_table()
         self._ycsb_ready = False
@@ -503,31 +605,64 @@ class SQLGDPRClient(GDPRClient):
     # GET-SYSTEM
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _events_from_lines(lines: list[str]) -> list[AuditEvent]:
+        events = []
+        for line in lines:
+            parts = split_csv_line(line)
+            if len(parts) != 5:
+                continue
+            try:
+                events.append(
+                    AuditEvent(
+                        timestamp=float(parts[0]),
+                        operation=parts[1],
+                        target=parts[2],
+                        detail=parts[3],
+                        rows=int(parts[4]),
+                    )
+                )
+            except ValueError:
+                continue
+        return events
+
     def get_system_logs(self, principal: Principal, start: float | None = None,
                         end: float | None = None, limit: int = 100) -> list[AuditEvent]:
         self.acl.check_operation(principal, "get-system-logs")
+        if isinstance(self.db, ShardedDatabase):
+            if not self._shard_csvlogs:
+                return []
+            # The audit trail is per-shard (one csvlog per worker); flush
+            # every worker's buffer, then read front-side.
+            self.db.flush_csvlog()
+            if start is None and end is None:
+                # Fast path: recent-activity probe.  Split the limit
+                # exactly — every shard contributes its share of
+                # most-recent events (the first ``limit % shards`` shards
+                # take the remainder), concatenated in shard order, the
+                # same rule the Redis client uses for per-shard AOFs.
+                logs = self._shard_csvlogs
+                events: list[AuditEvent] = []
+                for index, logger in enumerate(logs):
+                    share = limit
+                    if limit:
+                        share = limit // len(logs) + (1 if index < limit % len(logs) else 0)
+                        if share == 0:
+                            continue
+                    events.extend(self._events_from_lines(logger.tail(share)))
+                return events
+            # Time-ranged investigation: csvlog lines carry timestamps,
+            # so the per-shard trails merge into one global order.
+            events = []
+            for logger in self._shard_csvlogs:
+                events.extend(events_from_csvlog(logger, start, end))
+            events.sort(key=lambda event: event.timestamp)
+            return events[-limit:]
         if self.db.csvlog is None:
             return []
         if start is None and end is None:
             # Fast path: recent-activity probe, bounded tail read.
-            events = []
-            for line in self.db.csvlog.tail(limit):
-                parts = split_csv_line(line)
-                if len(parts) != 5:
-                    continue
-                try:
-                    events.append(
-                        AuditEvent(
-                            timestamp=float(parts[0]),
-                            operation=parts[1],
-                            target=parts[2],
-                            detail=parts[3],
-                            rows=int(parts[4]),
-                        )
-                    )
-                except ValueError:
-                    continue
-            return events
+            return self._events_from_lines(self.db.csvlog.tail(limit))
         events = events_from_csvlog(self.db.csvlog, start, end)
         return events[-limit:]
 
@@ -625,6 +760,8 @@ class SQLGDPRClient(GDPRClient):
         return self.db.count(RECORDS_TABLE)
 
     def close(self) -> None:
+        for logger in self._shard_csvlogs:
+            logger.close()
         self.db.close()
         if self._owns_dir:
             shutil.rmtree(self._data_dir, ignore_errors=True)

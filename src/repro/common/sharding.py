@@ -1,0 +1,337 @@
+"""Shared multi-process shard plumbing: worker loop + front-side router.
+
+Both engines escape the GIL the same way — hash-partition the store
+across worker processes, each running a full in-process engine, behind a
+front that routes commands and scatter/gathers batches.  minikv grew the
+machinery first (PR 4); this module is that machinery hoisted so the
+sharded minisql deployment is the *same* implementation with an engine
+plugged in, not a parallel copy:
+
+* :func:`serve_shard` — the worker side: the strictly one-reply-per-
+  message protocol loop.  Messages are ``("call", method, args, kwargs)``
+  (one engine command), ``("batch", [(method, args, kwargs), ...])``
+  (executed by the engine-specific ``run_batch`` hook: an engine pipeline
+  for minikv, one transaction for minisql), and ``("stop",)`` (flush +
+  close + exit).  A worker never sends unsolicited data, so the front can
+  always resynchronise by counting replies.
+* :class:`ShardRouter` — the front side: worker lifecycle (start,
+  crash-respawn-replay-retry, graceful :meth:`~ShardRouter.restart_shard`
+  bounce, :meth:`~ShardRouter.close`), per-shard pipe locks (one
+  outstanding exchange per shard), and the deadlock-free scatter/gather
+  (:meth:`~ShardRouter._scatter`: locks in ascending shard order, all
+  sends before the first receive, every send matched with exactly one
+  receive even when replies are errors).
+
+Engine modules subclass :class:`ShardRouter` with their command surface,
+set :attr:`~ShardRouter.worker_target` to a module-level worker function
+(so it pickles under the ``spawn`` start method), and derive their
+engine-flavoured :class:`ShardConnectionError` subclass.  Durability is
+per shard by construction: each worker's persistence file lives at
+:func:`shard_path` (``<base>.shard<i>``) and replays before serving.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+from .errors import ReproError
+
+
+class ShardConnectionError(ReproError):
+    """A shard worker could not be reached even after a respawn.
+
+    Engine modules subclass this next to their own error family (e.g.
+    ``KVError``) so callers can catch either hierarchy.
+    """
+
+
+def shard_path(base_path: str, index: int) -> str:
+    """Per-shard persistence file derived from the deployment's base path."""
+    return f"{base_path}.shard{index}"
+
+
+def serve_shard(conn, engine, run_batch, error_factory) -> None:
+    """One shard worker's serve loop: strictly one reply per message.
+
+    ``engine`` is the already-constructed in-process engine (its
+    constructor replayed this shard's persistence file); ``run_batch``
+    maps a ``("batch", calls)`` message to a per-slot result list with
+    failures captured per slot; ``error_factory`` builds the engine
+    family's exception for a reply that cannot cross the pipe.
+    """
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return  # front vanished; engine.close() still runs below
+            kind = message[0]
+            if kind == "stop":
+                engine.close()
+                conn.send(("ok", None))
+                return
+            try:
+                if kind == "call":
+                    _, method, args, kwargs = message
+                    reply = ("ok", getattr(engine, method)(*args, **kwargs))
+                else:  # "batch"
+                    reply = ("ok", run_batch(engine, message[1]))
+            except Exception as exc:
+                reply = ("err", exc)
+            try:
+                conn.send(reply)
+            except Exception:
+                # unpicklable result/exception: degrade, never desync
+                conn.send(("err", error_factory(
+                    f"unserialisable reply: {reply!r:.200}"
+                )))
+    finally:
+        engine.close()
+        conn.close()
+
+
+class Shard:
+    """Front-side handle for one worker: process + duplex pipe + lock.
+
+    The lock serialises request/response exchanges on the pipe — one
+    outstanding message per shard — so concurrent client threads
+    interleave at message granularity, exactly like stripe locks.
+    """
+
+    __slots__ = ("index", "config", "process", "conn", "lock")
+
+    def __init__(self, index: int, config) -> None:
+        self.index = index
+        self.config = config
+        self.process = None
+        self.conn = None
+        self.lock = threading.Lock()
+
+
+class ShardRouter:
+    """Worker lifecycle + routing transport shared by both shard fronts.
+
+    Subclasses provide :attr:`worker_target` (a module-level function
+    taking ``(conn, config)``), :attr:`worker_name` (process-name prefix,
+    so leak checks can find strays), :attr:`error_class` (their
+    :class:`ShardConnectionError` subclass), and the per-shard configs.
+    The router is thread-safe: each shard pipe carries one exchange at a
+    time, and fan-outs acquire shard locks in ascending index order — the
+    same deadlock-free discipline the in-process stripe locks use.
+    """
+
+    #: module-level worker function, ``staticmethod`` in the subclass
+    worker_target = None
+    #: process-name prefix: workers are named ``<worker_name>-<index>``
+    worker_name = "shard"
+    #: the engine-flavoured :class:`ShardConnectionError` subclass
+    error_class = ShardConnectionError
+
+    def __init__(self, shard_configs, start_method: str | None = None) -> None:
+        if start_method is None:
+            # fork starts workers in milliseconds and is available on the
+            # platforms we target; spawn is the portable fallback
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._nshards = len(shard_configs)
+        self._closed = False
+        self._shards = [
+            Shard(index, config) for index, config in enumerate(shard_configs)
+        ]
+        for shard in self._shards:
+            self._start(shard)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _start(self, shard: Shard) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=type(self).worker_target,
+            args=(child_conn, shard.config),
+            name=f"{self.worker_name}-{shard.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only its end: worker death -> EOF
+        shard.process = process
+        shard.conn = parent_conn
+
+    def _respawn(self, shard: Shard) -> None:
+        """Replace a dead worker; the replacement replays its shard's log."""
+        if self._closed:
+            # Never resurrect workers after close(): the deployment's
+            # data directory may already be gone, and a silently
+            # respawned empty shard would answer wrongly instead of
+            # failing loudly.
+            raise self.error_class("sharded engine is closed")
+        try:
+            shard.conn.close()
+        except OSError:
+            pass
+        if shard.process.is_alive():
+            shard.process.terminate()
+        shard.process.join(timeout=5)
+        self._start(shard)
+
+    def restart_shard(self, index: int) -> None:
+        """Deliberately bounce one worker (stop + respawn + log replay).
+
+        Unlike crash recovery, a deliberate bounce asks the worker to
+        stop gracefully first, so it flushes its persistence buffer —
+        under an ``everysec`` flush policy a hard kill here would
+        silently drop acknowledged writes still sitting in the buffer.
+        """
+        shard = self._shards[index]
+        with shard.lock:
+            try:
+                shard.conn.send(("stop",))
+                shard.conn.recv()
+            except (EOFError, OSError):
+                pass  # already dead: fall through to the crash path
+            self._respawn(shard)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _exchange(self, shard: Shard, message: tuple) -> tuple:
+        """One send+receive on ``shard``'s pipe (caller holds its lock).
+
+        Raises ``EOFError``/``OSError`` on transport failure — the
+        caller decides the recovery policy.
+        """
+        if self._closed:
+            raise self.error_class("sharded engine is closed")
+        shard.conn.send(message)
+        return shard.conn.recv()
+
+    def _exchange_after_respawn(self, shard: Shard, message: tuple) -> tuple:
+        """Crash recovery: respawn (log replay) + one retried exchange.
+
+        The retry makes commands at-least-once across a worker crash;
+        a second transport failure is surfaced as an ``("err", ...)``
+        reply for the caller to raise.
+        """
+        self._respawn(shard)
+        try:
+            return self._exchange(shard, message)
+        except (EOFError, OSError):
+            return ("err", self.error_class(
+                f"shard {shard.index} worker died again on the retried "
+                f"{message[0]!r}"
+            ))
+
+    def _request(self, shard: Shard, message: tuple):
+        """One exchange with crash recovery (caller holds ``shard.lock``)."""
+        try:
+            status, payload = self._exchange(shard, message)
+        except (EOFError, OSError):
+            status, payload = self._exchange_after_respawn(shard, message)
+        if status == "err":
+            raise payload
+        return payload
+
+    def _call(self, index: int, method: str, *args, **kwargs):
+        """One engine command on one shard (lock held for the exchange)."""
+        shard = self._shards[index]
+        with shard.lock:
+            return self._request(shard, ("call", method, args, kwargs))
+
+    def _scatter(self, requests: list[tuple[int, tuple]]) -> dict[int, object]:
+        """Send one message per shard, gather every reply; parallel workers.
+
+        Locks are taken in ascending shard order (deadlock-free); all
+        sends complete before the first receive, so the involved workers
+        execute concurrently.  Every send is matched with exactly one
+        receive even when a reply is an error — the pipes stay in sync —
+        and the first error is raised after the gather completes.
+        """
+        if self._closed:
+            raise self.error_class("sharded engine is closed")
+        requests = sorted(requests)
+        shards = [self._shards[index] for index, _ in requests]
+        for shard in shards:
+            shard.lock.acquire()
+        try:
+            sent: list[tuple[int, Shard, tuple]] = []
+            gathered: dict[int, object] = {}
+            first_error: Exception | None = None
+            for (index, message), shard in zip(requests, shards):
+                try:
+                    shard.conn.send(message)
+                except (EOFError, OSError):
+                    try:
+                        self._respawn(shard)
+                        shard.conn.send(message)
+                    except (EOFError, OSError):
+                        # keep going: shards already sent to are still
+                        # owed exactly one reply each, and must get
+                        # their receive before anything raises
+                        first_error = first_error or self.error_class(
+                            f"shard {shard.index} worker died again on the "
+                            f"retried {message[0]!r}"
+                        )
+                        continue
+                sent.append((index, shard, message))
+            for index, shard, message in sent:
+                try:
+                    status, payload = shard.conn.recv()
+                except (EOFError, OSError):
+                    status, payload = self._exchange_after_respawn(shard, message)
+                if status == "err":
+                    first_error = first_error or payload
+                else:
+                    gathered[index] = payload
+            if first_error is not None:
+                raise first_error
+            return gathered
+        finally:
+            for shard in reversed(shards):
+                shard.lock.release()
+
+    def _fanout(self, method: str, args: tuple = (),
+                kwargs: dict | None = None) -> dict[int, object]:
+        """Run one command on every shard; per-shard results by index."""
+        return self._scatter([
+            (index, ("call", method, args, kwargs or {}))
+            for index in range(self._nshards)
+        ])
+
+    # ------------------------------------------------------------------
+    # Introspection + lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return self._nshards
+
+    def close(self) -> None:
+        """Stop every worker (each flushes + closes its persistence first)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            with shard.lock:
+                try:
+                    shard.conn.send(("stop",))
+                    shard.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                try:
+                    shard.conn.close()
+                except OSError:
+                    pass
+            shard.process.join(timeout=5)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=5)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

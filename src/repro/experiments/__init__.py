@@ -15,6 +15,7 @@ fig8        Effect of scale, PostgreSQL (muted growth)             ``scale``
 fig8t       SQL thread scaling, global-lock vs rw/mvcc batched     ``scale``
 fig9p       Readers vs TTL purge, rw locking vs MVCC snapshots     ``scale``
 fig10s      Shard scaling, in-process vs multi-process minikv      ``scale``
+fig11q      SQL shard scaling, in-process vs sharded minisql       ``scale``
 ==========  =====================================================  ==============
 """
 
@@ -35,6 +36,7 @@ ALL_EXPERIMENTS = {
     "fig8t": scale.sql_thread_scaling,
     "fig9p": scale.sql_readers_vs_purge,
     "fig10s": scale.redis_shard_scaling,
+    "fig11q": scale.sql_shard_scaling,
 }
 
 __all__ = ["ExperimentResult", "ALL_EXPERIMENTS", "fig3a", "fig3b", "fig4",

@@ -58,6 +58,16 @@ REDIS_SHARD_CONFIGS = (
     ("4-shards", {"shards": 4}, 128),
 )
 
+#: The SQL twin (fig11q): the in-process Database facade vs the
+#: multi-process sharded minisql deployment, same batch size everywhere
+#: so the sweep isolates process parallelism — statement batching is
+#: PR 2's win, already banked.
+SQL_SHARD_CONFIGS = (
+    ("1-shard(in-process)", {"shards": 1}, 128),
+    ("2-shards", {"shards": 2}, 128),
+    ("4-shards", {"shards": 4}, 128),
+)
+
 #: CPU-tiered shard-scaling floor, shared by fig10s and the throughput
 #: regression harness (one definition, no drift): process sharding buys
 #: parallelism, so the asserted minimum depends on the cores available.
@@ -329,31 +339,30 @@ def sql_thread_scaling(
     )
 
 
-def redis_shard_scaling(
-    shard_configs=REDIS_SHARD_CONFIGS,
-    threads: int = 8,
-    record_count: int = 500,
-    operations: int = 2000,
-    seed: int = 42,
-) -> ExperimentResult:
-    """Shard-count sweep (fig10s): the GIL escape, measured.
+def _shard_scaling_sweep(
+    engine: str,
+    shard_configs,
+    threads: int,
+    record_count: int,
+    operations: int,
+    seed: int,
+):
+    """Shared full-GDPR YCSB-C shard sweep; returns (rows, CPU-tiered checks).
 
-    Runs the same YCSB-C stream under the **full-GDPR** feature set —
-    strict TTL scans, read audit logging, at-rest + in-transit
-    encryption — against the in-process engine and against 2- and
+    Runs the same stream against the in-process engine and the 2- and
     4-worker sharded deployments.  With every GDPR retrofit armed the
     per-operation cost is engine-dominated, which is exactly the work
     hash-sharding spreads across worker processes; on a multi-core host
     the sharded points scale with the worker count, while on a single
     core the sweep can only demonstrate that the shard router's IPC tax
     stays bounded (there is no second core to win).  The shape checks
-    are therefore CPU-tiered, mirroring the throughput-regression floor.
+    are therefore CPU-tiered, mirroring the throughput-regression floors.
     """
     rows = []
     throughput: dict[str, float] = {}
     for label, client_kwargs, batch_size in shard_configs:
         config = YCSBSessionConfig(
-            engine="redis",
+            engine=engine,
             features=FeatureSet.full(),
             ycsb=YCSBConfig(
                 record_count=record_count, operation_count=operations,
@@ -386,6 +395,20 @@ def redis_shard_scaling(
          "core can only bound the router's IPC tax)",
          throughput[top] >= floor * throughput[baseline]),
     ]
+    return rows, checks
+
+
+def redis_shard_scaling(
+    shard_configs=REDIS_SHARD_CONFIGS,
+    threads: int = 8,
+    record_count: int = 500,
+    operations: int = 2000,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Shard-count sweep (fig10s): the minikv GIL escape, measured."""
+    rows, checks = _shard_scaling_sweep(
+        "redis", shard_configs, threads, record_count, operations, seed,
+    )
     return ExperimentResult(
         experiment="fig10s",
         title="Shard scaling: in-process minikv vs multi-process sharded workers",
@@ -395,6 +418,42 @@ def redis_shard_scaling(
             "hash-sharding the keyspace across worker processes spreads "
             "strict-TTL scans, audit logging, and cipher work, scaling "
             "throughput with the worker count on multi-core hosts"
+        ),
+        rows=rows,
+        shape_checks=checks,
+    )
+
+
+def sql_shard_scaling(
+    shard_configs=SQL_SHARD_CONFIGS,
+    threads: int = 8,
+    record_count: int = 500,
+    operations: int = 1000,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Shard-count sweep (fig11q): the minisql GIL escape, measured.
+
+    The SQL twin of :func:`redis_shard_scaling`: the same full-GDPR
+    YCSB-C stream against the in-process ``Database`` facade and against
+    2- and 4-worker :class:`~repro.minisql.sharded.ShardedDatabase`
+    deployments.  Under the full feature set every statement pays index
+    maintenance, audit logging with response payloads, and at-rest
+    cipher work inside the engine — the work primary-key sharding
+    spreads across worker processes.
+    """
+    rows, checks = _shard_scaling_sweep(
+        "postgres", shard_configs, threads, record_count, operations, seed,
+    )
+    return ExperimentResult(
+        experiment="fig11q",
+        title="SQL shard scaling: in-process Database vs multi-process sharded workers",
+        paper_expectation=(
+            "Every minisql configuration — MVCC included — executes all "
+            "engine bytecode on one GIL, so GDPR-feature-heavy statements "
+            "cannot scale past one core; hash-partitioning each table's "
+            "rows by primary key across worker processes spreads statement "
+            "execution, audit logging, and cipher work, scaling throughput "
+            "with the worker count on multi-core hosts"
         ),
         rows=rows,
         shape_checks=checks,

@@ -26,6 +26,10 @@ natural seam, promoted to a process boundary:
   the replacement replays its shard's AOF before serving, so recovery is
   per-shard and never stalls the other shards.
 
+The worker loop and the router transport live in
+:mod:`repro.common.sharding` (shared with the sharded minisql front);
+this module supplies the minikv command surface on top.
+
 Consistency contract (details in ``docs/sharding.md``): single-key
 commands keep exactly the engine's per-key linearizability — a key lives
 on one shard and its worker serialises commands — but multi-key and
@@ -44,18 +48,22 @@ write surface; counters such as DELETE's may differ across the retry).
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
-import threading
 import zlib
 
 from repro.common.errors import ConfigurationError, KVError
+from repro.common.sharding import (
+    ShardConnectionError as _BaseShardConnectionError,
+    ShardRouter,
+    serve_shard,
+    shard_path,
+)
 from repro.crypto.luks import FileCipher
 
 from .engine import MiniKV, MiniKVConfig
 
 
-class ShardConnectionError(KVError):
-    """A shard worker could not be reached even after a respawn."""
+class ShardConnectionError(_BaseShardConnectionError, KVError):
+    """A minikv shard worker could not be reached even after a respawn."""
 
 
 #: Engine commands that queue on an engine-side pipeline inside a worker
@@ -82,7 +90,7 @@ _FANOUT_COMMANDS = (
 
 def shard_aof_path(base_path: str, index: int) -> str:
     """Per-shard AOF file derived from the deployment's base path."""
-    return f"{base_path}.shard{index}"
+    return shard_path(base_path, index)
 
 
 def _worker_config(config: MiniKVConfig, index: int) -> MiniKVConfig:
@@ -100,83 +108,31 @@ def _worker_config(config: MiniKVConfig, index: int) -> MiniKVConfig:
     )
 
 
+def _run_engine_batch(engine: MiniKV, calls: list) -> list:
+    """One ``("batch", ...)`` message: an engine pipeline, per-slot errors.
+
+    Queue-phase failures (e.g. an arity error the in-process Pipeline
+    would raise at queue time) are captured per slot, like execution
+    failures: one bad command must not abort the other slots' commands.
+    """
+    pipe = engine.pipeline()
+    queue_errors: dict[int, Exception] = {}
+    for position, (method, args, kwargs) in enumerate(calls):
+        try:
+            getattr(pipe, method)(*args, **kwargs)
+        except Exception as exc:
+            queue_errors[position] = exc
+    executed = iter(pipe.execute(raise_on_error=False))
+    return [
+        queue_errors[position] if position in queue_errors else next(executed)
+        for position in range(len(calls))
+    ]
+
+
 def _worker_main(conn, config: MiniKVConfig) -> None:
-    """One shard worker: replay the shard AOF, then serve the connection.
-
-    The protocol is strictly one reply per received message, so the front
-    can always resynchronise by counting — a worker never sends
-    unsolicited data.  Messages:
-
-    * ``("call", method, args, kwargs)`` — one engine command; replies
-      ``("ok", result)`` or ``("err", exception)``.
-    * ``("batch", [(method, args, kwargs), ...])`` — an engine
-      pipeline: queued and executed under one lock scope / expiry tick
-      / AOF group commit; replies ``("ok", [result-or-exception, ...])``
-      with failures captured per slot (Redis pipeline semantics).
-    * ``("stop",)`` — flush + close the engine, reply, exit.
-    """
+    """One shard worker: replay the shard AOF, then serve the connection."""
     engine = MiniKV(config)  # replays this shard's AOF if one exists
-    try:
-        while True:
-            try:
-                message = conn.recv()
-            except EOFError:
-                return  # front vanished; engine.close() still runs below
-            kind = message[0]
-            if kind == "stop":
-                engine.close()
-                conn.send(("ok", None))
-                return
-            try:
-                if kind == "call":
-                    _, method, args, kwargs = message
-                    reply = ("ok", getattr(engine, method)(*args, **kwargs))
-                else:  # "batch"
-                    # Queue-phase failures (e.g. an arity error the
-                    # in-process Pipeline would raise at queue time) are
-                    # captured per slot, like execution failures: one bad
-                    # command must not abort the other slots' commands.
-                    pipe = engine.pipeline()
-                    queue_errors: dict[int, Exception] = {}
-                    for position, (method, args, kwargs) in enumerate(message[1]):
-                        try:
-                            getattr(pipe, method)(*args, **kwargs)
-                        except Exception as exc:
-                            queue_errors[position] = exc
-                    executed = iter(pipe.execute(raise_on_error=False))
-                    reply = ("ok", [
-                        queue_errors[position] if position in queue_errors
-                        else next(executed)
-                        for position in range(len(message[1]))
-                    ])
-            except Exception as exc:
-                reply = ("err", exc)
-            try:
-                conn.send(reply)
-            except Exception:
-                # unpicklable result/exception: degrade, never desync
-                conn.send(("err", KVError(f"unserialisable reply: {reply!r:.200}")))
-    finally:
-        engine.close()
-        conn.close()
-
-
-class _Shard:
-    """Front-side handle for one worker: process + duplex pipe + lock.
-
-    The lock serialises request/response exchanges on the pipe — one
-    outstanding message per shard — so concurrent client threads
-    interleave at message granularity, exactly like stripe locks.
-    """
-
-    __slots__ = ("index", "config", "process", "conn", "lock")
-
-    def __init__(self, index: int, config: MiniKVConfig) -> None:
-        self.index = index
-        self.config = config
-        self.process = None
-        self.conn = None
-        self.lock = threading.Lock()
+    serve_shard(conn, engine, _run_engine_batch, KVError)
 
 
 class ShardedPipeline:
@@ -264,199 +220,45 @@ class ShardedPipeline:
 
 def _make_keyed_command(method: str):
     def command(self, key, *args, **kwargs):
-        shard = self._shards[self._shard_index(key)]
-        with shard.lock:
-            return self._request(shard, ("call", method, (key, *args), kwargs))
+        return self._call(self._shard_index(key), method, key, *args, **kwargs)
     command.__name__ = method
     command.__qualname__ = f"ShardedMiniKV.{method}"
     command.__doc__ = f"Route ``{method.upper()}`` to its key's shard worker."
     return command
 
 
-class ShardedMiniKV:
+class ShardedMiniKV(ShardRouter):
     """Shard router: the engine command surface over N worker processes.
 
     Construct via :func:`open_minikv` so that ``shards=1`` configurations
-    stay on the in-process engine.  The router is thread-safe: each shard
-    pipe carries one exchange at a time (per-shard lock), and fan-out
-    operations acquire shard locks in ascending index order — the same
-    deadlock-free discipline the striped engine uses.
+    stay on the in-process engine.  Worker lifecycle, crash recovery, and
+    the scatter/gather transport come from
+    :class:`repro.common.sharding.ShardRouter`.
     """
+
+    worker_target = staticmethod(_worker_main)
+    worker_name = "minikv-shard"
+    error_class = ShardConnectionError
 
     def __init__(self, config: MiniKVConfig | None = None,
                  start_method: str | None = None) -> None:
         self.config = config or MiniKVConfig()
         if self.config.shards < 1:
             raise ConfigurationError("shards must be >= 1")
-        if start_method is None:
-            # fork starts workers in milliseconds and is available on the
-            # platforms we target; spawn is the portable fallback
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else "spawn"
-        self._ctx = multiprocessing.get_context(start_method)
         self._file_cipher = FileCipher() if self.config.encryption_at_rest else None
-        self._nshards = self.config.shards
-        self._closed = False
-        self._shards = [
-            _Shard(i, _worker_config(self.config, i)) for i in range(self._nshards)
-        ]
-        for shard in self._shards:
-            self._start(shard)
-
-    # ------------------------------------------------------------------
-    # Worker lifecycle
-    # ------------------------------------------------------------------
-
-    def _start(self, shard: _Shard) -> None:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(child_conn, shard.config),
-            name=f"minikv-shard-{shard.index}",
-            daemon=True,
+        super().__init__(
+            [_worker_config(self.config, i) for i in range(self.config.shards)],
+            start_method=start_method,
         )
-        process.start()
-        child_conn.close()  # parent keeps only its end: worker death -> EOF
-        shard.process = process
-        shard.conn = parent_conn
-
-    def _respawn(self, shard: _Shard) -> None:
-        """Replace a dead worker; the replacement replays its shard AOF."""
-        if self._closed:
-            # Never resurrect workers after close(): the deployment's
-            # data directory may already be gone, and a silently
-            # respawned empty shard would answer wrongly instead of
-            # failing loudly.
-            raise ShardConnectionError("sharded engine is closed")
-        try:
-            shard.conn.close()
-        except OSError:
-            pass
-        if shard.process.is_alive():
-            shard.process.terminate()
-        shard.process.join(timeout=5)
-        self._start(shard)
-
-    def restart_shard(self, index: int) -> None:
-        """Deliberately bounce one worker (stop + respawn + AOF replay).
-
-        Unlike crash recovery, a deliberate bounce asks the worker to
-        stop gracefully first, so it flushes its AOF buffer — under
-        ``fsync='everysec'`` a hard kill here would silently drop
-        acknowledged writes still sitting in the buffer.
-        """
-        shard = self._shards[index]
-        with shard.lock:
-            try:
-                shard.conn.send(("stop",))
-                shard.conn.recv()
-            except (EOFError, OSError):
-                pass  # already dead: fall through to the crash path
-            self._respawn(shard)
 
     # ------------------------------------------------------------------
-    # Routing + transport
+    # Routing
     # ------------------------------------------------------------------
 
     def _shard_index(self, key: str) -> int:
         if self._nshards == 1:
             return 0
         return zlib.crc32(key.encode()) % self._nshards
-
-    def _exchange(self, shard: _Shard, message: tuple) -> tuple:
-        """One send+receive on ``shard``'s pipe (caller holds its lock).
-
-        Raises ``EOFError``/``OSError`` on transport failure — the
-        caller decides the recovery policy.
-        """
-        if self._closed:
-            raise ShardConnectionError("sharded engine is closed")
-        shard.conn.send(message)
-        return shard.conn.recv()
-
-    def _exchange_after_respawn(self, shard: _Shard, message: tuple) -> tuple:
-        """Crash recovery: respawn (AOF replay) + one retried exchange.
-
-        The retry makes commands at-least-once across a worker crash
-        (see the module docstring); a second transport failure is
-        surfaced as an ``("err", ...)`` reply for the caller to raise.
-        """
-        self._respawn(shard)
-        try:
-            return self._exchange(shard, message)
-        except (EOFError, OSError):
-            return ("err", ShardConnectionError(
-                f"shard {shard.index} worker died again on the retried "
-                f"{message[0]!r}"
-            ))
-
-    def _request(self, shard: _Shard, message: tuple):
-        """One exchange with crash recovery (caller holds ``shard.lock``)."""
-        try:
-            status, payload = self._exchange(shard, message)
-        except (EOFError, OSError):
-            status, payload = self._exchange_after_respawn(shard, message)
-        if status == "err":
-            raise payload
-        return payload
-
-    def _scatter(self, requests: list[tuple[int, tuple]]) -> dict[int, object]:
-        """Send one message per shard, gather every reply; parallel workers.
-
-        Locks are taken in ascending shard order (deadlock-free); all
-        sends complete before the first receive, so the involved workers
-        execute concurrently.  Every send is matched with exactly one
-        receive even when a reply is an error — the pipes stay in sync —
-        and the first error is raised after the gather completes.
-        """
-        if self._closed:
-            raise ShardConnectionError("sharded engine is closed")
-        requests = sorted(requests)
-        shards = [self._shards[index] for index, _ in requests]
-        for shard in shards:
-            shard.lock.acquire()
-        try:
-            sent: list[tuple[int, _Shard, tuple]] = []
-            gathered: dict[int, object] = {}
-            first_error: Exception | None = None
-            for (index, message), shard in zip(requests, shards):
-                try:
-                    shard.conn.send(message)
-                except (EOFError, OSError):
-                    try:
-                        self._respawn(shard)
-                        shard.conn.send(message)
-                    except (EOFError, OSError):
-                        # keep going: shards already sent to are still
-                        # owed exactly one reply each, and must get
-                        # their receive before anything raises
-                        first_error = first_error or ShardConnectionError(
-                            f"shard {shard.index} worker died again on the "
-                            f"retried {message[0]!r}"
-                        )
-                        continue
-                sent.append((index, shard, message))
-            for index, shard, message in sent:
-                try:
-                    status, payload = shard.conn.recv()
-                except (EOFError, OSError):
-                    status, payload = self._exchange_after_respawn(shard, message)
-                if status == "err":
-                    first_error = first_error or payload
-                else:
-                    gathered[index] = payload
-            if first_error is not None:
-                raise first_error
-            return gathered
-        finally:
-            for shard in reversed(shards):
-                shard.lock.release()
-
-    def _fanout(self, method: str, args: tuple = ()) -> dict[int, object]:
-        """Run one keyless command on every shard; per-shard results."""
-        return self._scatter([
-            (index, ("call", method, args, {})) for index in range(self._nshards)
-        ])
 
     # ------------------------------------------------------------------
     # Command surface
@@ -499,11 +301,7 @@ class ShardedMiniKV:
         else:
             shard_index = (cursor - 1) % self._nshards
             inner = (cursor - 1) // self._nshards
-        shard = self._shards[shard_index]
-        with shard.lock:
-            inner_next, batch = self._request(
-                shard, ("call", "scan", (inner, match, count), {})
-            )
+        inner_next, batch = self._call(shard_index, "scan", inner, match, count)
         if inner_next != 0:
             return inner_next * self._nshards + shard_index + 1, batch
         if shard_index + 1 < self._nshards:
@@ -546,6 +344,34 @@ class ShardedMiniKV:
         """Flush every shard's AOF (audit readers parse the files)."""
         self._fanout("flush_aof")
 
+    def rewrite_aof(self, archive_path: str | None = None) -> tuple[int, int]:
+        """Compact every shard's AOF; summed ``(old_size, new_size)``.
+
+        The engine's BGREWRITEAOF analogue, fanned out: each worker
+        compacts its own shard file under its own locks, so the rewrites
+        run in parallel and no shard stalls another.  The GDPR archival
+        contract is per shard too: with ``log_reads=True`` the shard AOFs
+        are the audit trail, so each worker refuses to compact without an
+        archive path, and ``archive_path`` lands the full historical logs
+        at ``<archive_path>.shard<i>`` — one archive per shard, readable
+        with the same per-shard tooling as the live trail.
+        """
+        gathered = self._fanout_rewrite(archive_path)
+        per_shard = [gathered[index] for index in sorted(gathered)]
+        return (
+            sum(old for old, _ in per_shard),
+            sum(new for _, new in per_shard),
+        )
+
+    def _fanout_rewrite(self, archive_path: str | None) -> dict[int, object]:
+        return self._scatter([
+            (index, ("call", "rewrite_aof", (
+                shard_path(archive_path, index)
+                if archive_path is not None else None,
+            ), {}))
+            for index in range(self._nshards)
+        ])
+
     def info(self) -> dict:
         """Aggregate INFO across shards (+ ``shards`` and per-shard keys)."""
         gathered = self._fanout("info")
@@ -565,12 +391,8 @@ class ShardedMiniKV:
         return merged
 
     # ------------------------------------------------------------------
-    # Introspection + lifecycle
+    # Introspection
     # ------------------------------------------------------------------
-
-    @property
-    def shard_count(self) -> int:
-        return self._nshards
 
     @property
     def aof_paths(self) -> list[str]:
@@ -579,32 +401,8 @@ class ShardedMiniKV:
             return []
         return [shard_aof_path(self.config.aof_path, i) for i in range(self._nshards)]
 
-    def close(self) -> None:
-        """Stop every worker (each flushes + closes its AOF first)."""
-        if self._closed:
-            return
-        self._closed = True
-        for shard in self._shards:
-            with shard.lock:
-                try:
-                    shard.conn.send(("stop",))
-                    shard.conn.recv()
-                except (EOFError, OSError):
-                    pass
-                try:
-                    shard.conn.close()
-                except OSError:
-                    pass
-            shard.process.join(timeout=5)
-            if shard.process.is_alive():
-                shard.process.terminate()
-                shard.process.join(timeout=5)
-
     def __enter__(self) -> "ShardedMiniKV":
         return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
 
 
 for _method in _KEYED_COMMANDS:

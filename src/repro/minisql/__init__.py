@@ -21,6 +21,13 @@ from .expr import (
 from .heap import HeapTable, RowCodec
 from .planner import Plan, PlanCache, plan_scan
 from .schema import Catalog, Column, IndexInfo, TableSchema
+from .sharded import (
+    ShardedDatabase,
+    ShardedSQLPipeline,
+    SQLShardConnectionError,
+    open_database,
+    shard_store_path,
+)
 from .sql import execute, execute_batch, statement_intent, tokenize
 from .storage import Storage
 from .transaction import LockManager, Transaction
@@ -40,6 +47,11 @@ from .wal import WALWriter, load_wal
 __all__ = [
     "Database",
     "MiniSQLConfig",
+    "ShardedDatabase",
+    "ShardedSQLPipeline",
+    "SQLShardConnectionError",
+    "open_database",
+    "shard_store_path",
     "Storage",
     "Executor",
     "Transaction",

@@ -45,7 +45,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.common.clock import Clock, SystemClock
-from repro.common.errors import CatalogError
+from repro.common.errors import CatalogError, ConfigurationError
 from repro.crypto.luks import FileCipher
 
 from .csvlog import CSVLogger
@@ -103,6 +103,14 @@ class MiniSQLConfig:
     #: the fsync over that many records.  Transactions always commit with
     #: one fsync regardless.
     wal_batch_size: int = 1
+    #: Worker-process count (mirrors ``MiniKVConfig.shards``).  Default
+    #: ``1`` — the in-process engine, the paper's single-node execution
+    #: model, byte-identical to the seed construction path.  ``> 1``
+    #: selects the multi-process sharded deployment (rows partitioned by
+    #: primary key; per-shard WAL/csvlog at ``<path>.shard<i>``) — built
+    #: via :func:`repro.minisql.sharded.open_database`; the in-process
+    #: facade itself rejects ``shards > 1``.
+    shards: int = 1
 
     def gdpr_features(self, has_indices: bool, has_ttl: bool) -> dict[str, bool]:
         return {
@@ -195,6 +203,13 @@ class Database:
 
     def __init__(self, config: MiniSQLConfig | None = None, clock: Clock | None = None) -> None:
         self.config = config or MiniSQLConfig()
+        if self.config.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.config.shards > 1:
+            raise ConfigurationError(
+                "shards > 1 is the multi-process deployment; build it via "
+                "repro.minisql.sharded.open_database"
+            )
         self.clock = clock or SystemClock()
         self._file_cipher = FileCipher() if self.config.encryption_at_rest else None
         self._locks = LockManager(self.config.locking)  # validates the mode

@@ -5,7 +5,9 @@ factories returning :class:`~repro.clients.base.GDPRPipeline`
 implementations.  This suite runs the *same* assertions against both, so
 the contract — queueing placeholders, response ordering and shapes,
 batched/unbatched equivalence, error semantics — cannot drift between
-engines.
+engines.  The sharded deployments run the identical assertions (their
+unbatched twins stay in-process), so scatter/gather batching cannot
+drift from the single-engine contract either.
 """
 
 import pytest
@@ -15,13 +17,20 @@ from repro.clients import FeatureSet, GDPRPipeline, make_client
 from repro.common.errors import GDPRError
 from repro.gdpr.acl import Principal
 
-ENGINES = ("redis", "postgres")
+#: (id, engine, client kwargs) — each runs the whole contract suite
+CONFIGS = (
+    ("redis", "redis", {}),
+    ("postgres", "postgres", {}),
+    ("redis-sharded", "redis", {"shards": 3}),
+    ("postgres-sharded", "postgres", {"shards": 3}),
+)
 N_ROWS = 30
 
 
-@pytest.fixture(params=ENGINES)
+@pytest.fixture(params=CONFIGS, ids=[config[0] for config in CONFIGS])
 def client(request):
-    c = make_client(request.param, FeatureSet.none())
+    _, engine, kwargs = request.param
+    c = make_client(engine, FeatureSet.none(), **kwargs)
     for i in range(N_ROWS):
         c.ycsb_insert(f"user{i:04d}", {"field0": f"v{i}", "field1": "x"})
     yield c

@@ -137,6 +137,49 @@ class TestAuditAndRecovery:
             events = client.get_system_logs(Principal.regulator(), limit=40)
             assert events and len(events) <= 40
 
+    def test_tail_limit_splits_exactly_across_shards(self, tmp_path):
+        """The ``limit % shards`` remainder goes to the first shards, and
+        a share of zero skips the shard entirely — no shard can crowd
+        another out of the merged audit window."""
+        features = FeatureSet(access_control=False, monitoring=True)
+        with make_client("redis", features, data_dir=str(tmp_path),
+                         shards=3) as client:
+            client.load_records(corpus(n=60))  # plenty of entries per shard
+            client.engine.flush_aof()
+            regulator = Principal.regulator()
+            # limit=7 over 3 shards -> shares 3, 2, 2
+            events = client.get_system_logs(regulator, limit=7)
+            assert len(events) == 7
+            # limit=2 over 3 shards -> shares 1, 1, 0: the remainder
+            # branch gives the first two shards one slot each and the
+            # third shard is skipped, not given a rounding slot
+            events = client.get_system_logs(regulator, limit=2)
+            assert len(events) == 2
+
+    def test_sharded_audit_archival_via_client(self, tmp_path):
+        """The client archival path is shard-aware: rewrite_aof lands one
+        archive per worker and the live trail stays queryable."""
+        import os
+
+        from repro.gdpr.audit import events_from_aof
+
+        features = FeatureSet(access_control=False, monitoring=True)
+        with make_client("redis", features, data_dir=str(tmp_path),
+                         shards=2) as client:
+            client.load_records(corpus(n=30))
+            client.read_data_by_key(Principal.controller(), "k00000000")
+            archive = str(tmp_path / "audit.archive")
+            old, new = client.rewrite_aof(archive_path=archive)
+            assert 0 < new <= old
+            paths = client.audit_archive_paths(archive)
+            assert len(paths) == 2
+            assert all(os.path.exists(path) for path in paths)
+            # archived history still parses with the per-shard tooling
+            assert any(events_from_aof(path) for path in paths)
+            # the client keeps serving on the compacted files
+            assert client.record_count() == 30
+            assert client.get_system_logs(Principal.regulator(), limit=10) is not None
+
     def test_worker_crash_mid_workload_recovers(self, tmp_path):
         features = FeatureSet(access_control=False, monitoring=True)
         with make_client("redis", features, data_dir=str(tmp_path),

@@ -1,0 +1,218 @@
+"""SQLGDPRClient over the multi-process sharded engine (shards > 1).
+
+The client must behave identically to the in-process deployment for the
+whole GDPR query surface — typed-column queries, secondary indices,
+pipelined batches, TTL purges, audit logs — with each table's rows
+hash-partitioned by primary key across worker processes and the audit
+trail split into per-shard csvlogs.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.records import RecordCorpusConfig, generate_corpus
+from repro.clients import FeatureSet, make_client
+from repro.common.clock import VirtualClock
+from repro.common.errors import ConfigurationError
+from repro.gdpr.acl import Principal
+from repro.minisql import Database, ShardedDatabase
+
+
+def corpus(n=60, users=6):
+    return generate_corpus(RecordCorpusConfig(record_count=n, user_count=users))
+
+
+@pytest.fixture()
+def client():
+    c = make_client("postgres", FeatureSet(access_control=False), shards=3)
+    yield c
+    c.close()
+
+
+class TestConstruction:
+    def test_one_shard_stays_in_process(self):
+        with make_client("postgres", FeatureSet.none(), shards=1) as c:
+            assert isinstance(c.db, Database)
+
+    def test_many_shards_build_the_router(self):
+        with make_client("postgres", FeatureSet.none(), shards=3) as c:
+            assert isinstance(c.db, ShardedDatabase)
+            assert c.db.shard_count == 3
+
+    def test_custom_clock_rejected_with_shards(self):
+        with pytest.raises(ConfigurationError):
+            make_client("postgres", FeatureSet.none(), shards=2,
+                        clock=VirtualClock())
+
+    def test_metadata_indices_fan_out(self):
+        features = FeatureSet(access_control=False, metadata_indexing=True)
+        with make_client("postgres", features, shards=2) as c:
+            names = {info.name for info in c.db.catalog.indices_for("personal_records")}
+            assert "idx_usr" in names and "idx_expiry" in names
+
+
+class TestQuerySurface:
+    def test_point_and_fanout_queries(self, client):
+        records = corpus()
+        client.load_records(records)
+        anyone = Principal.controller()
+        rec = records[0]
+        assert client.read_data_by_key(anyone, rec.key) == rec.data
+        assert client.read_metadata_by_key(anyone, rec.key)["USR"] == rec.user
+        by_usr = client.read_data_by_usr(anyone, rec.user)
+        expected = sorted(r.key for r in records if r.user == rec.user)
+        assert sorted(k for k, _ in by_usr) == expected
+        assert client.record_count() == len(records)
+
+    def test_negative_and_list_queries_span_shards(self, client):
+        records = corpus()
+        client.load_records(records)
+        anyone = Principal.controller()
+        purpose = records[0].purposes[0]
+        by_pur = {k for k, _ in client.read_data_by_pur(anyone, purpose)}
+        assert by_pur == {r.key for r in records if purpose in r.purposes}
+        objection = next(r.objections[0] for r in records if r.objections)
+        by_obj = {k for k, _ in client.read_data_by_obj(anyone, objection)}
+        assert by_obj == {r.key for r in records if objection not in r.objections}
+
+    def test_update_and_delete_span_shards(self, client):
+        records = corpus()
+        client.load_records(records)
+        anyone = Principal.controller()
+        user = records[0].user
+        expected = sum(1 for r in records if r.user == user)
+        assert client.update_metadata_by_usr(anyone, user, "SRC", "bulk") == expected
+        for _key, metadata in client.read_metadata_by_usr(anyone, user):
+            assert metadata["SRC"] == "bulk"
+        assert client.delete_record_by_usr(anyone, user) == expected
+        assert client.read_data_by_usr(anyone, user) == []
+        assert client.record_count() == len(records) - expected
+
+    def test_delete_record_by_ttl_purges_every_shard(self):
+        import dataclasses
+
+        with make_client("postgres", FeatureSet(access_control=False),
+                         shards=3) as client:
+            records = [dataclasses.replace(r, ttl_seconds=0.05)
+                       for r in corpus(n=30)]
+            client.load_records(records)
+            time.sleep(0.3)
+            deleted = client.delete_record_by_ttl(Principal.controller())
+            assert deleted == 30
+            assert client.record_count() == 0
+
+    def test_pipeline_batches_across_shards(self, client):
+        records = corpus()
+        client.load_records(records)
+        anyone = Principal.controller()
+        pipe = client.pipeline()
+        pipe.read_data_by_key(anyone, records[0].key)
+        pipe.read_metadata_by_usr(anyone, records[1].user)
+        pipe.update_metadata_by_key(anyone, records[2].key, "SRC", "piped")
+        pipe.read_data_by_key(anyone, records[3].key)
+        responses = pipe.execute()
+        assert responses[0] == records[0].data
+        assert responses[1]
+        assert responses[2] == 1
+        assert responses[3] == records[3].data
+
+    def test_ycsb_primitives(self, client):
+        client.ycsb_insert("u1", {"field0": "a"})
+        client.ycsb_insert("u2", {"field0": "b"})
+        assert client.ycsb_read("u1", fields=("field0",)) == {"field0": "a"}
+        assert client.ycsb_update("u1", {"field0": "z"}) == 1
+        assert client.ycsb_scan("u1", 10)
+        pipe = client.pipeline()
+        pipe.ycsb_read("u1", fields=("field0",))
+        pipe.ycsb_update("u2", {"field0": "y"})
+        pipe.ycsb_insert("u3", {"field0": "c"})
+        assert pipe.execute() == [{"field0": "z"}, 1, None]
+
+    def test_pipeline_interleaves_point_runs_and_multi_ops(self, client):
+        """A batch mixing YCSB point runs with multi-record GDPR ops must
+        flush the pending run before each multi op (ordering preserved)."""
+        records = corpus(n=20)
+        client.load_records(records)
+        anyone = Principal.controller()
+        client.ycsb_insert("u1", {"field0": "a"})
+        pipe = client.pipeline()
+        pipe.ycsb_update("u1", {"field0": "b"})
+        pipe.read_data_by_usr(anyone, records[0].user)
+        pipe.ycsb_read("u1", fields=("field0",))
+        responses = pipe.execute()
+        assert responses[0] == 1
+        assert responses[1]
+        assert responses[2] == {"field0": "b"}  # the update flushed first
+
+
+class TestAuditAndRecovery:
+    def test_audit_trail_merges_per_shard_csvlogs(self, tmp_path):
+        features = FeatureSet(access_control=False, monitoring=True)
+        with make_client("postgres", features, data_dir=str(tmp_path),
+                         shards=3) as client:
+            client.load_records(corpus(n=30))
+            client.read_data_by_key(Principal.controller(),
+                                    next(iter(corpus(n=1))).key)
+            assert len(client.db.csvlog_paths) == 3
+            events = client.get_system_logs(Principal.regulator(), limit=40)
+            assert events and len(events) <= 40
+
+    def test_tail_limit_splits_exactly_across_shards(self, tmp_path):
+        """The ``limit % shards`` remainder goes to the first shards, and
+        a share of zero skips the shard entirely."""
+        features = FeatureSet(access_control=False, monitoring=True)
+        with make_client("postgres", features, data_dir=str(tmp_path),
+                         shards=3) as client:
+            client.load_records(corpus(n=60))  # plenty of lines per shard
+            regulator = Principal.regulator()
+            # limit=7 over 3 shards -> shares 3, 2, 2
+            events = client.get_system_logs(regulator, limit=7)
+            assert len(events) == 7
+            # limit=2 over 3 shards -> shares 1, 1, 0: shard 2 contributes
+            # nothing rather than stealing another shard's slot
+            events = client.get_system_logs(regulator, limit=2)
+            assert len(events) == 2
+
+    def test_time_ranged_logs_merge_in_timestamp_order(self, tmp_path):
+        features = FeatureSet(access_control=False, monitoring=True)
+        with make_client("postgres", features, data_dir=str(tmp_path),
+                         shards=3) as client:
+            client.load_records(corpus(n=30))
+            events = client.get_system_logs(
+                Principal.regulator(), start=0.0, end=float("inf"), limit=20
+            )
+            assert len(events) == 20
+            timestamps = [event.timestamp for event in events]
+            assert timestamps == sorted(timestamps)
+
+    def test_worker_crash_mid_workload_recovers(self, tmp_path):
+        with make_client("postgres", FeatureSet(access_control=False),
+                         data_dir=str(tmp_path), shards=3,
+                         durable=True) as client:
+            records = corpus()
+            client.load_records(records)
+            # force every shard WAL to disk, then hard-kill one worker
+            client.db.flush_wal()
+            client.db._shards[0].process.kill()
+            client.db._shards[0].process.join()
+            anyone = Principal.controller()
+            # the whole store remains reachable (dead shard replays)
+            for record in records:
+                assert client.read_data_by_key(anyone, record.key) == record.data
+            assert client.record_count() == len(records)
+
+    def test_durable_restart_recovers_catalog_and_rows(self, tmp_path):
+        features = FeatureSet(access_control=False, metadata_indexing=True,
+                              timely_deletion=True)
+        records = corpus(n=30)
+        with make_client("postgres", features, data_dir=str(tmp_path),
+                         shards=2, durable=True) as client:
+            client.load_records(records)
+            client.ycsb_insert("u1", {"field0": "a"})
+        with make_client("postgres", features, data_dir=str(tmp_path),
+                         shards=2, durable=True) as client:
+            assert client.record_count() == len(records)
+            anyone = Principal.controller()
+            assert client.read_data_by_key(anyone, records[0].key) == records[0].data
+            assert client.ycsb_read("u1", fields=("field0",)) == {"field0": "a"}

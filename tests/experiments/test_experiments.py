@@ -36,7 +36,7 @@ class TestExperimentResult:
         assert set(ALL_EXPERIMENTS) == {
             "fig3a", "fig3b", "fig4a", "fig4b", "fig5",
             "table3", "fig6", "fig7", "fig7t", "fig8", "fig8t", "fig9p",
-            "fig10s",
+            "fig10s", "fig11q",
         }
 
 

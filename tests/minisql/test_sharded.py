@@ -1,0 +1,456 @@
+"""ShardedDatabase: routing, gather merges, per-shard WAL recovery.
+
+The contract under test is docs/sharding.md's minisql half: the sharded
+front exposes the ``Database`` statement surface, DDL fans out, rows
+route by primary key, point statements stay on one worker, cross-shard
+statements merge per-shard results, and a worker that dies is respawned
+with its shard rebuilt from its own WAL while the other shards keep
+serving.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ConstraintError, SQLError
+from repro.minisql import (
+    Database,
+    MiniSQLConfig,
+    ShardedDatabase,
+    SQLShardConnectionError,
+    open_database,
+    shard_store_path,
+)
+from repro.minisql.expr import And, Cmp
+from repro.minisql.schema import Column
+from repro.minisql.types import FLOAT, TEXT
+
+
+def sharded(tmp_path=None, shards=3, **overrides):
+    config = MiniSQLConfig(
+        shards=shards,
+        wal_path=(str(tmp_path / "db.wal") if tmp_path is not None else None),
+        **overrides,
+    )
+    return ShardedDatabase(config)
+
+
+COLUMNS = [
+    Column("key", TEXT, nullable=False),
+    Column("val", TEXT),
+    Column("n", FLOAT),
+]
+
+
+def load(db, count=30):
+    db.create_table("t", COLUMNS, primary_key="key")
+    for i in range(count):
+        db.insert("t", {"key": f"k{i}", "val": f"v{i % 3}", "n": float(i)})
+
+
+class TestFactoryAndConfig:
+    def test_open_database_default_is_in_process(self):
+        with open_database(MiniSQLConfig()) as db:
+            assert isinstance(db, Database)
+
+    def test_open_database_sharded(self):
+        with open_database(MiniSQLConfig(shards=2)) as db:
+            assert isinstance(db, ShardedDatabase)
+            assert db.shard_count == 2
+
+    def test_facade_rejects_sharded_config(self):
+        with pytest.raises(ConfigurationError):
+            Database(MiniSQLConfig(shards=2))
+
+    def test_custom_clock_requires_one_shard(self):
+        from repro.common.clock import VirtualClock
+
+        with pytest.raises(ConfigurationError):
+            open_database(MiniSQLConfig(shards=2), clock=VirtualClock())
+
+    def test_invalid_shard_counts_rejected_everywhere(self):
+        for shards in (0, -1):
+            with pytest.raises(ConfigurationError):
+                open_database(MiniSQLConfig(shards=shards))
+            with pytest.raises(ConfigurationError):
+                Database(MiniSQLConfig(shards=shards))
+            with pytest.raises(ConfigurationError):
+                ShardedDatabase(MiniSQLConfig(shards=shards))
+
+
+class TestRoutingAndMerges:
+    def test_rows_spread_and_point_statements_route(self):
+        with sharded() as db:
+            load(db, 60)
+            # rows actually spread across workers (crc32 is uniform
+            # enough that 60 keys cannot all land on one of 3 shards)
+            per_shard = [
+                db._call(index, "count", "t") for index in range(db.shard_count)
+            ]
+            assert sum(per_shard) == 60
+            assert all(count > 0 for count in per_shard)
+            # a point SELECT touches exactly its key's shard
+            rows = db.select("t", Cmp("key", "=", "k17"))
+            assert [row["val"] for row in rows] == ["v2"]
+            owner = db._shard_for_value("t", "k17")
+            assert db._call(owner, "count", "t", Cmp("key", "=", "k17")) == 1
+
+    def test_fanout_select_merges_and_orders(self):
+        with sharded() as db:
+            load(db)
+            rows = db.select("t", Cmp("val", "=", "v1"))
+            assert sorted(row["key"] for row in rows) == sorted(
+                f"k{i}" for i in range(30) if i % 3 == 1
+            )
+            ordered = db.select("t", order_by="n", descending=True, limit=4)
+            assert [row["key"] for row in ordered] == ["k29", "k28", "k27", "k26"]
+            # the order column is fetched for the merge, then stripped
+            projected = db.select("t", columns=["key"], order_by="n", limit=3)
+            assert projected == [{"key": "k0"}, {"key": "k1"}, {"key": "k2"}]
+
+    def test_select_point_routes_on_pk_and_fans_out_otherwise(self):
+        with sharded() as db:
+            load(db)
+            assert db.select_point("t", "key", "k5")[0]["n"] == 5.0
+            by_val = db.select_point("t", "val", "v0")
+            assert len(by_val) == 10
+
+    def test_count_and_aggregates_merge(self):
+        with sharded() as db:
+            load(db)
+            assert db.count("t") == 30
+            assert db.count("t", Cmp("key", "=", "k3")) == 1
+            assert db.aggregate("t", "count") == 30
+            assert db.aggregate("t", "sum", "n") == sum(range(30))
+            assert db.aggregate("t", "min", "n") == 0.0
+            assert db.aggregate("t", "max", "n") == 29.0
+            assert db.aggregate("t", "avg", "n") == pytest.approx(14.5)
+            groups = db.aggregate("t", "count", group_by="val")
+            assert groups == {"v0": 10, "v1": 10, "v2": 10}
+            sums = db.aggregate("t", "sum", "n", group_by="val")
+            assert sums["v0"] == sum(i for i in range(30) if i % 3 == 0)
+            avgs = db.aggregate("t", "avg", "n", group_by="val")
+            assert avgs["v1"] == pytest.approx(
+                sum(i for i in range(30) if i % 3 == 1) / 10
+            )
+
+    def test_aggregate_empty_set_semantics_match_facade(self):
+        with sharded() as db, Database() as plain:
+            for target in (db, plain):
+                target.create_table("t", COLUMNS, primary_key="key")
+            for target in (db, plain):
+                assert target.aggregate("t", "count") == 0
+                assert target.aggregate("t", "sum", "n") is None
+                assert target.aggregate("t", "min", "n") is None
+                assert target.aggregate("t", "avg", "n") is None
+
+    def test_update_and_delete_route_and_fan_out(self):
+        with sharded() as db:
+            load(db)
+            assert db.update("t", {"val": "patched"}, Cmp("key", "=", "k4")) == 1
+            assert db.select_point("t", "key", "k4")[0]["val"] == "patched"
+            assert db.update("t", {"val": "bulk"}, Cmp("n", ">=", 20.0)) == 10
+            assert db.delete("t", Cmp("key", "=", "k0")) == 1
+            assert db.delete("t", Cmp("val", "=", "bulk")) == 10
+            assert db.count("t") == 19
+
+    def test_primary_key_reassignment_refused(self):
+        with sharded() as db:
+            load(db, 5)
+            with pytest.raises(SQLError):
+                db.update("t", {"key": "moved"}, Cmp("key", "=", "k1"))
+            with pytest.raises(SQLError):
+                db.pipeline().update("t", {"key": "moved"})
+
+    def test_unique_constraint_survives_routing(self):
+        """The same primary key always routes to the same shard, so the
+        per-shard unique index still enforces global uniqueness."""
+        with sharded() as db:
+            load(db, 5)
+            with pytest.raises(ConstraintError):
+                db.insert("t", {"key": "k2", "val": "dup"})
+
+    def test_numeric_primary_keys_route_canonically(self):
+        """Routing hashes the type-canonicalized pk value: the int an
+        INSERT carries and the coerced float a later point statement
+        carries must land on the same shard."""
+        with sharded() as db:
+            db.create_table(
+                "m", [Column("id", FLOAT, nullable=False), Column("val", TEXT)],
+                primary_key="id",
+            )
+            for i in range(20):
+                db.insert("m", {"id": i, "val": f"v{i}"})  # ints coerce to floats
+            for i in range(20):
+                # the stored (canonical) value finds its row...
+                assert db.select("m", Cmp("id", "=", float(i)))[0]["val"] == f"v{i}"
+                # ...and so does the raw int form a caller might re-use
+                assert db.select_point("m", "id", i)[0]["val"] == f"v{i}"
+            assert db.update("m", {"val": "patched"}, Cmp("id", "=", 3.0)) == 1
+            assert db.delete("m", Cmp("id", "=", 3)) == 1
+            # re-inserting an equal key in the *other* numeric form must
+            # violate uniqueness, not fork the key onto a second shard
+            with pytest.raises(ConstraintError):
+                db.insert("m", {"id": 4, "val": "dup"})
+            assert db.count("m") == 19
+
+    def test_table_without_primary_key_lives_on_shard_zero(self):
+        with sharded() as db:
+            db.create_table("logs", [Column("line", TEXT)])
+            for i in range(10):
+                db.insert("logs", {"line": f"l{i}"})
+            assert db._call(0, "count", "logs") == 10
+            assert db.count("logs") == 10
+
+    def test_statement_errors_cross_the_process_boundary(self):
+        with sharded() as db:
+            load(db, 5)
+            with pytest.raises(SQLError):
+                db.select("nope")
+            with pytest.raises(SQLError):
+                db.aggregate("t", "median", "n")
+
+    def test_ddl_fans_out_and_catalog_merges(self):
+        with sharded() as db:
+            load(db)
+            db.create_index("idx_val", "t", "val")
+            assert "idx_val" in {
+                info.name for info in db.catalog.indices_for("t")
+            }
+            # the index exists on every shard (EXPLAIN is answered per
+            # shard with identical plans)
+            assert "idx_val" in db.explain("t", Cmp("val", "=", "v0"))
+            db.drop_index("idx_val")
+            assert "idx_val" not in {
+                info.name for info in db.catalog.indices_for("t")
+            }
+            db.drop_table("t")
+            assert db.catalog.tables() == []
+
+    def test_interactive_transactions_refused(self):
+        with sharded() as db:
+            load(db, 5)
+            with pytest.raises(SQLError):
+                db.begin()
+            with pytest.raises(SQLError):
+                db.transaction(write=("t",))
+            with pytest.raises(SQLError):
+                db.snapshot_reader()
+
+    def test_introspection_merges(self):
+        with sharded() as db:
+            load(db)
+            stats = db.table_stats("t")
+            assert stats["live_rows"] == 30
+            assert stats["total_bytes"] > 0
+            info = db.info()
+            assert info["shards"] == 3
+            assert info["tables"] == ["t"]
+            assert info["statements"] == sum(info["statements_per_shard"])
+            usage = db.disk_usage()
+            assert usage["heap_bytes"] > 0
+            assert db.vacuum() >= 0
+
+
+class TestShardedSQLPipeline:
+    def test_batch_matches_unsharded_results(self):
+        with sharded() as db, Database() as plain:
+            for target in (db, plain):
+                target.create_table("t", COLUMNS, primary_key="key")
+                pipe = target.pipeline() if target is db else None
+                for i in range(40):
+                    row = {"key": f"k{i}", "val": f"v{i % 3}", "n": float(i)}
+                    if pipe is not None:
+                        pipe.insert("t", row)
+                    else:
+                        target.insert("t", row)
+                if pipe is not None:
+                    pipe.execute()
+            pipe = db.pipeline()
+            pipe.select_point("t", "key", "k5")
+            pipe.count("t")
+            pipe.update("t", {"val": "zz"}, Cmp("key", "=", "k6"))
+            pipe.select("t", Cmp("val", "=", "v0"), columns=["key"])
+            pipe.delete("t", Cmp("key", "=", "k7"))
+            results = pipe.execute()
+            assert results[0][0]["n"] == 5.0
+            assert results[1] == 40
+            assert results[2] == 1
+            # k6's update queued *before* the select on k6's shard, so
+            # the per-shard transaction order makes the select see it
+            assert sorted(r["key"] for r in results[3]) == sorted(
+                f"k{i}" for i in range(40) if i % 3 == 0 and i != 6
+            )
+            assert results[4] == 1
+            assert plain.count("t") == 40  # the unsharded twin untouched
+
+    def test_error_captured_per_slot(self):
+        with sharded() as db:
+            load(db, 10)
+            pipe = db.pipeline()
+            pipe.select_point("t", "key", "k1")
+            pipe.insert("t", {"key": "k1", "val": "dup"})  # unique violation
+            pipe.insert("t", {"key": "fresh", "val": "new"})
+            results = pipe.execute(raise_on_error=False)
+            assert results[0][0]["key"] == "k1"
+            assert isinstance(results[1], ConstraintError)
+            assert results[2] >= 0  # the rid: the batch did not stop
+            assert db.count("t", Cmp("key", "=", "fresh")) == 1
+            with pytest.raises(ConstraintError):
+                db.pipeline().insert("t", {"key": "k1", "val": "dup"}).execute()
+
+    def test_fanout_statements_occupy_one_slot(self):
+        with sharded() as db:
+            load(db)
+            pipe = db.pipeline()
+            assert len(pipe) == 0
+            pipe.count("t")                      # fans out, one slot
+            pipe.update("t", {"val": "all"})     # fans out, one slot
+            pipe.select("t", limit=None)         # fans out, one slot
+            assert len(pipe) == 3
+            results = pipe.execute()
+            assert results[0] == 30
+            assert results[1] == 30
+            assert len(results[2]) == 30
+            assert pipe.execute() == []  # queue drained, object reusable
+
+    def test_fanout_select_limit_recut_at_gather(self):
+        """A fan-out select's limit bounds the merged result, not each
+        shard's contribution (shards * limit rows would leak out)."""
+        with sharded() as db:
+            load(db)
+            results = db.pipeline().select("t", limit=5).execute()
+            assert len(results[0]) == 5
+            # matches the front's single-statement semantics
+            assert len(db.select("t", limit=5)) == 5
+
+
+class TestRecovery:
+    def test_cold_restart_replays_every_shard(self, tmp_path):
+        import os
+
+        config = MiniSQLConfig(shards=3, wal_path=str(tmp_path / "db.wal"),
+                               fsync="always", wal_batch_size=16)
+        with ShardedDatabase(config) as db:
+            load(db, 45)
+            for index in range(3):
+                assert os.path.exists(shard_store_path(config.wal_path, index))
+            assert db.wal_paths == [
+                shard_store_path(config.wal_path, i) for i in range(3)
+            ]
+        with ShardedDatabase(config) as db:
+            assert db.count("t") == 45
+            assert db.select_point("t", "key", "k42")[0]["n"] == 42.0
+            # routing still works after recovery: describe() bootstrapped
+            # the primary-key map from the replayed catalog
+            assert db._pks == {"t": "key"}
+            db.insert("t", {"key": "post", "val": "recovery"})
+            assert db.count("t") == 46
+
+    def test_killed_worker_respawns_and_replays_mid_run(self, tmp_path):
+        config = MiniSQLConfig(shards=3, wal_path=str(tmp_path / "db.wal"),
+                               fsync="always")
+        with ShardedDatabase(config) as db:
+            load(db, 30)
+            victim = db._shards[1]
+            victim_pid = victim.process.pid
+            victim.process.kill()
+            victim.process.join()
+            # every durable row is still readable — including the dead
+            # worker's shard, transparently rebuilt from its WAL
+            for i in range(30):
+                assert db.select_point("t", "key", f"k{i}")[0]["n"] == float(i)
+            assert db._shards[1].process.pid != victim_pid
+            # scatter/gather across all shards works on the new worker
+            pipe = db.pipeline()
+            for i in range(30, 60):
+                pipe.insert("t", {"key": f"k{i}", "val": "late", "n": float(i)})
+            pipe.execute()
+            assert db.count("t") == 60
+
+    def test_kill_during_scatter_gather_batch(self, tmp_path):
+        config = MiniSQLConfig(shards=3, wal_path=str(tmp_path / "db.wal"),
+                               fsync="always")
+        with ShardedDatabase(config) as db:
+            load(db, 30)
+            db._shards[2].process.kill()
+            db._shards[2].process.join()
+            # this batch's scatter hits the dead pipe mid-flight
+            pipe = db.pipeline()
+            for i in range(30):
+                pipe.select_point("t", "key", f"k{i}")
+            results = pipe.execute()
+            assert [rows[0]["n"] for rows in results] == [float(i) for i in range(30)]
+
+    def test_deliberate_restart_shard(self, tmp_path):
+        config = MiniSQLConfig(shards=2, wal_path=str(tmp_path / "db.wal"),
+                               fsync="everysec")
+        with ShardedDatabase(config) as db:
+            load(db, 20)
+            # graceful bounce: the everysec WAL buffer must flush first
+            for index in range(db.shard_count):
+                db.restart_shard(index)
+            assert db.count("t") == 20
+
+    def test_statements_after_close_fail_loudly(self):
+        import multiprocessing
+
+        db = sharded(shards=2)
+        load(db, 5)
+        db.close()
+        with pytest.raises(SQLShardConnectionError):
+            db.select("t")
+        with pytest.raises(SQLShardConnectionError):
+            db.insert("t", {"key": "x", "val": "y"})
+        with pytest.raises(SQLShardConnectionError):
+            db.pipeline().count("t").execute()
+        assert not [
+            p for p in multiprocessing.active_children()
+            if p.name.startswith("minisql-shard-")
+        ]
+
+    def test_encrypted_shard_wals_replay(self, tmp_path):
+        config = MiniSQLConfig(shards=2, wal_path=str(tmp_path / "db.wal"),
+                               fsync="always", encryption_at_rest=True)
+        with ShardedDatabase(config) as db:
+            load(db, 10)
+            db._shards[db._shard_for_value("t", "k3")].process.kill()
+            # respawn decrypts + replays
+            assert db.select_point("t", "key", "k3")[0]["val"] == "v0"
+        with ShardedDatabase(config) as db:
+            assert db.count("t") == 10
+
+    def test_worker_ttl_sweepers_purge_their_shards(self):
+        import time
+
+        with sharded() as db:
+            db.create_table(
+                "t",
+                COLUMNS + [Column("expiry", FLOAT)],
+                primary_key="key",
+            )
+            db.enable_ttl("t", "expiry", interval=0.05)
+            # worker SystemClocks start near zero at spawn, so a negative
+            # expiry is already past and a huge one is far future
+            for i in range(12):
+                db.insert("t", {"key": f"k{i}", "val": "x", "n": 0.0,
+                                "expiry": -1.0})
+            db.insert("t", {"key": "keeper", "val": "x", "n": 0.0,
+                            "expiry": 1e9})
+            time.sleep(0.1)
+            # any statement ticks each worker's maintenance hook
+            deadline = time.time() + 5.0
+            while db.count("t") > 1 and time.time() < deadline:
+                time.sleep(0.05)
+            assert db.count("t") == 1
+            assert db.select("t")[0]["key"] == "keeper"
+
+
+class TestConjunctionsFanOut:
+    def test_conjunction_on_pk_still_correct_via_fanout(self):
+        """``And(pk=..., other)`` does not take the point route; it fans
+        out and must still return exactly the matching rows."""
+        with sharded() as db:
+            load(db)
+            rows = db.select("t", And(Cmp("key", "=", "k3"), Cmp("val", "=", "v0")))
+            assert [row["key"] for row in rows] == ["k3"]
+            assert db._route_where("t", And(Cmp("key", "=", "k3"),
+                                            Cmp("val", "=", "v0"))) is None

@@ -1,0 +1,48 @@
+"""Repo hygiene: tracked-file rules the CI guard also enforces.
+
+PR 4 accidentally committed 61 ``__pycache__/*.pyc`` files; PR 5 removed
+them, added the root ``.gitignore``, and wired a CI guard into the docs
+job.  This tier-1 twin keeps the rule enforced for anyone running the
+suite locally without the workflow.
+"""
+
+import os
+import subprocess
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _tracked_files() -> list[str]:
+    try:
+        out = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        pytest.skip("git unavailable")
+    if out.returncode != 0:
+        pytest.skip("not a git checkout")
+    return out.stdout.splitlines()
+
+
+def test_no_tracked_bytecode():
+    offenders = [
+        path for path in _tracked_files()
+        if path.endswith(".pyc") or "__pycache__" in path.split("/")
+    ]
+    assert offenders == [], (
+        "Python bytecode is tracked; git rm -r --cached these and rely on "
+        f".gitignore: {offenders[:10]}"
+    )
+
+
+def test_gitignore_covers_bytecode():
+    with open(os.path.join(REPO_ROOT, ".gitignore"), encoding="utf-8") as handle:
+        lines = {line.strip() for line in handle}
+    for pattern in ("__pycache__/", "*.pyc", ".pytest_cache/"):
+        assert pattern in lines, f".gitignore lost the {pattern} rule"
