@@ -42,6 +42,16 @@ Asserted floors:
   with response payloads, and at-rest cipher work inside the engine,
   which is exactly the work primary-key sharding spreads across worker
   processes.
+* **tcp transport router tax** (PR 7 tentpole): the sharded fronts on
+  the TCP socket transport vs the same 4-shard deployment on the
+  default pipe transport, full-GDPR YCSB-C at 8 threads.  TCP pays a
+  real tax (length-prefixed frames, kernel socket buffers) but with
+  ``TCP_NODELAY`` and per-batch round-trips it must stay within 2x of
+  pipes: the asserted floor is **tcp >= 0.5x pipe** for both engines.
+
+Every grid row also records the merged per-operation ``p50_us`` /
+``p99_us`` latency (report-only — no floor asserts on percentiles), so
+the trajectory file tracks tail latency alongside throughput.
 
 Profiles: ``REPRO_BENCH_PROFILE=smoke`` shrinks the grid for the CI
 pull-request gate (the floors are still asserted); the default ``full``
@@ -73,10 +83,13 @@ ENGINE_CONFIGS = (
     ("redis-single-lock", "redis", {"stripes": 1}, 1),
     ("redis-striped-pipelined", "redis", {"stripes": 16}, 128),
     ("redis-sharded-4", "redis", {"shards": 4}, 128),
+    ("redis-sharded-4-tcp", "redis", {"shards": 4, "transport": "tcp"}, 128),
     ("postgres-global-lock", "postgres", {"locking": "global"}, 1),
     ("postgres-rw-batched", "postgres", {"locking": "table-rw"}, 128),
     ("postgres-mvcc", "postgres", {"locking": "mvcc"}, 128),
     ("postgres-sharded-4", "postgres", {"shards": 4}, 128),
+    ("postgres-sharded-4-tcp", "postgres",
+     {"shards": 4, "transport": "tcp"}, 128),
 )
 
 FEATURE_SETS = (
@@ -148,6 +161,22 @@ SQL_SHARD_PAIR = (
     SQL_OPERATIONS,
 )
 
+#: the transport pairs (PR 7 tentpole): the same 4-shard deployment on
+#: TCP sockets vs multiprocessing pipes, full-GDPR YCSB-C.  The "slow"
+#: slot holds the pipe baseline and the "fast" slot holds TCP, so the
+#: reported ratio is tcp/pipe and the floor reads "tcp keeps at least
+#: half the pipe throughput" — a router-tax bound, not a speedup claim.
+TCP_SHARD_PAIR = (
+    _CONFIG_BY_LABEL["redis-sharded-4"],
+    _CONFIG_BY_LABEL["redis-sharded-4-tcp"],
+    OPERATIONS,
+)
+SQL_TCP_SHARD_PAIR = (
+    _CONFIG_BY_LABEL["postgres-sharded-4"],
+    _CONFIG_BY_LABEL["postgres-sharded-4-tcp"],
+    SQL_OPERATIONS,
+)
+
 #: CPU-tiered shard floor, shared with fig10s (repro.experiments.scale
 #: owns the tier table): 2x with 4+ usable cores (every CI runner),
 #: a weaker scaling bound at 2-3, and on one core only the router-tax
@@ -156,8 +185,8 @@ SHARD_FLOOR_CORES = usable_cores()
 SHARD_FLOOR_MIN = shard_floor_min(SHARD_FLOOR_CORES)
 
 
-def _throughput(engine: str, client_kwargs: dict, batch_size: int,
-                features: FeatureSet, threads: int, operations: int = OPERATIONS) -> float:
+def _run_ycsb(engine: str, client_kwargs: dict, batch_size: int,
+              features: FeatureSet, threads: int, operations: int = OPERATIONS):
     config = YCSBSessionConfig(
         engine=engine,
         features=features,
@@ -173,7 +202,13 @@ def _throughput(engine: str, client_kwargs: dict, batch_size: int,
         session.load()
         run = session.run(WORKLOAD)
         assert run.correctness_pct == 100.0
-        return run.throughput_ops_s
+        return run
+
+
+def _throughput(engine: str, client_kwargs: dict, batch_size: int,
+                features: FeatureSet, threads: int, operations: int = OPERATIONS) -> float:
+    return _run_ycsb(engine, client_kwargs, batch_size, features, threads,
+                     operations).throughput_ops_s
 
 
 def _measure_floor(pair, samples: int, features_factory=FeatureSet.none) -> tuple[float, float]:
@@ -258,7 +293,7 @@ def test_throughput_regression_grid(benchmark):
                     # a smaller op count keeps its half of the grid from
                     # dominating the harness runtime.
                     operations = OPERATIONS if engine == "redis" else SQL_OPERATIONS
-                    ops_s = _throughput(
+                    run = _run_ycsb(
                         engine, client_kwargs, batch_size,
                         feature_factory(), threads, operations,
                     )
@@ -268,8 +303,12 @@ def test_throughput_regression_grid(benchmark):
                         "threads": threads,
                         "batch_size": batch_size,
                         "shards": client_kwargs.get("shards", 1),
+                        "transport": client_kwargs.get("transport", "pipe"),
                         "workload": f"ycsb-{WORKLOAD}",
-                        "ops_s": round(ops_s),
+                        "ops_s": round(run.throughput_ops_s),
+                        # report-only tail latency (merged across op types)
+                        "p50_us": round(run.stats.overall_percentile_us(50), 1),
+                        "p99_us": round(run.stats.overall_percentile_us(99), 1),
                     })
         # the mixed readers-vs-purge scenario rides in the same grid file
         for locking, label in (("table-rw", "postgres-rw-batched"),
@@ -299,6 +338,12 @@ def test_throughput_regression_grid(benchmark):
     sql_shard_speedup, sql_shard_single, sql_shard_four = _floor_speedup(
         SQL_SHARD_PAIR, floor=SHARD_FLOOR_MIN, features_factory=FeatureSet.full
     )
+    tcp_ratio, tcp_pipe, tcp_sock = _floor_speedup(
+        TCP_SHARD_PAIR, floor=0.5, features_factory=FeatureSet.full
+    )
+    sql_tcp_ratio, sql_tcp_pipe, sql_tcp_sock = _floor_speedup(
+        SQL_TCP_SHARD_PAIR, floor=0.5, features_factory=FeatureSet.full
+    )
     mvcc_parity = _mvcc_read_parity()
     mixed_rw, mixed_mvcc = _mixed_purge_throughputs(ASSERT_SAMPLES)
     if mixed_mvcc / mixed_rw < 2.0:  # same noise escalation as the floors
@@ -320,6 +365,9 @@ def test_throughput_regression_grid(benchmark):
         "asserted_mvcc_purge_speedup_at_8_threads": round(mixed_speedup, 2),
         "asserted_shard_speedup_at_8_threads": round(shard_speedup, 2),
         "asserted_sql_shard_speedup_at_8_threads": round(sql_shard_speedup, 2),
+        "asserted_tcp_vs_pipe_ratio_at_8_threads": round(tcp_ratio, 2),
+        "asserted_sql_tcp_vs_pipe_ratio_at_8_threads": round(sql_tcp_ratio, 2),
+        "tcp_router_tax_floor": 0.5,
         "shard_floor_asserted_min": SHARD_FLOOR_MIN,
         "shard_floor_usable_cores": SHARD_FLOOR_CORES,
         "results": results,
@@ -364,6 +412,18 @@ def test_throughput_regression_grid(benchmark):
         f"({sql_shard_four:.0f} vs {sql_shard_single:.0f} ops/s); with "
         f"{SHARD_FLOOR_CORES} usable core(s) the PR 5 tentpole requires "
         f">= {SHARD_FLOOR_MIN}x (2x on the 4-core CI runners)"
+    )
+    assert tcp_ratio >= 0.5, (
+        f"tcp-transport 4-shard minikv at 8 threads (full-GDPR features) "
+        f"sustains only {tcp_ratio:.2f}x the pipe transport "
+        f"({tcp_sock:.0f} vs {tcp_pipe:.0f} ops/s); the PR 7 tentpole "
+        "bounds the socket router tax at 0.5x pipe throughput"
+    )
+    assert sql_tcp_ratio >= 0.5, (
+        f"tcp-transport 4-shard minisql at 8 threads (full-GDPR features) "
+        f"sustains only {sql_tcp_ratio:.2f}x the pipe transport "
+        f"({sql_tcp_sock:.0f} vs {sql_tcp_pipe:.0f} ops/s); the PR 7 "
+        "tentpole bounds the socket router tax at 0.5x pipe throughput"
     )
 
 

@@ -239,6 +239,9 @@ class RedisGDPRClient(GDPRClient):
         stripes: int = 1,
         aof_batch_size: int = 1,
         shards: int = 1,
+        transport: str = "pipe",
+        shard_addresses: tuple | None = None,
+        ring_vnodes: int | None = None,
     ) -> None:
         super().__init__(features or FeatureSet.none())
         self.clock = clock or SystemClock()
@@ -259,6 +262,9 @@ class RedisGDPRClient(GDPRClient):
             stripes=stripes,
             aof_batch_size=aof_batch_size,
             shards=shards,
+            transport=transport,
+            shard_addresses=shard_addresses,
+            ring_vnodes=ring_vnodes,
         )
         # shards=1 -> the paper's in-process engine on the client clock
         # (byte-identical to the seed construction path); shards>1 -> the

@@ -264,6 +264,9 @@ class SQLGDPRClient(GDPRClient):
         wal_batch_size: int = 1,
         durable: bool = False,
         shards: int = 1,
+        transport: str = "pipe",
+        shard_addresses: tuple | None = None,
+        ring_vnodes: int | None = None,
     ) -> None:
         super().__init__(features or FeatureSet.none())
         self.clock = clock or SystemClock()
@@ -289,6 +292,9 @@ class SQLGDPRClient(GDPRClient):
                 locking=locking,
                 wal_batch_size=wal_batch_size,
                 shards=shards,
+                transport=transport,
+                shard_addresses=shard_addresses,
+                ring_vnodes=ring_vnodes,
             ),
             clock=self.clock if shards <= 1 else clock,
         )

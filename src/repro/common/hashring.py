@@ -1,0 +1,147 @@
+"""Consistent-hash ring: key placement with bounded movement on resharding.
+
+The sharded fronts originally routed with ``crc32(key) % N`` — perfect
+balance, but changing ``N`` remaps almost the whole keyspace (SNIPPETS.md
+§10: the classic modulo-vs-ring trade).  This module replaces the modulo
+with a consistent-hash ring so that ``add_shard``/``remove_shard`` move
+only ~``1/N`` of the keys:
+
+* every shard id projects to ``vnodes`` **virtual-node points** on a
+  32-bit ring (md5 of ``"shard:<id>:vnode:<r>"`` — a *seeded, stable*
+  hash, never Python's per-process ``hash()``), so placement is
+  deterministic across processes and across time;
+* a key hashes with the same ``crc32`` over the same canonicalized input
+  the modulo router used, and is owned by the first vnode point at or
+  clockwise-after its hash (wrapping past 2**32 to the smallest point);
+* the ring is a **pure function of the live shard-id set**: it is always
+  built by sorted-id insertion, so two processes holding the same id set
+  agree on every placement no matter in which order shards were added.
+
+:func:`plan_migration` diffs two rings into the minimal slot-move list —
+the router walks it during online resharding, cutting over one slot at a
+time (see ``docs/sharding.md``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import zlib
+
+#: the ring is the 32-bit hash space (matches ``zlib.crc32`` output)
+RING_BITS = 32
+RING_SIZE = 1 << RING_BITS
+
+#: default virtual nodes per shard — enough that per-shard load sits
+#: within ~±15% of fair share while keeping rings tiny (N*64 points)
+DEFAULT_VNODES = 64
+
+
+def key_point(text: str) -> int:
+    """A key's position on the ring: crc32 of its canonical text.
+
+    This is exactly the hash the modulo router fed into ``% N`` — the
+    canonicalized key (minikv) / ``str(validated_pk)`` (minisql) — so
+    switching router algorithms never changes the *input*, only the
+    placement rule.
+    """
+    return zlib.crc32(text.encode())
+
+
+def _vnode_point(shard_id: int, replica: int) -> int:
+    """One shard replica's ring position (md5: stable across processes)."""
+    digest = hashlib.md5(f"shard:{shard_id}:vnode:{replica}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def in_slot(point: int, lo: int, hi: int) -> bool:
+    """Whether ``point`` lies in the ring slot ``(lo, hi]`` (wrapping).
+
+    A slot is the arc *after* one vnode point up to and including the
+    next; ``lo == hi`` denotes the full ring (a one-point ring's only
+    slot).
+    """
+    if lo == hi:
+        return True
+    if lo < hi:
+        return lo < point <= hi
+    return point > lo or point <= hi
+
+
+class HashRing:
+    """An immutable ring over a set of shard ids.
+
+    Built by sorted-id insertion so identical id sets yield identical
+    rings regardless of construction order; point collisions between
+    shards (p ≈ |points|²/2³³) resolve deterministically to the smaller
+    shard id for the same reason.
+    """
+
+    __slots__ = ("shard_ids", "vnodes", "_points", "_owners")
+
+    def __init__(self, shard_ids, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.shard_ids = tuple(sorted(set(shard_ids)))
+        if not self.shard_ids:
+            raise ValueError("a hash ring needs at least one shard id")
+        self.vnodes = vnodes
+        taken: dict[int, int] = {}
+        for shard_id in self.shard_ids:  # sorted: smaller id wins collisions
+            for replica in range(vnodes):
+                taken.setdefault(_vnode_point(shard_id, replica), shard_id)
+        self._points = sorted(taken)
+        self._owners = [taken[p] for p in self._points]
+
+    def owner(self, point: int) -> int:
+        """The shard owning ring position ``point`` (successor vnode)."""
+        i = bisect.bisect_left(self._points, point % RING_SIZE)
+        if i == len(self._points):
+            i = 0  # wrap to the smallest point
+        return self._owners[i]
+
+    def owner_of_key(self, text: str) -> int:
+        return self.owner(key_point(text))
+
+    def slots(self) -> list[tuple[int, int, int]]:
+        """Every ``(lo, hi, owner)`` slot: the arc ``(lo, hi]`` wrapping.
+
+        Slot ``i`` runs from point ``i-1`` (exclusive) to point ``i``
+        (inclusive); the first slot wraps from the last point.
+        """
+        out = []
+        for i, hi in enumerate(self._points):
+            lo = self._points[i - 1]  # i == 0 wraps to the last point
+            out.append((lo, hi, self._owners[i]))
+        return out
+
+    def spread(self) -> dict[int, float]:
+        """Fraction of the ring each shard owns (sums to 1.0)."""
+        totals = dict.fromkeys(self.shard_ids, 0)
+        for lo, hi, owner in self.slots():
+            totals[owner] += (hi - lo) % RING_SIZE or RING_SIZE
+        return {sid: arc / RING_SIZE for sid, arc in totals.items()}
+
+
+def plan_migration(old: HashRing, new: HashRing) -> list[tuple[int, int, int, int]]:
+    """The slot moves that turn ``old``'s placement into ``new``'s.
+
+    Returns ``(lo, hi, src, dst)`` tuples — every maximal arc ``(lo, hi]``
+    whose owner changes, with boundaries drawn from the union of both
+    rings' vnode points so each task's source and destination are single
+    shards.  Arcs whose owner is unchanged are absent: that is the whole
+    point of consistent hashing (an N→N+1 ring move touches ~1/(N+1) of
+    the space; the modulo router would touch ~N/(N+1)).
+    """
+    boundaries = sorted(set(old._points) | set(new._points))
+    tasks: list[tuple[int, int, int, int]] = []
+    for i, hi in enumerate(boundaries):
+        lo = boundaries[i - 1]
+        src, dst = old.owner(hi), new.owner(hi)
+        if src == dst:
+            continue
+        if tasks and tasks[-1][1] == lo and tasks[-1][2:] == (src, dst):
+            tasks[-1] = (tasks[-1][0], hi, src, dst)  # coalesce adjacent
+        else:
+            tasks.append((lo, hi, src, dst))
+    return tasks

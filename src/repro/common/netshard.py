@@ -1,0 +1,191 @@
+"""TCP transport for shard workers: length-prefixed pickled frames.
+
+The router↔worker protocol in :mod:`repro.common.sharding` is strictly
+one-reply-per-message over an object pipe.  This module carries the same
+protocol over a TCP socket, so a shard worker can live on another host:
+
+* a **frame** is a 4-byte big-endian length prefix followed by that many
+  bytes of pickle — the same wire shape ``multiprocessing.Connection``
+  uses, reimplemented here so both ends can be plain sockets;
+* :class:`SocketConnection` adapts a connected socket to the
+  ``send``/``recv``/``close`` surface the shard plumbing expects.  A
+  clean peer close surfaces as ``EOFError`` and a corrupt stream as
+  :class:`FrameError` (a ``ConnectionError``), so the router's existing
+  ``except (EOFError, OSError)`` respawn/reconnect path covers both;
+* :class:`ShardServer` wraps :func:`~repro.common.sharding.serve_shard`
+  in an accept loop: **one connection at a time, one fresh engine per
+  connection**.  The engine factory replays the shard's persistence file
+  before serving, so a front that reconnects after a failure gets
+  exactly the crash-respawn-replay semantics of the pipe transport.
+
+``TCP_NODELAY`` is set on both ends: the protocol is strict
+request/response, so Nagle batching would add a full delayed-ACK round
+trip to every exchange and sink the router-tax bound the benchmarks
+assert (tcp ≥ 0.5x pipe).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import time
+
+from .sharding import serve_shard
+
+_HEADER = struct.Struct("!I")
+
+#: frames beyond this are assumed to be a desynced/garbage length prefix
+#: (the sharded protocol ships command batches, not bulk dumps this big)
+MAX_FRAME_BYTES = 1 << 30
+
+
+class FrameError(ConnectionError):
+    """The byte stream is not a well-formed frame (truncation/garbage).
+
+    Subclasses ``ConnectionError`` (hence ``OSError``) deliberately: a
+    desynced stream is unrecoverable in place, so the router must treat
+    it like a dead transport — drop the connection and respawn/reconnect.
+    """
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            received = n - remaining
+            if not chunks:
+                raise EOFError  # clean close on a frame boundary
+            raise FrameError(
+                f"truncated frame: peer closed after {received}/{n} bytes"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, obj) -> None:
+    """Pickle ``obj`` and send it as one length-prefixed frame."""
+    payload = pickle.dumps(obj)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket):
+    """Receive one frame; ``EOFError`` on clean close, ``FrameError`` on rot."""
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"implausible frame length {length} (garbage prefix?)"
+        )
+    payload = _recv_exact(sock, length)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise FrameError(f"garbage frame: {exc}") from exc
+
+
+class SocketConnection:
+    """A connected TCP socket behind the duplex-pipe ``Connection`` surface."""
+
+    __slots__ = ("_sock",)
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+
+    def send(self, obj) -> None:
+        send_frame(self._sock, obj)
+
+    def recv(self):
+        return recv_frame(self._sock)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+
+def connect_shard(host: str, port: int, retries: int = 50,
+                  delay: float = 0.1) -> SocketConnection:
+    """Connect to a shard server, retrying while it binds/re-accepts.
+
+    The retry loop covers both startup (the server process is still
+    binding) and reconnect-after-crash (the server accepts the next
+    connection only after the previous one's serve loop unwinds).
+    """
+    last: Exception | None = None
+    for _ in range(retries):
+        try:
+            return SocketConnection(socket.create_connection((host, port)))
+        except OSError as exc:
+            last = exc
+            time.sleep(delay)
+    raise ConnectionError(
+        f"shard server {host}:{port} unreachable after {retries} attempts"
+    ) from last
+
+
+class ShardServer:
+    """One shard's TCP server: accept → fresh engine → serve → repeat.
+
+    ``engine_factory`` constructs the shard's engine (replaying its
+    persistence file) once per accepted connection, and
+    :func:`serve_shard` closes it when the connection ends — so every
+    reconnect sees exactly the state a pipe-transport respawn would see.
+    Connections are served one at a time: the shard protocol already
+    serialises exchanges behind the front's per-shard lock, so a second
+    concurrent front would only interleave corruption.
+    """
+
+    def __init__(self, host: str, port: int, engine_factory, run_batch,
+                 error_factory) -> None:
+        self._engine_factory = engine_factory
+        self._run_batch = run_batch
+        self._error_factory = error_factory
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(1)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._closed = False
+
+    def serve_one(self) -> None:
+        """Accept one connection and serve it to completion."""
+        sock, _peer = self._listener.accept()
+        conn = SocketConnection(sock)
+        engine = self._engine_factory()
+        # serve_shard closes the engine and the connection in its finally
+        serve_shard(conn, engine, self._run_batch, self._error_factory)
+
+    def serve_forever(self) -> None:
+        """Accept/serve until the listener is closed.
+
+        A connection that dies mid-frame must not kill the server: its
+        engine was already closed by ``serve_shard``'s finally, and the
+        next accept builds a fresh one from the persistence file.
+        """
+        while not self._closed:
+            try:
+                self.serve_one()
+            except OSError:
+                if self._closed:
+                    return
+                continue
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            # wake a thread blocked in accept(); close() alone leaves it
+            # sleeping on the dead fd on Linux
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._listener.close()

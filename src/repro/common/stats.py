@@ -165,6 +165,19 @@ class StatsCollector:
         elapsed = self.completion_time_s
         return self.total_ops / elapsed if elapsed > 0 else 0.0
 
+    def overall_percentile_us(self, pct: float) -> float:
+        """Percentile over *all* operations merged into one histogram.
+
+        The per-op histograms are mergeable by construction (fixed shared
+        buckets), so the overall p50/p99 a benchmark row reports is exact
+        to bucket resolution, not an average of per-op percentiles.
+        """
+        merged = Histogram()
+        with self._lock:
+            for s in self._ops.values():
+                merged.merge(s.histogram)
+        return merged.percentile_us(pct)
+
     def summary(self) -> dict:
         """Plain-dict report, one row per operation plus totals."""
         per_op = {}
@@ -174,6 +187,7 @@ class StatsCollector:
                 "ok": s.ok,
                 "failed": s.failed,
                 "mean_us": round(s.histogram.mean_us, 2),
+                "p50_us": round(s.histogram.percentile_us(50), 2),
                 "p99_us": round(s.histogram.percentile_us(99), 2),
                 "max_us": round(s.histogram.max_us, 2),
             }

@@ -16,10 +16,11 @@ fig8t       SQL thread scaling, global-lock vs rw/mvcc batched     ``scale``
 fig9p       Readers vs TTL purge, rw locking vs MVCC snapshots     ``scale``
 fig10s      Shard scaling, in-process vs multi-process minikv      ``scale``
 fig11q      SQL shard scaling, in-process vs sharded minisql       ``scale``
+fig12m      Online resharding movement, hash ring vs modulo        ``migration``
 ==========  =====================================================  ==============
 """
 
-from . import fig3a, fig3b, fig4, fig5, fig6, scale, table3
+from . import fig3a, fig3b, fig4, fig5, fig6, migration, scale, table3
 from .base import ExperimentResult
 
 ALL_EXPERIMENTS = {
@@ -37,7 +38,8 @@ ALL_EXPERIMENTS = {
     "fig9p": scale.sql_readers_vs_purge,
     "fig10s": scale.redis_shard_scaling,
     "fig11q": scale.sql_shard_scaling,
+    "fig12m": migration.run,
 }
 
 __all__ = ["ExperimentResult", "ALL_EXPERIMENTS", "fig3a", "fig3b", "fig4",
-           "fig5", "fig6", "scale", "table3"]
+           "fig5", "fig6", "migration", "scale", "table3"]

@@ -121,6 +121,26 @@ class MiniKVConfig:
     #: :func:`repro.minikv.sharded.open_minikv`; :class:`MiniKV` itself
     #: rejects ``shards > 1``.
     shards: int = 1
+    #: Default ``"pipe"`` — sharded workers talk over multiprocessing
+    #: pipes (local-only, the PR 4 deployment).  ``"tcp"`` carries the
+    #: same one-reply-per-message protocol over sockets (length-prefixed
+    #: pickled frames, see docs/sharding.md): without ``shard_addresses``
+    #: the router still spawns local workers on ephemeral loopback ports;
+    #: with them the workers are external ``tools/shard_server.py``
+    #: processes.  Ignored when ``shards == 1`` (no workers exist).
+    transport: str = "pipe"
+    #: Default ``None`` — the router spawns its own workers.  A sequence
+    #: of ``"host:port"`` strings (one per shard, ``transport="tcp"``
+    #: only) connects to externally-run shard servers instead; shard
+    #: persistence then lives wherever each server was started.
+    shard_addresses: tuple | None = None
+    #: Default ``None`` → 64 — virtual nodes per shard on the consistent-
+    #: hash ring that places keys on shards.  More vnodes flatten the
+    #: per-shard load spread at the cost of a longer migration plan on
+    #: add_shard/remove_shard.  Changing it on an existing resharded
+    #: deployment is ignored: the persisted topology's value wins, because
+    #: placement is a fact about the data already on disk.
+    ring_vnodes: int | None = None
 
     def resolved_ttl_algorithm(self) -> str:
         if self.ttl_algorithm:

@@ -48,9 +48,9 @@ write surface; counters such as DELETE's may differ across the retry).
 from __future__ import annotations
 
 import dataclasses
-import zlib
 
 from repro.common.errors import ConfigurationError, KVError
+from repro.common.hashring import in_slot, key_point
 from repro.common.sharding import (
     ShardConnectionError as _BaseShardConnectionError,
     ShardRouter,
@@ -59,6 +59,7 @@ from repro.common.sharding import (
 )
 from repro.crypto.luks import FileCipher
 
+from .datatypes import HashValue, StringValue
 from .engine import MiniKV, MiniKVConfig
 
 
@@ -98,6 +99,8 @@ def _worker_config(config: MiniKVConfig, index: int) -> MiniKVConfig:
     return dataclasses.replace(
         config,
         shards=1,
+        transport="pipe",
+        shard_addresses=None,
         aof_path=(
             shard_aof_path(config.aof_path, index)
             if config.aof_path is not None else None
@@ -106,6 +109,60 @@ def _worker_config(config: MiniKVConfig, index: int) -> MiniKVConfig:
         # how the striped engine seeds each stripe's cycle differently
         expiry_seed=config.expiry_seed + index,
     )
+
+
+class _ShardBackend(MiniKV):
+    """The engine one shard worker runs: ``MiniKV`` + migration RPCs.
+
+    The three ``migrate_*`` methods are the worker side of online
+    resharding (``docs/sharding.md``): the dump reads live state under
+    the engine's own locks (so it includes acknowledged writes that have
+    not hit the AOF file yet — the catch-up), and the apply replays
+    through the public write surface, so the destination's AOF records
+    the arrivals durably.  Apply is delete-before-insert and the router
+    only drops after a successful apply, so every step is idempotent and
+    a crash mid-migration repairs by re-running the plan.
+    """
+
+    def migrate_dump(self, lo: int, hi: int) -> list:
+        """Every live key in ring slot ``(lo, hi]``: (kind, key, payload,
+        deadline) tuples, expired keys skipped (death needs no ticket)."""
+        now = self.clock.now()
+        items: list[tuple] = []
+        with self._locked_all():
+            for stripe in self._stripes:
+                for key, value in stripe.data.items():
+                    if not in_slot(key_point(key), lo, hi):
+                        continue
+                    if stripe.expires.is_expired(key, now):
+                        continue
+                    deadline = stripe.expires.deadline(key)
+                    if isinstance(value, StringValue):
+                        items.append(("string", key, value.data, deadline))
+                    elif isinstance(value, HashValue):
+                        items.append(("hash", key, dict(value.fields), deadline))
+                    else:  # SetValue
+                        items.append(("set", key, sorted(value.members), deadline))
+        return items
+
+    def migrate_apply(self, items: list) -> int:
+        """Install dumped keys (idempotent: any stale twin dies first)."""
+        for kind, key, payload, deadline in items:
+            self.delete(key)
+            if kind == "string":
+                self.set(key, payload)
+            elif kind == "hash":
+                self.hmset(key, payload)
+            else:
+                self.sadd(key, *payload)
+            if deadline is not None:
+                self.expireat(key, deadline)
+        return len(items)
+
+    def migrate_drop(self, items: list) -> int:
+        """Forget dumped keys after the destination applied them."""
+        keys = [key for _kind, key, _payload, _deadline in items]
+        return self.delete(*keys) if keys else 0
 
 
 def _run_engine_batch(engine: MiniKV, calls: list) -> list:
@@ -131,7 +188,7 @@ def _run_engine_batch(engine: MiniKV, calls: list) -> list:
 
 def _worker_main(conn, config: MiniKVConfig) -> None:
     """One shard worker: replay the shard AOF, then serve the connection."""
-    engine = MiniKV(config)  # replays this shard's AOF if one exists
+    engine = _ShardBackend(config)  # replays this shard's AOF if one exists
     serve_shard(conn, engine, _run_engine_batch, KVError)
 
 
@@ -174,7 +231,7 @@ class ShardedPipeline:
         for key in keys:
             by_shard.setdefault(self._front._shard_index(key), []).append(key)
         if not by_shard:  # keyless DELETE still occupies a result slot
-            by_shard[0] = []
+            by_shard[self._front._anchor_id] = []
         parts = []
         for index in sorted(by_shard):
             calls = self._per_shard.setdefault(index, [])
@@ -220,7 +277,9 @@ class ShardedPipeline:
 
 def _make_keyed_command(method: str):
     def command(self, key, *args, **kwargs):
-        return self._call(self._shard_index(key), method, key, *args, **kwargs)
+        # _call_point resolves the owner under the topology lock, so a
+        # concurrent reshard cannot slip between routing and exchange
+        return self._call_point(key_point(key), method, key, *args, **kwargs)
     command.__name__ = method
     command.__qualname__ = f"ShardedMiniKV.{method}"
     command.__doc__ = f"Route ``{method.upper()}`` to its key's shard worker."
@@ -247,18 +306,29 @@ class ShardedMiniKV(ShardRouter):
             raise ConfigurationError("shards must be >= 1")
         self._file_cipher = FileCipher() if self.config.encryption_at_rest else None
         super().__init__(
-            [_worker_config(self.config, i) for i in range(self.config.shards)],
+            self.config.shards,
             start_method=start_method,
+            transport=self.config.transport,
+            addresses=self.config.shard_addresses,
+            ring_vnodes=self.config.ring_vnodes,
+            base_path=self.config.aof_path,
         )
 
     # ------------------------------------------------------------------
-    # Routing
+    # Routing + router hooks
     # ------------------------------------------------------------------
 
+    def _shard_config(self, shard_id: int) -> MiniKVConfig:
+        return _worker_config(self.config, shard_id)
+
+    def _shard_files(self, shard_id: int) -> list[str]:
+        if self.config.aof_path is None:
+            return []
+        return [shard_aof_path(self.config.aof_path, shard_id)]
+
     def _shard_index(self, key: str) -> int:
-        if self._nshards == 1:
-            return 0
-        return zlib.crc32(key.encode()) % self._nshards
+        """The shard id owning ``key`` on the consistent-hash ring."""
+        return self._owner(key_point(key))
 
     # ------------------------------------------------------------------
     # Command surface
@@ -288,24 +358,29 @@ class ShardedMiniKV(ShardRouter):
              count: int = 10) -> tuple[int, list[str]]:
         """Cursor iteration over the union keyspace, shard by shard.
 
-        The cursor packs ``(shard index, that shard's inner SCAN cursor)``
-        as ``inner * shards + shard + 1``; ``0`` still means "traversal
-        complete".  Guarantees compose from the per-shard engine SCAN:
-        keys stable for the whole traversal are returned at least once,
-        deletions are skipped, concurrent inserts may be missed.  There
-        is no cross-shard snapshot — each shard is traversed against its
-        own snapshot, taken when the cursor enters it.
+        The cursor packs ``(shard position, that shard's inner SCAN
+        cursor)`` as ``inner * nshards + position + 1`` over the sorted
+        live shard ids; ``0`` still means "traversal complete".
+        Guarantees compose from the per-shard engine SCAN: keys stable
+        for the whole traversal are returned at least once, deletions are
+        skipped, concurrent inserts may be missed.  There is no
+        cross-shard snapshot — each shard is traversed against its own
+        snapshot, taken when the cursor enters it — and a reshard
+        invalidates in-flight cursors (the position→id mapping changes;
+        restart the traversal from 0, as after a snapshot eviction).
         """
+        ids = self.shard_ids
+        nshards = len(ids)
         if cursor == 0:
-            shard_index, inner = 0, 0
+            position, inner = 0, 0
         else:
-            shard_index = (cursor - 1) % self._nshards
-            inner = (cursor - 1) // self._nshards
-        inner_next, batch = self._call(shard_index, "scan", inner, match, count)
+            position = (cursor - 1) % nshards
+            inner = (cursor - 1) // nshards
+        inner_next, batch = self._call(ids[position], "scan", inner, match, count)
         if inner_next != 0:
-            return inner_next * self._nshards + shard_index + 1, batch
-        if shard_index + 1 < self._nshards:
-            return shard_index + 2, batch  # (next shard, inner cursor 0)
+            return inner_next * nshards + position + 1, batch
+        if position + 1 < nshards:
+            return position + 2, batch  # (next shard, inner cursor 0)
         return 0, batch
 
     # -- keyless fan-outs, each with its named merge ---------------------
@@ -369,7 +444,7 @@ class ShardedMiniKV(ShardRouter):
                 shard_path(archive_path, index)
                 if archive_path is not None else None,
             ), {}))
-            for index in range(self._nshards)
+            for index in self.shard_ids
         ])
 
     def info(self) -> dict:
@@ -385,7 +460,7 @@ class ShardedMiniKV(ShardRouter):
             "expiry_algorithm": per_shard[0]["expiry_algorithm"],
             "stripes": per_shard[0]["stripes"],
             "gdpr_features": per_shard[0]["gdpr_features"],
-            "shards": self._nshards,
+            "shards": self.shard_count,
             "keys_per_shard": [i["keys"] for i in per_shard],
         }
         return merged
@@ -396,10 +471,10 @@ class ShardedMiniKV(ShardRouter):
 
     @property
     def aof_paths(self) -> list[str]:
-        """The per-shard AOF files (empty when persistence is off)."""
+        """The live shards' AOF files (empty when persistence is off)."""
         if self.config.aof_path is None:
             return []
-        return [shard_aof_path(self.config.aof_path, i) for i in range(self._nshards)]
+        return [shard_aof_path(self.config.aof_path, i) for i in self.shard_ids]
 
     def __enter__(self) -> "ShardedMiniKV":
         return self

@@ -111,6 +111,22 @@ class MiniSQLConfig:
     #: via :func:`repro.minisql.sharded.open_database`; the in-process
     #: facade itself rejects ``shards > 1``.
     shards: int = 1
+    #: Default ``"pipe"`` — sharded workers talk over multiprocessing
+    #: pipes (mirrors ``MiniKVConfig.transport``).  ``"tcp"`` carries the
+    #: same protocol over sockets: without ``shard_addresses`` the router
+    #: spawns local workers on ephemeral loopback ports; with them the
+    #: workers are external ``tools/shard_server.py`` processes.  Ignored
+    #: when ``shards == 1``.
+    transport: str = "pipe"
+    #: Default ``None`` — the router spawns its own workers.  A sequence
+    #: of ``"host:port"`` strings (one per shard, ``transport="tcp"``
+    #: only) connects to externally-run shard servers instead.
+    shard_addresses: tuple | None = None
+    #: Default ``None`` → 64 — virtual nodes per shard on the consistent-
+    #: hash ring placing rows (by primary key) on shards; the persisted
+    #: topology's value wins on an already-resharded deployment (mirrors
+    #: ``MiniKVConfig.ring_vnodes``).
+    ring_vnodes: int | None = None
 
     def gdpr_features(self, has_indices: bool, has_ttl: bool) -> dict[str, bool]:
         return {

@@ -47,10 +47,10 @@ construction path — unless ``shards > 1``.
 from __future__ import annotations
 
 import dataclasses
-import zlib
 from typing import Mapping, Sequence
 
 from repro.common.errors import ConfigurationError, SQLError
+from repro.common.hashring import in_slot, key_point
 from repro.common.sharding import (
     ShardConnectionError as _BaseShardConnectionError,
     ShardRouter,
@@ -92,6 +92,8 @@ def _worker_config(config: MiniSQLConfig, index: int) -> MiniSQLConfig:
     return dataclasses.replace(
         config,
         shards=1,
+        transport="pipe",
+        shard_addresses=None,
         wal_path=(
             shard_store_path(config.wal_path, index)
             if config.wal_path is not None else None
@@ -152,6 +154,96 @@ class _ShardBackend(Database):
         """Force the WAL buffer to disk (minikv's ``flush_aof`` twin)."""
         if self._storage.wal is not None:
             self._storage.wal.flush()
+
+    # -- online resharding (the worker side; see docs/sharding.md) --------
+
+    def migrate_dump(self, lo: int, hi: int) -> dict[str, list[dict]]:
+        """Every pk-routed row whose key falls in ring slot ``(lo, hi]``.
+
+        Rows are read through the statement surface, so the dump sees
+        exactly the committed state (including writes still buffered for
+        the WAL file — the catch-up step).  Tables without a primary key
+        are not ring-placed (they live on the anchor shard) and are
+        skipped here; :meth:`migrate_dump_tables` moves them wholesale.
+        """
+        out: dict[str, list[dict]] = {}
+        for name in self.catalog.tables():
+            pk = self.catalog.table(name).primary_key
+            if pk is None:
+                continue
+            rows = [
+                row for row in self.select(name, _internal=True)
+                if in_slot(key_point(str(row[pk])), lo, hi)
+            ]
+            if rows:
+                out[name] = rows
+        return out
+
+    def migrate_dump_tables(self, tables: Sequence[str]) -> dict[str, list[dict]]:
+        """Whole tables (the pk-less anchor set), for anchor handover."""
+        return {name: self.select(name, _internal=True) for name in tables}
+
+    def migrate_apply(self, payload: Mapping[str, list[dict]]) -> int:
+        """Install dumped rows; idempotent so a repaired migration can
+        re-apply (delete-by-pk first; pk-less tables are replaced whole —
+        their rows only ever live on one shard)."""
+        applied = 0
+        for name, rows in payload.items():
+            pk = self.catalog.table(name).primary_key
+            if pk is None:
+                self.delete(name, None, _internal=True)
+            for row in rows:
+                if pk is not None:
+                    self.delete(name, Cmp(pk, "=", row[pk]), _internal=True)
+                self.insert(name, row, _internal=True)
+                applied += 1
+        return applied
+
+    def migrate_drop(self, payload: Mapping[str, list[dict]]) -> int:
+        """Forget dumped rows after the destination applied them."""
+        dropped = 0
+        for name, rows in payload.items():
+            pk = self.catalog.table(name).primary_key
+            if pk is None:
+                continue  # pk-less tables move by handover, never by slot
+            for row in rows:
+                dropped += self.delete(name, Cmp(pk, "=", row[pk]), _internal=True)
+        return dropped
+
+    def dump_catalog(self) -> dict:
+        """DDL as data: everything a fresh shard needs to mirror us."""
+        tables = []
+        for name in self.catalog.tables():
+            schema = self.catalog.table(name)
+            tables.append((name, list(schema.columns), schema.primary_key))
+        indices = []
+        for name in self.catalog.tables():
+            for info in self.catalog.indices_for(name):
+                if info.name == f"{name}_pkey":
+                    continue  # create_table rebuilds the pkey index itself
+                indices.append((info.name, info.table, info.column, info.unique))
+        ttls = [
+            (sweeper.table, sweeper.column, sweeper.interval)
+            for sweeper in self._sweepers.values()
+        ]
+        return {"tables": tables, "indices": indices, "ttls": ttls}
+
+    def load_catalog(self, payload: Mapping) -> None:
+        """Mirror a dumped catalog; idempotent (repair may replay it)."""
+        existing = set(self.catalog.tables())
+        for name, columns, primary_key in payload["tables"]:
+            if name not in existing:
+                self.create_table(name, columns, primary_key)
+        for name, table, column, unique in payload["indices"]:
+            index_names = {
+                info.name for t in self.catalog.tables()
+                for info in self.catalog.indices_for(t)
+            }
+            if name not in index_names:
+                self.create_index(name, table, column, unique=unique)
+        for table, column, interval in payload["ttls"]:
+            if table not in self._sweepers:
+                self.enable_ttl(table, column, interval)
 
 
 def _run_statement_batch(db: _ShardBackend, calls: list) -> list:
@@ -242,7 +334,7 @@ class ShardedSQLPipeline:
                       args: tuple, kwargs: dict,
                       limit: int | None = None) -> "ShardedSQLPipeline":
         index = self._front._route_where(table, where)
-        indices = range(self._front.shard_count) if index is None else (index,)
+        indices = self._front.shard_ids if index is None else (index,)
         return self._queue_parts(merge, indices, method, args, kwargs, limit)
 
     # -- queueing surface (mirrors the statement surface) -----------------
@@ -281,7 +373,7 @@ class ShardedSQLPipeline:
         if front._pks.get(table) == column:
             indices: Sequence[int] = (front._shard_for_value(table, value),)
         else:
-            indices = range(front.shard_count)
+            indices = front.shard_ids
         return self._queue_parts(
             "rows", indices, "select_point", (table, column, value), kwargs
         )
@@ -359,17 +451,65 @@ class ShardedDatabase(ShardRouter):
             raise ConfigurationError("shards must be >= 1")
         self._file_cipher = FileCipher() if self.config.encryption_at_rest else None
         super().__init__(
-            [_worker_config(self.config, i) for i in range(self.config.shards)],
+            self.config.shards,
             start_method=start_method,
+            transport=self.config.transport,
+            addresses=self.config.shard_addresses,
+            ring_vnodes=self.config.ring_vnodes,
+            # the topology file lives next to the WAL; without durability
+            # the topology is in-memory like everything else
+            base_path=self.config.wal_path,
         )
         #: table -> primary key name, and table -> pk Column (for value
-        #: canonicalization) — the routing maps.  Bootstrapped from
-        #: shard 0 so a WAL-recovered deployment routes correctly (DDL
-        #: fans out, so every shard holds the same catalog).
+        #: canonicalization) — the routing maps.  Bootstrapped from the
+        #: anchor shard so a WAL-recovered deployment routes correctly
+        #: (DDL fans out, so every shard holds the same catalog).
         self._pks: dict[str, str | None] = {}
         self._pk_columns: dict[str, Column] = {}
-        for table, pk_info in self._call(0, "describe").items():
+        for table, pk_info in self._call(self._anchor_id, "describe").items():
             self._register_pk(table, pk_info)
+
+    # ------------------------------------------------------------------
+    # Router hooks
+    # ------------------------------------------------------------------
+
+    def _shard_config(self, shard_id: int) -> MiniSQLConfig:
+        return _worker_config(self.config, shard_id)
+
+    def _shard_files(self, shard_id: int) -> list[str]:
+        paths = []
+        if self.config.wal_path is not None:
+            paths.append(shard_store_path(self.config.wal_path, shard_id))
+        if self.config.csvlog_path is not None:
+            paths.append(shard_store_path(self.config.csvlog_path, shard_id))
+        return paths
+
+    def _on_shard_added(self, shard_id: int) -> None:
+        """Clone the catalog onto the fresh shard (DDL fans out, so every
+        live shard already agrees; any of them can be the template)."""
+        template = min(i for i in self._shards if i != shard_id)
+        payload = self._call(template, "dump_catalog")
+        self._call(shard_id, "load_catalog", payload)
+
+    def _before_shard_removed(self, shard_id: int, surviving_ids) -> None:
+        """Hand pk-less tables over when the anchor shard departs.
+
+        Tables without a primary key are not ring-placed: all their rows
+        live on the anchor (smallest live id).  Removing the anchor
+        re-homes them wholesale onto the next-smallest id; the apply
+        replaces the target's (empty) copy, so a repaired re-run is safe.
+        """
+        if shard_id != min(shard_id, *surviving_ids):
+            return  # not the anchor: nothing lives outside the ring
+        nopk = [
+            table for table, pk_info
+            in self._call(shard_id, "describe").items()
+            if pk_info is None
+        ]
+        if not nopk:
+            return
+        payload = self._call(shard_id, "migrate_dump_tables", nopk)
+        self._call(min(surviving_ids), "migrate_apply", payload)
 
     # ------------------------------------------------------------------
     # Routing
@@ -384,7 +524,7 @@ class ShardedDatabase(ShardRouter):
             self._pks[table], self._pk_columns[table] = pk_info
 
     def _shard_for_value(self, table: str, value) -> int:
-        """The shard owning primary-key ``value`` (crc32 of its text).
+        """The shard owning primary-key ``value`` (ring point of its text).
 
         The value is canonicalized through the declared column type
         first, so the int ``1`` an INSERT carries and the stored float
@@ -393,15 +533,13 @@ class ShardedDatabase(ShardRouter):
         rejects routes on its raw text; the statement itself raises the
         real error on its worker.
         """
-        if self._nshards == 1:
-            return 0
         column = self._pk_columns.get(table)
         if column is not None:
             try:
                 value = column.validate(value)
             except Exception:
                 pass  # let the routed statement surface the type error
-        return zlib.crc32(str(value).encode()) % self._nshards
+        return self._owner(key_point(str(value)))
 
     def _route_row(self, table: str, values: Mapping[str, object]) -> int:
         """The shard a new row lands on: hash of its primary key value.
@@ -411,7 +549,7 @@ class ShardedDatabase(ShardRouter):
         """
         pk = self._pks.get(table)
         if pk is None:
-            return 0
+            return self._anchor_id
         return self._shard_for_value(table, values.get(pk))
 
     def _route_where(self, table: str, where: Expr | None) -> int | None:
@@ -651,8 +789,8 @@ class ShardedDatabase(ShardRouter):
         return sum(self._fanout("vacuum", (table,)).values())
 
     def explain(self, table: str, where: Expr | None = None) -> str:
-        """Plans are identical on every shard; shard 0 answers."""
-        return self._call(0, "explain", table, where)
+        """Plans are identical on every shard; the anchor answers."""
+        return self._call(self._anchor_id, "explain", table, where)
 
     def pipeline(self) -> ShardedSQLPipeline:
         """A new scatter/gather statement batch (one txn per shard)."""
@@ -682,28 +820,31 @@ class ShardedDatabase(ShardRouter):
 
     @property
     def catalog(self):
-        """The catalog (fetched from shard 0; identical on every shard)."""
-        return self._call(0, "get_catalog")
+        """The catalog (fetched from the anchor; identical on every shard)."""
+        return self._call(self._anchor_id, "get_catalog")
 
     @property
     def ttl_enabled(self) -> bool:
-        return bool(self._call(0, "info")["gdpr_features"]["timely_deletion"])
+        return bool(
+            self._call(self._anchor_id, "info")
+            ["gdpr_features"]["timely_deletion"]
+        )
 
     @property
     def wal_paths(self) -> list[str]:
-        """The per-shard WAL files (empty when durability is off)."""
+        """The live shards' WAL files (empty when durability is off)."""
         if self.config.wal_path is None:
             return []
         return [shard_store_path(self.config.wal_path, i)
-                for i in range(self._nshards)]
+                for i in self.shard_ids]
 
     @property
     def csvlog_paths(self) -> list[str]:
-        """The per-shard statement/audit logs (empty without monitoring)."""
+        """The live shards' statement/audit logs (empty without monitoring)."""
         if self.config.csvlog_path is None:
             return []
         return [shard_store_path(self.config.csvlog_path, i)
-                for i in range(self._nshards)]
+                for i in self.shard_ids]
 
     def flush_csvlog(self) -> None:
         """Flush every shard's csvlog (audit readers parse the files)."""
@@ -747,7 +888,7 @@ class ShardedDatabase(ShardRouter):
                 key: sum(i["disk_usage"][key] for i in per_shard)
                 for key in per_shard[0]["disk_usage"]
             },
-            "shards": self._nshards,
+            "shards": self.shard_count,
             "statements_per_shard": [i["statements"] for i in per_shard],
         }
 

@@ -17,12 +17,16 @@ from repro.clients import FeatureSet, GDPRPipeline, make_client
 from repro.common.errors import GDPRError
 from repro.gdpr.acl import Principal
 
-#: (id, engine, client kwargs) — each runs the whole contract suite
+#: (id, engine, client kwargs) — each runs the whole contract suite.
+#: The tcp variants run the same sharded deployments over the socket
+#: transport, so the wire framing cannot drift from the pipe contract.
 CONFIGS = (
     ("redis", "redis", {}),
     ("postgres", "postgres", {}),
     ("redis-sharded", "redis", {"shards": 3}),
     ("postgres-sharded", "postgres", {"shards": 3}),
+    ("redis-sharded-tcp", "redis", {"shards": 3, "transport": "tcp"}),
+    ("postgres-sharded-tcp", "postgres", {"shards": 3, "transport": "tcp"}),
 )
 N_ROWS = 30
 

@@ -36,7 +36,7 @@ class TestExperimentResult:
         assert set(ALL_EXPERIMENTS) == {
             "fig3a", "fig3b", "fig4a", "fig4b", "fig5",
             "table3", "fig6", "fig7", "fig7t", "fig8", "fig8t", "fig9p",
-            "fig10s", "fig11q",
+            "fig10s", "fig11q", "fig12m",
         }
 
 
@@ -110,3 +110,16 @@ class TestScale:
             ycsb_operations=50, gdpr_operations=10, threads=1,
         )
         assert result.experiment == "fig8"
+
+
+class TestFig12m:
+    def test_shape_holds_at_small_scale(self):
+        from repro.experiments import migration
+
+        result = migration.run(record_count=2000, shards=3)
+        result.check()
+        by_strategy = {row["strategy"]: row for row in result.rows}
+        ring = by_strategy["hash-ring (measured)"]
+        modulo = by_strategy["modulo (computed)"]
+        assert ring["shards_after"] == modulo["shards_after"] == 4
+        assert modulo["keys_moved"] >= 2 * ring["keys_moved"]

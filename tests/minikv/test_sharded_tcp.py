@@ -1,0 +1,156 @@
+"""ShardedMiniKV over the TCP transport: parity, faults, and leaks.
+
+The socket transport must be behaviourally invisible: the same command
+surface, the same respawn-and-replay crash recovery, the same
+scatter/gather batching as the default pipe transport — only the bytes
+travel differently (length-prefixed pickled frames, docs/sharding.md).
+These tests run the sharded contract's hot paths on ``transport="tcp"``
+and add the transport-specific fault taxonomy: a worker that dies again
+on the retried exchange surfaces :class:`ShardConnectionError`, and
+``close()`` reaps every worker process and socket it opened.
+"""
+
+import threading
+
+import pytest
+
+from repro.minikv import MiniKV, MiniKVConfig, ShardedMiniKV
+from repro.minikv.sharded import ShardConnectionError
+
+
+def tcp_sharded(tmp_path=None, shards=3, **overrides):
+    config = MiniKVConfig(
+        shards=shards,
+        transport="tcp",
+        aof_path=(str(tmp_path / "kv.aof") if tmp_path is not None else None),
+        **overrides,
+    )
+    return ShardedMiniKV(config)
+
+
+class TestTcpParity:
+    def test_commands_route_and_merge_over_tcp(self):
+        with tcp_sharded() as kv:
+            for i in range(60):
+                kv.set(f"k{i}", b"v%d" % i)
+            assert kv.get("k17") == b"v17"
+            assert kv.dbsize() == 60
+            assert kv.delete("k1", "k2", "nope") == 2
+            kv.hmset("h", {"a": b"1", "b": b"2"})
+            assert kv.hgetall("h") == {"a": b"1", "b": b"2"}
+            kv.sadd("s", b"x", b"y")
+            assert kv.smembers("s") == {b"x", b"y"}
+            info = kv.info()
+            assert info["shards"] == 3
+            assert sum(info["keys_per_shard"]) == info["keys"] == 60
+
+    def test_pipeline_matches_in_process_engine(self):
+        ops = [("set", (f"k{i}", b"v%d" % i), {}) for i in range(40)]
+        ops += [("get", (f"k{i}",), {}) for i in range(40)]
+        with MiniKV(MiniKVConfig()) as plain:
+            pipe = plain.pipeline()
+            for method, args, kwargs in ops:
+                getattr(pipe, method)(*args, **kwargs)
+            expected = pipe.execute()
+        with tcp_sharded() as kv:
+            pipe = kv.pipeline()
+            for method, args, kwargs in ops:
+                getattr(pipe, method)(*args, **kwargs)
+            assert pipe.execute() == expected
+
+    def test_routing_agrees_with_pipe_transport(self, tmp_path):
+        # same keys, same ring → same shard files regardless of transport
+        keys = [f"user{i}" for i in range(50)]
+        with ShardedMiniKV(MiniKVConfig(
+            shards=3, aof_path=str(tmp_path / "pipe.aof"), fsync="always",
+        )) as kv:
+            for k in keys:
+                kv.set(k, b"v")
+            pipe_counts = kv.info()["keys_per_shard"]
+        with tcp_sharded(tmp_path, fsync="always") as kv:
+            for k in keys:
+                kv.set(k, b"v")
+            tcp_counts = kv.info()["keys_per_shard"]
+        assert pipe_counts == tcp_counts
+
+
+class TestTcpRecovery:
+    def test_killed_worker_respawns_and_replays(self, tmp_path):
+        with tcp_sharded(tmp_path, fsync="always") as kv:
+            for i in range(40):
+                kv.set(f"k{i}", b"v%d" % i)
+            victim = kv._shards[1]
+            victim.process.kill()
+            victim.process.join()
+            # every key still answers: the dead worker's shard replays
+            # its own AOF through the reconnected socket
+            assert sorted(kv.keys()) == sorted(f"k{i}" for i in range(40))
+            assert kv.get("k7") == b"v7"
+            kv.set("after", b"crash")
+            assert kv.get("after") == b"crash"
+
+    def test_kill_during_scatter_gather_batch(self, tmp_path):
+        with tcp_sharded(tmp_path, fsync="always") as kv:
+            for i in range(30):
+                kv.set(f"k{i}", b"v%d" % i)
+            kv._shards[2].process.kill()
+            kv._shards[2].process.join()
+            pipe = kv.pipeline()
+            for i in range(30):
+                pipe.get(f"k{i}")
+            assert pipe.execute() == [b"v%d" % i for i in range(30)]
+
+    def test_second_death_raises_shard_connection_error(self, tmp_path, monkeypatch):
+        with tcp_sharded(tmp_path, fsync="always") as kv:
+            kv.set("k", b"v")
+            shard = kv._shards[kv._shard_index("k")]
+            shard.process.kill()
+            shard.process.join()
+            # a respawn that leaves the dead connection in place models a
+            # worker that dies again on the retried exchange
+            monkeypatch.setattr(kv, "_respawn", lambda shard: None)
+            with pytest.raises(ShardConnectionError):
+                kv.get("k")
+
+    def test_mid_batch_disconnect_raises_shard_connection_error(
+            self, tmp_path, monkeypatch):
+        with tcp_sharded(tmp_path, fsync="always") as kv:
+            for i in range(30):
+                kv.set(f"k{i}", b"v%d" % i)
+            kv._shards[0].process.kill()
+            kv._shards[0].process.join()
+            monkeypatch.setattr(kv, "_respawn", lambda shard: None)
+            pipe = kv.pipeline()
+            for i in range(30):
+                pipe.get(f"k{i}")
+            with pytest.raises(ShardConnectionError):
+                pipe.execute()
+
+
+class TestTcpLifecycle:
+    def test_close_reaps_worker_processes_and_sockets(self):
+        kv = tcp_sharded()
+        kv.set("k", b"v")
+        workers = [shard.process for shard in kv._shards.values()]
+        conns = [shard.conn for shard in kv._shards.values()]
+        assert all(proc.is_alive() for proc in workers)
+        kv.close()
+        for proc in workers:
+            proc.join(timeout=5)
+            assert not proc.is_alive()
+        for conn in conns:
+            # closed sockets have fd -1: nothing left registered with the OS
+            assert conn.fileno() == -1
+
+    def test_close_is_idempotent_and_commands_fail_loudly(self):
+        kv = tcp_sharded()
+        kv.close()
+        kv.close()
+        with pytest.raises(ShardConnectionError):
+            kv.get("k")
+
+    def test_no_thread_leak_per_deployment(self):
+        before = threading.active_count()
+        with tcp_sharded() as kv:
+            kv.set("k", b"v")
+        assert threading.active_count() <= before

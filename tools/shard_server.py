@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Standalone shard worker server: one shard of a sharded deployment, on TCP.
+
+The multi-process sharded engines normally spawn their own workers; this
+entrypoint runs one worker as an *external* process instead, so shards
+can live on other hosts (or be supervised independently).  A front
+configured with ``transport="tcp"`` and ``shard_addresses=[...]``
+connects here; every accepted connection gets a freshly constructed
+engine that replays this shard's persistence file first, which is
+exactly the respawn-replay recovery semantics of the in-router workers
+(see docs/sharding.md).
+
+Usage::
+
+    tools/shard_server.py --engine minikv  --port 7101 --config-json '{"aof_path": "/data/kv.aof.shard0", "fsync": "always"}'
+    tools/shard_server.py --engine minisql --port 7201 --config-json '{"wal_path": "/data/sql.wal.shard1"}'
+
+The config JSON holds ``MiniKVConfig`` / ``MiniSQLConfig`` fields for
+**this one shard** (so persistence paths should already carry their
+``.shard<i>`` suffix; ``shards`` must stay 1).  The server prints
+``listening on <host>:<port>`` once bound — with ``--port 0`` the kernel
+picks the port and the line is how a supervisor learns it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.common.errors import KVError, SQLError  # noqa: E402
+from repro.common.netshard import ShardServer  # noqa: E402
+
+
+def _build(engine: str, config_fields: dict):
+    """(engine factory, run_batch, error factory) for one engine family."""
+    if engine == "minikv":
+        from repro.minikv.engine import MiniKVConfig
+        from repro.minikv.sharded import _ShardBackend, _run_engine_batch
+
+        config = MiniKVConfig(**config_fields)
+        return (lambda: _ShardBackend(config)), _run_engine_batch, KVError
+    from repro.minisql.database import MiniSQLConfig
+    from repro.minisql.sharded import _ShardBackend, _run_statement_batch
+
+    config = MiniSQLConfig(**config_fields)
+    return (lambda: _ShardBackend(config)), _run_statement_batch, SQLError
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--engine", choices=("minikv", "minisql"),
+                        required=True, help="which engine family this shard runs")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default loopback)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="bind port (0 = kernel-assigned, printed on stdout)")
+    parser.add_argument("--config-json", default="{}",
+                        help="engine config fields for this shard, as JSON")
+    parser.add_argument("--once", action="store_true",
+                        help="serve a single connection then exit (tests)")
+    args = parser.parse_args(argv)
+
+    config_fields = json.loads(args.config_json)
+    if config_fields.get("shards", 1) != 1:
+        parser.error("a shard server runs exactly one shard (shards must be 1)")
+    engine_factory, run_batch, error_factory = _build(args.engine, config_fields)
+
+    server = ShardServer(args.host, args.port, engine_factory, run_batch,
+                         error_factory)
+    print(f"listening on {server.host}:{server.port}", flush=True)
+    try:
+        if args.once:
+            server.serve_one()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
