@@ -48,6 +48,22 @@ Asserted floors:
   real tax (length-prefixed frames, kernel socket buffers) but with
   ``TCP_NODELAY`` and per-batch round-trips it must stay within 2x of
   pipes: the asserted floor is **tcp >= 0.5x pipe** for both engines.
+* **autopipe** (PR 8 tentpole): 8 open-loop issuer threads at
+  saturation against the 4-shard TCP deployment on the full-GDPR
+  YCSB-C mix, each issuer coalescing bare client calls through
+  ``client.autopipe(...)`` vs the same issuers making unbatched
+  per-call round-trips.  Implicit pipelining must buy >= 2x the
+  per-call throughput — the futures front end has to deliver the
+  explicit-batching win without the call sites opting in.  Measured
+  where round-trips are real (frames over kernel sockets to worker
+  processes); connection warmup is excluded from the timed window.
+
+Besides the closed-loop grid, the JSON carries **open-loop** rows
+(``workload: "openloop-ycsb-C"``): Poisson-arrival runs at offered
+loads swept around the measured per-call capacity, reporting achieved
+ops/s and p50/p99 *sojourn* time (queueing + service, measured from
+each request's scheduled arrival — see :mod:`repro.bench.openloop`).
+Sweep rows are report-only; only the saturation pair is asserted.
 
 Every grid row also records the merged per-operation ``p50_us`` /
 ``p99_us`` latency (report-only — no floor asserts on percentiles), so
@@ -61,11 +77,15 @@ profile regenerates the canonical ``BENCH_throughput.json``.
 from __future__ import annotations
 
 import json
+import math
 import os
 import statistics
 
+from repro.bench import ycsb as ycsb_mod
+from repro.bench.openloop import OpenLoopConfig, OpenLoopReport, run_open_loop
 from repro.bench.session import YCSBSession, YCSBSessionConfig
 from repro.bench.ycsb import YCSBConfig
+from repro.clients import make_client
 from repro.clients.base import FeatureSet
 from repro.experiments.scale import (
     readers_vs_purge_throughput,
@@ -177,6 +197,20 @@ SQL_TCP_SHARD_PAIR = (
     SQL_OPERATIONS,
 )
 
+#: the autopipe open-loop setup (PR 8 tentpole): 8 issuer threads against
+#: the 4-shard TCP deployment with full-GDPR features — the config where
+#: every per-call request pays a real wire round-trip (frame, kernel
+#: socket, worker wakeup), which is exactly the overhead implicit
+#: coalescing removes.  On the in-process engine a "round-trip" is a
+#: function call and batching buys little; asserting there would measure
+#: future-object overhead, not the pipelining win.
+OPENLOOP_ISSUERS = 8
+AUTOPIPE_BATCH = 128
+OPENLOOP_CLIENT = ("redis", {"shards": 4, "transport": "tcp"})
+#: offered loads for the report-only sweep, as fractions of the measured
+#: per-call saturation capacity: under, at, and past the knee
+OPENLOOP_LOAD_MULTIPLIERS = (0.5, 1.0, 2.0)
+
 #: CPU-tiered shard floor, shared with fig10s (repro.experiments.scale
 #: owns the tier table): 2x with 4+ usable cores (every CI runner),
 #: a weaker scaling bound at 2-3, and on one core only the router-tax
@@ -283,6 +317,69 @@ def _mixed_purge_throughputs(samples: int) -> tuple[float, float]:
     return rw, mvcc
 
 
+def _openloop_report(autopipe_batch: int, offered_ops_s: float) -> OpenLoopReport:
+    """One open-loop run: load the YCSB table, replay workload C."""
+    engine, client_kwargs = OPENLOOP_CLIENT
+    config = ycsb_mod.YCSBConfig(
+        record_count=RECORDS, operation_count=OPERATIONS,
+        field_count=1, field_length=16, seed=42,
+    )
+    client = make_client(engine, FeatureSet.full(), **client_kwargs)
+    try:
+        ycsb_mod.run_load(client, config)
+        operations = ycsb_mod.transaction_operations(
+            ycsb_mod.WORKLOADS[WORKLOAD], config,
+            insert_start=config.record_count,
+        )
+        report = run_open_loop(client, operations, OpenLoopConfig(
+            offered_load_ops_s=offered_ops_s,
+            issuers=OPENLOOP_ISSUERS,
+            autopipe_batch=autopipe_batch,
+        ))
+    finally:
+        client.close()
+    assert report.failed == 0, (
+        f"open-loop run dropped {report.failed} operations "
+        f"(mode batch={autopipe_batch}, offered={offered_ops_s})"
+    )
+    return report
+
+
+def _openloop_row(mode: str, batch: int, report: OpenLoopReport) -> dict:
+    engine, client_kwargs = OPENLOOP_CLIENT
+    row = {
+        "engine": f"{engine}-sharded-{client_kwargs.get('shards', 1)}-tcp",
+        "features": "full-gdpr",
+        "threads": OPENLOOP_ISSUERS,
+        "batch_size": batch if batch else 1,
+        "shards": client_kwargs.get("shards", 1),
+        "transport": client_kwargs.get("transport", "pipe"),
+        "workload": f"openloop-ycsb-{WORKLOAD}",
+        "mode": mode,
+    }
+    row.update(report.as_row())
+    return row
+
+
+def _autopipe_floor() -> tuple[float, float, float]:
+    """(ratio, per-call ops/s, autopipe ops/s) at open-loop saturation."""
+    def measure(samples: int) -> tuple[float, float]:
+        percall = statistics.median(
+            _openloop_report(0, math.inf).achieved_ops_s
+            for _ in range(samples)
+        )
+        auto = statistics.median(
+            _openloop_report(AUTOPIPE_BATCH, math.inf).achieved_ops_s
+            for _ in range(samples)
+        )
+        return percall, auto
+
+    percall, auto = measure(ASSERT_SAMPLES)
+    if auto / percall < 2.0:  # same noise escalation as the other floors
+        percall, auto = measure(ASSERT_SAMPLES + 2)
+    return auto / percall, percall, auto
+
+
 def test_throughput_regression_grid(benchmark):
     def run_grid():
         results = []
@@ -325,6 +422,22 @@ def test_throughput_regression_grid(benchmark):
                 "workload": "mixed-readers-vs-purge",
                 "ops_s": round(ops_s),
             })
+        # Open-loop columns: saturation capacity in both modes, then a
+        # Poisson offered-load sweep around the per-call knee.  The
+        # sweep's sojourn p50/p99 rows are the "latency under load"
+        # picture a closed loop cannot produce; none are asserted here
+        # (the saturation floor is asserted below, median-of-N).
+        modes = (("per-call", 0), (f"autopipe-{AUTOPIPE_BATCH}", AUTOPIPE_BATCH))
+        saturation = {}
+        for mode, batch in modes:
+            report = _openloop_report(batch, math.inf)
+            saturation[mode] = report
+            results.append(_openloop_row(mode, batch, report))
+        percall_capacity = saturation["per-call"].achieved_ops_s
+        for multiplier in OPENLOOP_LOAD_MULTIPLIERS:
+            for mode, batch in modes:
+                report = _openloop_report(batch, percall_capacity * multiplier)
+                results.append(_openloop_row(mode, batch, report))
         return results
 
     results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
@@ -344,6 +457,7 @@ def test_throughput_regression_grid(benchmark):
     sql_tcp_ratio, sql_tcp_pipe, sql_tcp_sock = _floor_speedup(
         SQL_TCP_SHARD_PAIR, floor=0.5, features_factory=FeatureSet.full
     )
+    autopipe_speedup, autopipe_percall, autopipe_fast = _autopipe_floor()
     mvcc_parity = _mvcc_read_parity()
     mixed_rw, mixed_mvcc = _mixed_purge_throughputs(ASSERT_SAMPLES)
     if mixed_mvcc / mixed_rw < 2.0:  # same noise escalation as the floors
@@ -367,6 +481,9 @@ def test_throughput_regression_grid(benchmark):
         "asserted_sql_shard_speedup_at_8_threads": round(sql_shard_speedup, 2),
         "asserted_tcp_vs_pipe_ratio_at_8_threads": round(tcp_ratio, 2),
         "asserted_sql_tcp_vs_pipe_ratio_at_8_threads": round(sql_tcp_ratio, 2),
+        "asserted_autopipe_speedup_at_8_issuers": round(autopipe_speedup, 2),
+        "autopipe_floor": 2.0,
+        "openloop_issuers": OPENLOOP_ISSUERS,
         "tcp_router_tax_floor": 0.5,
         "shard_floor_asserted_min": SHARD_FLOOR_MIN,
         "shard_floor_usable_cores": SHARD_FLOOR_CORES,
@@ -412,6 +529,13 @@ def test_throughput_regression_grid(benchmark):
         f"({sql_shard_four:.0f} vs {sql_shard_single:.0f} ops/s); with "
         f"{SHARD_FLOOR_CORES} usable core(s) the PR 5 tentpole requires "
         f">= {SHARD_FLOOR_MIN}x (2x on the 4-core CI runners)"
+    )
+    assert autopipe_speedup >= 2.0, (
+        f"autopipe at {OPENLOOP_ISSUERS} open-loop issuers (full-GDPR "
+        f"YCSB-{WORKLOAD}) is only {autopipe_speedup:.2f}x the unbatched "
+        f"per-call front end ({autopipe_fast:.0f} vs {autopipe_percall:.0f} "
+        "ops/s); the PR 8 tentpole requires implicit coalescing to buy "
+        ">= 2x without the call sites opting in"
     )
     assert tcp_ratio >= 0.5, (
         f"tcp-transport 4-shard minikv at 8 threads (full-GDPR features) "

@@ -1,0 +1,251 @@
+"""Open-loop workload runner: Poisson arrivals, sojourn-time tails.
+
+The closed-loop runner (:mod:`repro.bench.runtime`) measures *service*
+latency: each worker thread issues its next operation only after the
+previous one finished, so the system is never offered more load than it
+can absorb and queueing delay is invisible by construction.  Real front
+ends are **open loop** — requests arrive on their own schedule whether
+or not earlier ones completed (the paper's "heavy traffic from millions
+of users" shape), and what a user feels is the *sojourn* time: queueing
+delay plus service time, measured from the request's scheduled arrival,
+not from when the client got around to issuing it.
+
+This runner models that front end:
+
+* ``issuers`` concurrent threads each replay their share of the
+  operation list with exponentially-distributed inter-arrival gaps
+  (a Poisson process at ``offered_load_ops_s`` overall, seeded and
+  deterministic per issuer);
+* an issuer that falls behind schedule does **not** slow the arrival
+  clock — subsequent operations are already late the moment they
+  issue, and that lateness is counted in their sojourn times.  This is
+  exactly the backlog behaviour a closed loop cannot exhibit;
+* ``offered_load_ops_s=inf`` degenerates to saturation mode (no gaps):
+  every issuer fires as fast as its operations complete — the
+  throughput-capacity probe the autopipe floor asserts on;
+* with ``autopipe_batch > 0`` each issuer runs inside
+  ``client.autopipe(max_batch=autopipe_batch)``: batchable operations
+  return :class:`~repro.clients.futures.ResultFuture` slots whose
+  completions are stamped by ``.then()`` callbacks at flush time, so
+  latency accounting covers the queue-in-pipeline wait too.  With
+  ``autopipe_batch=0`` every call is a bare per-call round-trip — the
+  unbatched baseline of the ≥ 2x assertion.
+
+Results merge into one :class:`~repro.common.stats.Histogram` per run;
+the report carries offered vs achieved load and the p50/p99 sojourn
+tails that go to ``BENCH_throughput.json``'s open-loop columns.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.clients.futures import ResultFuture
+from repro.common.stats import Histogram
+
+
+@dataclass
+class OpenLoopConfig:
+    """One open-loop run's knobs."""
+
+    #: total offered load across all issuers; ``inf`` = saturation mode
+    offered_load_ops_s: float
+    #: concurrent issuer threads (the paper-facing floor uses 8)
+    issuers: int = 8
+    #: >0 arms ``client.autopipe(max_batch=...)`` per issuer; 0 = per-call
+    autopipe_batch: int = 0
+    #: arrival-schedule RNG seed (per-issuer streams derive from it)
+    seed: int = 11
+    #: unmeasured per-issuer operations replayed before the start barrier.
+    #: Issuer threads pay real one-time setup on their first request —
+    #: most visibly the per-thread TLS channel's keystream pool expansion
+    #: (see :class:`~repro.crypto.tls.LoopbackSecureLink`) — which is
+    #: connection establishment, not workload service time.  YCSB
+    #: excludes connection setup from its measured window; so does this.
+    warmup_ops: int = 32
+
+
+@dataclass
+class OpenLoopReport:
+    """What one open-loop run measured."""
+
+    offered_ops_s: float
+    achieved_ops_s: float
+    completed: int
+    failed: int
+    p50_us: float
+    p99_us: float
+    elapsed_s: float
+    #: wire round-trips the issuers' autopipes performed (0 per-call)
+    flushes: int
+
+    def as_row(self) -> dict:
+        return {
+            "offered_ops_s": (
+                None if math.isinf(self.offered_ops_s)
+                else round(self.offered_ops_s, 1)
+            ),
+            "ops_s": round(self.achieved_ops_s, 1),
+            "completed": self.completed,
+            "failed": self.failed,
+            "p50_us": round(self.p50_us, 1),
+            "p99_us": round(self.p99_us, 1),
+        }
+
+
+class _IssuerTally:
+    """One issuer thread's private accounting (merged after the join)."""
+
+    __slots__ = ("hist", "completed", "failed", "flushes", "last_done")
+
+    def __init__(self) -> None:
+        self.hist = Histogram()
+        self.completed = 0
+        self.failed = 0
+        self.flushes = 0
+        self.last_done = 0.0
+
+    def record(self, sojourn_s: float, ok: bool) -> None:
+        self.hist.record(max(sojourn_s, 0.0) * 1e6)
+        if ok:
+            self.completed += 1
+        else:
+            self.failed += 1
+        self.last_done = time.perf_counter()
+
+
+def _issue(client, op, scheduled: float, tally: _IssuerTally) -> None:
+    """Issue one operation; stamp its completion when it resolves.
+
+    Under an active autopipe a batchable operation returns a pending
+    future — its ``.then()`` callback fires at flush time, which is when
+    the response actually exists; everything else completes inline.
+    """
+    try:
+        response = op.execute(client)
+    except Exception:
+        tally.record(time.perf_counter() - scheduled, False)
+        return
+    if isinstance(response, ResultFuture):
+        def on_value(value, op=op, scheduled=scheduled):
+            try:
+                ok = op.validate(value)
+            except Exception:
+                ok = False
+            tally.record(time.perf_counter() - scheduled, ok)
+
+        def on_error(_exc, scheduled=scheduled):
+            tally.record(time.perf_counter() - scheduled, False)
+
+        response.then(on_value, on_error)
+        return
+    try:
+        ok = op.validate(response)
+    except Exception:
+        ok = False
+    tally.record(time.perf_counter() - scheduled, ok)
+
+
+def _issuer_loop(client, operations, config: OpenLoopConfig, index: int,
+                 barrier: threading.Barrier, start_box: list,
+                 tally: _IssuerTally) -> None:
+    rate = (
+        config.offered_load_ops_s / config.issuers
+        if not math.isinf(config.offered_load_ops_s) else math.inf
+    )
+    rng = random.Random(config.seed * 1009 + index)
+    if operations:
+        # Warm this thread's connection state (TLS channels, shard
+        # sockets) with discarded per-call requests before the barrier,
+        # so the measured window starts at steady state in every mode.
+        for position in range(min(config.warmup_ops, len(operations))):
+            try:
+                operations[position].execute(client)
+            except Exception:
+                pass
+    barrier.wait()
+    start = start_box[0]
+
+    def drive() -> None:
+        arrival = 0.0  # scheduled offset from the shared start instant
+        for op in operations:
+            if math.isinf(rate):
+                scheduled = time.perf_counter()  # saturation: no schedule
+            else:
+                arrival += rng.expovariate(rate)
+                scheduled = start + arrival
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                # behind schedule: issue immediately; the lateness is
+                # queueing delay and lands in this op's sojourn time
+            _issue(client, op, scheduled, tally)
+
+    if config.autopipe_batch > 0:
+        with client.autopipe(max_batch=config.autopipe_batch) as auto:
+            drive()
+            # context exit flushes the tail batch; callbacks have fired
+        tally.flushes = auto.flushes
+    else:
+        drive()
+
+
+def run_open_loop(client, operations, config: OpenLoopConfig) -> OpenLoopReport:
+    """Replay ``operations`` through ``client`` on an open-loop schedule.
+
+    Operations are dealt round-robin across ``config.issuers`` threads;
+    each issuer follows its own Poisson arrival schedule (or saturates,
+    at infinite offered load).  Returns the merged report; per-issuer
+    tallies are private until the join, so no measurement lock sits on
+    the hot path.
+    """
+    lanes = [operations[i::config.issuers] for i in range(config.issuers)]
+    tallies = [_IssuerTally() for _ in range(config.issuers)]
+    start_box = [0.0]
+
+    def stamp_start() -> None:
+        # Runs in exactly one thread once every party (all issuers, past
+        # their warmup, plus the coordinator) has arrived — so t=0 lands
+        # after the slowest issuer's connection setup, not before it.
+        start_box[0] = time.perf_counter() + 0.005
+
+    barrier = threading.Barrier(config.issuers + 1, action=stamp_start)
+    threads = [
+        threading.Thread(
+            target=_issuer_loop,
+            args=(client, lane, config, index, barrier, start_box, tally),
+            name=f"openloop-{index}",
+            daemon=True,
+        )
+        for index, (lane, tally) in enumerate(zip(lanes, tallies))
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    for thread in threads:
+        thread.join()
+
+    merged = Histogram()
+    completed = failed = flushes = 0
+    last_done = start_box[0]
+    for tally in tallies:
+        merged.merge(tally.hist)
+        completed += tally.completed
+        failed += tally.failed
+        flushes += tally.flushes
+        last_done = max(last_done, tally.last_done)
+    elapsed = max(last_done - start_box[0], 1e-9)
+    return OpenLoopReport(
+        offered_ops_s=config.offered_load_ops_s,
+        achieved_ops_s=completed / elapsed,
+        completed=completed,
+        failed=failed,
+        p50_us=merged.percentile_us(50.0),
+        p99_us=merged.percentile_us(99.0),
+        elapsed_s=elapsed,
+        flushes=flushes,
+    )

@@ -1,6 +1,7 @@
 """DB interface layer: one GDPR client stub per engine (Figure 2b)."""
 
 from .base import FeatureSet, GDPRClient, GDPRPipeline, normalise_attribute
+from .futures import AutoPipe, CancelledFutureError, ResultFuture
 from .redis_client import RedisClientPipeline, RedisGDPRClient
 from .sql_client import SQLClientPipeline, SQLGDPRClient
 
@@ -20,7 +21,10 @@ def make_client(engine: str, features: FeatureSet | None = None, **kwargs) -> GD
 
 
 __all__ = [
+    "AutoPipe",
+    "CancelledFutureError",
     "FeatureSet",
+    "ResultFuture",
     "GDPRClient",
     "GDPRPipeline",
     "RedisGDPRClient",

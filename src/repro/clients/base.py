@@ -19,6 +19,7 @@ drives.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -27,6 +28,8 @@ from repro.common.errors import GDPRError
 from repro.gdpr.acl import AccessController, Principal
 from repro.gdpr.compliance import ComplianceReport, evaluate_features
 from repro.gdpr.record import PersonalRecord, parse_ttl
+
+from .futures import AutoPipe, ResultFuture, passthrough
 
 #: Scalar vs list-valued metadata attributes (wire names).
 LIST_ATTRIBUTES = ("PUR", "OBJ", "DEC", "SHR")
@@ -114,12 +117,22 @@ class GDPRPipeline(ABC):
 
     GDPRbench's storage-interface layer gains one batching abstraction
     shared by every engine stub: queueing methods mirror the client
-    primitives but only enqueue (returning ``None`` placeholders), and
-    :meth:`execute` runs the whole batch as **one engine round-trip** —
-    one serialised request and one serialised response crossing the
-    (possibly TLS) wire, one engine-side lock scope, and one persistence
-    group commit.  Responses come back in queue order, shaped exactly as
-    the unbatched primitive would have returned them.
+    primitives but only enqueue, each returning a
+    :class:`~repro.clients.futures.ResultFuture` that resolves when the
+    batch executes, and :meth:`execute` runs the whole batch as **one
+    engine round-trip** — one serialised request and one serialised
+    response crossing the (possibly TLS) wire, one engine-side lock
+    scope, and one persistence group commit.  Responses come back in
+    queue order, shaped exactly as the unbatched primitive would have
+    returned them; each queued operation's future resolves to its own
+    slot (or carries its slot's captured error), and ``.then()``
+    callbacks fire in slot order after the batch completes.
+
+    :meth:`pipeline` opens a **nested pipeline** that auto-merges into
+    this one: code handed a nested view queues onto the shared root
+    queue, its ``execute()`` costs nothing, and the single root
+    ``execute()`` is the one wire round-trip that resolves every
+    future — composable batching without composing round-trips.
 
     The batchable surface covers the YCSB primitives *and* the hot GDPR
     queries: the ``read-data-by-*`` family, ``read-metadata-by-key/usr``,
@@ -131,127 +144,214 @@ class GDPRPipeline(ABC):
 
     Error semantics follow Redis pipelining: a failing command does not
     stop the batch — every queued command executes, failures are captured
-    per slot, and ``execute()`` raises the first captured error after the
-    batch completes.  The queue is always drained by ``execute()``, even
-    on failure, so a pipeline object is reusable.
+    per slot (on the slot's future), and ``execute()`` raises the first
+    captured error after the batch completes.  The queue is always
+    drained by ``execute()``, even on failure, so a pipeline object is
+    reusable.
 
     The queueing half is concrete — every engine batches the same
     ``(kind, key, payload)`` triples — so a stub only implements
-    :meth:`execute` (draining ``self._take()``).
+    :meth:`_run_ops`; draining, future resolution, and the
+    first-error-raise live here in the template :meth:`execute`.
 
-    **Implementor contract.**  Every ``execute()`` implementation must
-    uphold, in order:
+    **Implementor contract.**  Every ``_run_ops()`` implementation
+    receives the already-drained batch and must uphold, in order:
 
-    1. *Drain first.*  Take the queue via ``self._take()`` before doing
-       anything that can fail, so the pipeline object is reusable even
-       after an error (a second ``execute()`` returns ``[]``, it never
-       replays the failed batch).
-    2. *One round-trip.*  The whole batch crosses the client<->engine
+    1. *One round-trip.*  The whole batch crosses the client<->engine
        boundary as one serialised request and one serialised response
        (per shard, for sharded engines) — never one exchange per
        operation.  Point operations should additionally coalesce into
        the engine's native batching (engine pipelines / one
        transaction), amortising lock scopes and persistence flushes.
-    3. *Flush points around multi-record ops.*  An operation that
+    2. *Flush points around multi-record ops.*  An operation that
        cannot join the engine-native batch (a SCAN-shaped query, a
        purge) must first flush the pending point-op run so that
        operations observe each other in queue order.
-    4. *Slot-shaped responses.*  ``execute()`` returns one response per
-       queued operation, in queue order, shaped exactly as the
-       unbatched client primitive would have returned it.
-    5. *Per-slot error capture.*  A failing operation — including an
-       access-control denial — fills its own slot and never stops the
-       rest of the batch; after the batch completes, raise the first
-       captured error.  Access control is checked per operation at
-       execute time with the principal queued alongside the operation.
-    6. *Isolation is engine-scoped, and documented.*  Whatever
+    3. *Slot-shaped responses.*  Return ``(responses, errors)``:
+       one response per queued operation, in queue order, shaped
+       exactly as the unbatched client primitive would have returned
+       it.
+    4. *Per-slot error capture.*  A failing operation — including an
+       access-control denial — fills its own slot with the exception
+       instance (and appends it to ``errors``) and never stops the
+       rest of the batch; ``_run_ops`` itself raises only on
+       batch-level failure (transport loss), never for one bad slot.
+       Access control is checked per operation at execute time with
+       the principal queued alongside the operation.
+    5. *Isolation is engine-scoped, and documented.*  Whatever
        atomicity the engine batch provides (all involved stripes locked;
        one transaction; per-shard only) is the batch's isolation — the
        contract does not add cross-batch or cross-shard guarantees, so
        each implementation documents what its engine gives.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, parent: "GDPRPipeline | None" = None) -> None:
+        self._parent = parent
+        self._root: GDPRPipeline = parent._root if parent is not None else self
+        #: queued (kind, key, payload) triples — root pipeline only
         self._ops: list[tuple[str, str, object]] = []
+        #: the pending future for each queued triple — root only, in step
+        self._futures: list[ResultFuture] = []
+        #: futures queued through THIS view (what a nested execute returns)
+        self._issued: list[ResultFuture] = []
 
     def __len__(self) -> int:
-        """Commands currently queued."""
-        return len(self._ops)
+        """Commands currently queued (through this view, when nested)."""
+        if self._root is self:
+            return len(self._ops)
+        return sum(1 for future in self._issued if future.pending)
+
+    def pipeline(self) -> "GDPRPipeline":
+        """A nested pipeline that auto-merges into this one.
+
+        The nested view queues onto the shared root queue; its
+        ``execute()`` performs **no** round-trip (it just hands back the
+        futures issued through the view) — the root's ``execute()`` is
+        the single wire exchange that resolves everything queued through
+        any view of the batch.
+        """
+        return type(self)(self._client, parent=self)
+
+    def _append(self, kind: str, key: str, payload) -> ResultFuture:
+        """Queue one triple on the root; returns its pending future."""
+        root = self._root
+        future = ResultFuture(pipeline=root, flush_hook=root._resolve)
+        root._ops.append((kind, key, payload))
+        root._futures.append(future)
+        if root is not self:
+            self._issued.append(future)
+        return future
 
     # -- YCSB primitives ----------------------------------------------------
 
-    def ycsb_read(self, key: str, fields: Sequence[str] | None = None) -> None:
-        """Queue a point read; its response slot is a dict or None."""
-        self._ops.append(("read", key, fields))
+    def ycsb_read(self, key: str, fields: Sequence[str] | None = None) -> ResultFuture:
+        """Queue a point read; its slot resolves to a dict or None."""
+        return self._append("read", key, fields)
 
-    def ycsb_update(self, key: str, fields: dict) -> None:
-        """Queue an update; its response slot is the changed-row count."""
-        self._ops.append(("update", key, fields))
+    def ycsb_update(self, key: str, fields: dict) -> ResultFuture:
+        """Queue an update; its slot resolves to the changed-row count."""
+        return self._append("update", key, fields)
 
-    def ycsb_insert(self, key: str, fields: dict) -> None:
-        """Queue an insert; its response slot is None."""
-        self._ops.append(("insert", key, fields))
+    def ycsb_insert(self, key: str, fields: dict) -> ResultFuture:
+        """Queue an insert; its slot resolves to None."""
+        return self._append("insert", key, fields)
 
     # -- GDPR reads ---------------------------------------------------------
 
-    def read_data_by_key(self, principal, key: str) -> None:
+    def read_data_by_key(self, principal, key: str) -> ResultFuture:
         """Queue READ-DATA-BY-KEY; its slot is the datum string or None."""
-        self._ops.append(("read-data-by-key", key, principal))
+        return self._append("read-data-by-key", key, principal)
 
-    def read_data_by_pur(self, principal, purpose: str) -> None:
+    def read_data_by_pur(self, principal, purpose: str) -> ResultFuture:
         """Queue READ-DATA-BY-PUR; its slot is a [(key, data)] list."""
-        self._ops.append(("read-data-by-pur", purpose, principal))
+        return self._append("read-data-by-pur", purpose, principal)
 
-    def read_data_by_usr(self, principal, user: str) -> None:
+    def read_data_by_usr(self, principal, user: str) -> ResultFuture:
         """Queue READ-DATA-BY-USR; its slot is a [(key, data)] list."""
-        self._ops.append(("read-data-by-usr", user, principal))
+        return self._append("read-data-by-usr", user, principal)
 
-    def read_data_by_obj(self, principal, purpose: str) -> None:
+    def read_data_by_obj(self, principal, purpose: str) -> ResultFuture:
         """Queue READ-DATA-BY-OBJ; its slot is a [(key, data)] list."""
-        self._ops.append(("read-data-by-obj", purpose, principal))
+        return self._append("read-data-by-obj", purpose, principal)
 
-    def read_data_by_dec(self, principal, decision: str) -> None:
+    def read_data_by_dec(self, principal, decision: str) -> ResultFuture:
         """Queue READ-DATA-BY-DEC; its slot is a [(key, data)] list."""
-        self._ops.append(("read-data-by-dec", decision, principal))
+        return self._append("read-data-by-dec", decision, principal)
 
-    def read_metadata_by_key(self, principal, key: str) -> None:
+    def read_metadata_by_key(self, principal, key: str) -> ResultFuture:
         """Queue READ-METADATA-BY-KEY; its slot is a metadata dict or None."""
-        self._ops.append(("read-metadata-by-key", key, principal))
+        return self._append("read-metadata-by-key", key, principal)
 
-    def read_metadata_by_usr(self, principal, user: str) -> None:
+    def read_metadata_by_usr(self, principal, user: str) -> ResultFuture:
         """Queue READ-METADATA-BY-USR; its slot is a [(key, metadata)] list."""
-        self._ops.append(("read-metadata-by-usr", user, principal))
+        return self._append("read-metadata-by-usr", user, principal)
 
     # -- GDPR writes --------------------------------------------------------
 
-    def delete_record_by_ttl(self, principal) -> None:
+    def delete_record_by_ttl(self, principal) -> ResultFuture:
         """Queue DELETE-RECORD-BY-TTL; its slot is the erased-record count."""
-        self._ops.append(("delete-record-by-ttl", "", principal))
+        return self._append("delete-record-by-ttl", "", principal)
 
-    def update_metadata_by_key(self, principal, key: str, attribute: str, value) -> None:
+    def update_metadata_by_key(self, principal, key: str, attribute: str, value) -> ResultFuture:
         """Queue UPDATE-METADATA-BY-KEY; its slot is the changed-row count."""
-        self._ops.append(("update-metadata-by-key", key, (principal, attribute, value)))
+        return self._append("update-metadata-by-key", key, (principal, attribute, value))
 
-    def update_metadata_by_pur(self, principal, purpose: str, attribute: str, value) -> None:
+    def update_metadata_by_pur(self, principal, purpose: str, attribute: str, value) -> ResultFuture:
         """Queue UPDATE-METADATA-BY-PUR; its slot is the changed-row count."""
-        self._ops.append(("update-metadata-by-pur", purpose, (principal, attribute, value)))
+        return self._append("update-metadata-by-pur", purpose, (principal, attribute, value))
 
-    def update_metadata_by_usr(self, principal, user: str, attribute: str, value) -> None:
+    def update_metadata_by_usr(self, principal, user: str, attribute: str, value) -> ResultFuture:
         """Queue UPDATE-METADATA-BY-USR; its slot is the changed-row count."""
-        self._ops.append(("update-metadata-by-usr", user, (principal, attribute, value)))
+        return self._append("update-metadata-by-usr", user, (principal, attribute, value))
 
-    def update_metadata_by_shr(self, principal, third_party: str, attribute: str, value) -> None:
+    def update_metadata_by_shr(self, principal, third_party: str, attribute: str, value) -> ResultFuture:
         """Queue UPDATE-METADATA-BY-SHR; its slot is the changed-row count."""
-        self._ops.append(("update-metadata-by-shr", third_party, (principal, attribute, value)))
+        return self._append("update-metadata-by-shr", third_party, (principal, attribute, value))
 
-    def _take(self) -> list[tuple[str, str, object]]:
-        """Drain and return the queued (kind, key, payload) triples."""
+    def _withdraw(self, future: ResultFuture) -> bool:
+        """Remove a still-pending future's slot from the queue (root only);
+        the cancellation hook behind :meth:`ResultFuture.cancel`."""
+        try:
+            index = self._futures.index(future)
+        except ValueError:
+            return False
+        del self._futures[index]
+        del self._ops[index]
+        return True
+
+    def _resolve(self) -> None:
+        """Flush hook handed to every future: run the batch, leaving
+        failures per-slot (reading a future raises only its own error)."""
+        self._flush(raise_errors=False)
+
+    def execute(self) -> list:
+        """Run the batch in one round-trip; responses in queue order.
+
+        On a nested view this performs no round-trip: it returns the
+        futures issued through the view, which resolve when the root
+        executes.  On the root it returns the raw responses (and raises
+        the first per-slot error after the batch completes), exactly as
+        the explicit-batch contract always has.
+        """
+        if self._root is not self:
+            issued, self._issued = self._issued, []
+            return issued
+        return self._flush(raise_errors=True)
+
+    def _flush(self, raise_errors: bool) -> list:
+        """Drain + run the batch, settle every future, fire callbacks."""
         ops, self._ops = self._ops, []
-        return ops
+        futures, self._futures = self._futures, []
+        if not ops:
+            return []
+        try:
+            with passthrough():
+                responses, errors = self._run_ops(ops)
+        except BaseException as exc:
+            # A batch-level failure (transport loss, engine shutdown)
+            # fails every slot: futures never stay pending after a flush.
+            for future in futures:
+                future._settle(exc)
+            for future in futures:
+                future._fire_callbacks()
+            raise
+        for future, response in zip(futures, responses):
+            future._settle(response)
+        for future in futures:  # slot order, after the whole batch settled
+            future._fire_callbacks()
+        if raise_errors and errors:
+            raise errors[0]
+        return responses
 
     @abstractmethod
-    def execute(self) -> list:
-        """Run the batch in one round-trip; responses in queue order."""
+    def _run_ops(self, ops: list[tuple[str, str, object]]) -> tuple[list, list[Exception]]:
+        """Run a drained batch in one round-trip (the engine half).
+
+        Returns ``(responses, errors)``: slot-shaped responses in queue
+        order — a failing slot holds its exception instance — plus the
+        captured errors in occurrence order.  See the class docstring's
+        implementor contract.
+        """
 
 
 class GDPRClient(ABC):
@@ -270,6 +370,8 @@ class GDPRClient(ABC):
     def __init__(self, features: FeatureSet) -> None:
         self.features = features
         self.acl = AccessController(enabled=features.access_control)
+        #: per-thread implicit-pipeline context (see clients/futures.py)
+        self._autopipe_local = threading.local()
 
     def pipeline(self) -> GDPRPipeline | None:
         """A client command batch, or None when the engine has no pipeline.
@@ -278,6 +380,22 @@ class GDPRClient(ABC):
         to single-operation execution when it gets None.
         """
         return None
+
+    def autopipe(self, max_batch: int = 128, flush_on_read: bool = True) -> AutoPipe:
+        """An implicit pipeline context for this thread (or asyncio task).
+
+        Inside ``with client.autopipe():``, bare calls on the batchable
+        operation surface enqueue onto one shared :meth:`pipeline` and
+        return :class:`~repro.clients.futures.ResultFuture` objects; the
+        batch flushes on read-of-a-future, at ``max_batch`` queued
+        operations, on an event-loop tick, before any non-batchable
+        operation, and at context exit — straight-line code rides the
+        explicit-batch machinery without hand-building batches.  Results
+        are byte-identical to the equivalent explicit batch; with
+        ``flush_on_read=False`` reading a future never triggers the
+        flush (it waits, for externally-driven flush schedules).
+        """
+        return AutoPipe(self, max_batch=max_batch, flush_on_read=flush_on_read)
 
     # ------------------------------------------------------------------
     # Load phase

@@ -1,0 +1,410 @@
+"""Futures + implicit pipelining for the DB interface layer (redpipe-style).
+
+The explicit :class:`~repro.clients.base.GDPRPipeline` contract batches
+whole round-trips, but callers must hand-build the batches.  This module
+adds the coalescing layer on top of that contract:
+
+* :class:`ResultFuture` — the value every pipeline queueing method now
+  returns.  A future resolves when its batch executes, carries its own
+  slot's error (per-slot isolation), runs ``.then()`` callbacks in slot
+  order after the batch completes, and — when its pipeline allows it —
+  triggers the flush itself the first time someone reads it.
+* :class:`AutoPipe` — the *implicit* pipeline: a per-thread context in
+  which **bare client calls** on the batchable surface enqueue onto one
+  shared pipeline and return futures, so straight-line code coalesces
+  into the existing group-commit / scatter-gather machinery without
+  hand-built batches.  Flush triggers: read-of-a-future, the size
+  threshold, an event-loop tick (when entered on an ``asyncio`` loop
+  thread), a non-batchable operation (which must observe queue order),
+  and context exit.
+* :func:`autopipelined` — the class decorator both engine stubs apply so
+  their public operation methods consult the active autopipe.
+
+Nothing here changes what crosses the wire: an autopipe flush calls the
+same ``GDPRPipeline`` execute path an explicit batch uses, so results
+are byte-identical to the equivalent hand-built batch, and with no
+autopipe active every wrapped method is a single ``if`` away from the
+paper's one-call-one-round-trip semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+from typing import Callable
+
+from repro.common.errors import GDPRError
+
+__all__ = [
+    "AutoPipe",
+    "BATCHABLE_METHODS",
+    "CancelledFutureError",
+    "ORDERED_METHODS",
+    "ResultFuture",
+    "autopipelined",
+]
+
+
+class CancelledFutureError(GDPRError):
+    """Reading a future whose queued operation was cancelled before flush."""
+
+
+#: client/pipeline method names that enqueue under an active autopipe —
+#: exactly the batchable surface, and the queueing methods share the
+#: client methods' names and signatures, so interception is a getattr.
+BATCHABLE_METHODS = (
+    "ycsb_read", "ycsb_update", "ycsb_insert",
+    "read_data_by_key", "read_data_by_pur", "read_data_by_usr",
+    "read_data_by_obj", "read_data_by_dec",
+    "read_metadata_by_key", "read_metadata_by_usr",
+    "delete_record_by_ttl",
+    "update_metadata_by_key", "update_metadata_by_pur",
+    "update_metadata_by_usr", "update_metadata_by_shr",
+)
+
+#: client methods that cannot join a batch but must observe queue order:
+#: they flush the pending implicit pipeline, then run directly (inside
+#: the passthrough guard, so their internal client calls never re-enter
+#: the autopipe — ``ycsb_read_modify_write`` calls ``ycsb_read``).
+ORDERED_METHODS = (
+    "create_record", "delete_record_by_key", "delete_record_by_pur",
+    "delete_record_by_usr", "update_data_by_key", "read_metadata_by_shr",
+    "ycsb_scan", "ycsb_read_modify_write", "verify_deletion",
+    "get_system_logs", "load_records",
+    "personal_data_bytes", "total_db_bytes", "record_count",
+    "close",
+)
+
+
+_guard = threading.local()
+
+
+class passthrough:
+    """Thread-local re-entrancy guard: while a pipeline batch executes
+    (or an ordered method runs), client calls made *by* that execution
+    must hit the engine directly, never re-enqueue onto the autopipe."""
+
+    def __enter__(self):
+        _guard.depth = getattr(_guard, "depth", 0) + 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _guard.depth -= 1
+
+
+def in_passthrough() -> bool:
+    return getattr(_guard, "depth", 0) > 0
+
+
+_PENDING = "pending"
+_RESOLVED = "resolved"
+_FAILED = "failed"
+_CANCELLED = "cancelled"
+
+#: guards lazy creation of a pending future's wait event.  Futures are
+#: settled by the thread that flushes their batch — usually the same
+#: thread that queued them — so allocating a ``threading.Event`` per
+#: future would tax every pipelined operation (an Event is a Lock plus
+#: a Condition) to serve the rare cross-thread wait.  Instead ``result``
+#: materialises the event on demand under this lock; ``_settle``
+#: publishes the state *before* reading ``_event``, so a waiter that
+#: created the event before the read gets woken, and one that lost the
+#: race re-checks the already-published state instead of sleeping.
+_event_lock = threading.Lock()
+
+
+class ResultFuture:
+    """One queued operation's eventual response slot.
+
+    Lifecycle: *pending* from queueing until its pipeline flushes, then
+    *resolved* (value available) or *failed* (that slot's captured
+    error); *cancelled* if the caller withdrew the operation before the
+    flush.  Resolution happens for every slot of a batch before any
+    ``.then`` callback runs, and callbacks fire in slot order — exactly
+    the order ``execute()`` returns responses in.
+
+    ``result()`` on a pending future triggers its pipeline's flush when
+    a flush hook is attached (explicit pipelines attach their own
+    ``execute``-without-raise; autopipes attach their flush unless
+    built with ``flush_on_read=False``).  With no hook it waits up to
+    ``timeout`` seconds for another thread (or the event-loop tick) to
+    flush, then raises :class:`TimeoutError`.
+
+    Awaiting a future (``await fut``) first yields one event-loop tick,
+    so sibling coroutines get to enqueue *their* calls before the first
+    reader triggers the flush — that tick is what coalesces concurrent
+    straight-line tasks into one wire round-trip.
+    """
+
+    __slots__ = ("_state", "_value", "_error", "_event", "_callbacks",
+                 "_flush_hook", "_pipeline")
+
+    def __init__(self, pipeline=None, flush_hook: Callable | None = None) -> None:
+        self._state = _PENDING
+        self._value = None
+        self._error: BaseException | None = None
+        self._event: threading.Event | None = None   # lazy; see _event_lock
+        self._callbacks: list[tuple[Callable, Callable | None]] | None = None
+        self._flush_hook = flush_hook
+        self._pipeline = pipeline  # the root pipeline holding our slot
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def pending(self) -> bool:
+        return self._state == _PENDING
+
+    @property
+    def resolved(self) -> bool:
+        return self._state == _RESOLVED
+
+    @property
+    def failed(self) -> bool:
+        return self._state == _FAILED
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    @property
+    def error(self) -> BaseException | None:
+        """The captured per-slot failure, or ``None`` unless :attr:`failed`."""
+        return self._error if self._state == _FAILED else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultFuture {self._state}>"
+
+    # -- settling (called by the owning pipeline) ----------------------
+
+    def _settle(self, response) -> None:
+        """Fill this slot from the executed batch (no callbacks yet)."""
+        if isinstance(response, BaseException):
+            self._error = response
+            state = _FAILED
+        else:
+            self._value = response
+            state = _RESOLVED
+        self._pipeline = None  # the slot left the queue; cancel is over
+        self._state = state    # publish before the event read below
+        event = self._event
+        if event is not None:
+            event.set()
+
+    def _fire_callbacks(self) -> None:
+        """Run queued callbacks, after every slot of the batch settled."""
+        callbacks = self._callbacks
+        if not callbacks:
+            return
+        self._callbacks = None
+        for on_value, on_error in callbacks:
+            self._dispatch(on_value, on_error)
+
+    def _dispatch(self, on_value: Callable, on_error: Callable | None) -> None:
+        if self._state == _RESOLVED:
+            on_value(self._value)
+        elif self._state == _FAILED and on_error is not None:
+            on_error(self._error)
+
+    # -- caller surface ------------------------------------------------
+
+    def result(self, timeout: float | None = None):
+        """The slot's response; flushes the pipeline if still pending."""
+        if self._state == _PENDING and self._flush_hook is not None:
+            self._flush_hook()
+        if self._state == _PENDING:
+            with _event_lock:
+                if self._event is None:
+                    self._event = threading.Event()
+                event = self._event
+            if self._state == _PENDING and not event.wait(timeout):
+                raise TimeoutError(
+                    "unflushed ResultFuture: no flush hook and nothing "
+                    f"resolved it within {timeout}s"
+                )
+        if self._state == _CANCELLED:
+            raise CancelledFutureError("operation was cancelled before flush")
+        if self._state == _FAILED:
+            raise self._error
+        return self._value
+
+    def then(self, on_value: Callable, on_error: Callable | None = None) -> "ResultFuture":
+        """Run ``on_value(value)`` when this slot resolves (``on_error``
+        on its captured exception).  Fires immediately if already
+        settled; otherwise fires after the whole batch resolves, in
+        slot order."""
+        if self._state == _PENDING:
+            if self._callbacks is None:
+                self._callbacks = []
+            self._callbacks.append((on_value, on_error))
+        else:
+            self._dispatch(on_value, on_error)
+        return self
+
+    def cancel(self) -> bool:
+        """Withdraw the queued operation before its batch flushes.
+
+        Returns True when the slot was removed from the pending queue
+        (``result()`` then raises :class:`CancelledFutureError`); False
+        once the batch has started executing or already settled."""
+        if self._state != _PENDING or self._pipeline is None:
+            return False
+        if not self._pipeline._withdraw(self):
+            return False
+        self._pipeline = None
+        self._state = _CANCELLED
+        event = self._event
+        if event is not None:
+            event.set()
+        return True
+
+    def __await__(self):
+        if self._state == _PENDING and self._flush_hook is not None:
+            # one tick of grace: let sibling coroutines enqueue first
+            yield from asyncio.sleep(0).__await__()
+        return self.result()
+
+
+# ---------------------------------------------------------------------------
+# The implicit pipeline
+# ---------------------------------------------------------------------------
+
+
+class AutoPipe:
+    """A per-thread implicit pipeline over one client.
+
+    Entered as a context manager (``with client.autopipe() as ap:``);
+    inside, bare calls on the batchable surface enqueue and return
+    :class:`ResultFuture` objects.  Flush triggers, in the order they
+    usually fire:
+
+    * **size threshold** — the queue reached ``max_batch``;
+    * **read of a future** — ``result()`` / ``await`` on any pending
+      future of this pipe (disabled with ``flush_on_read=False``);
+    * **event-loop tick** — when entered on a running ``asyncio`` loop,
+      a flush is scheduled via ``call_soon`` after the first enqueue of
+      a batch, so concurrent tasks' calls coalesce into one round-trip;
+    * **ordered operation** — a non-batchable client method flushes
+      first so it observes queue order;
+    * **context exit** — whatever remains flushes; errors stay per-slot
+      on their futures (exit never raises a batch error).
+
+    Strictly single-threaded by construction: the context is installed
+    thread-locally and the pipeline must only be touched from the
+    entering thread.  Nested ``autopipe()`` contexts share the outer
+    pipeline (the implicit analogue of nested explicit pipelines
+    auto-merging into their root).
+    """
+
+    def __init__(self, client, max_batch: int = 128,
+                 flush_on_read: bool = True) -> None:
+        if max_batch < 1:
+            raise GDPRError("autopipe max_batch must be >= 1")
+        self._client = client
+        self.max_batch = max_batch
+        self.flush_on_read = flush_on_read
+        self._pipe = None
+        self._outer: AutoPipe | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._tick_scheduled = False
+        #: telemetry: wire round-trips this context triggered
+        self.flushes = 0
+
+    # -- context management --------------------------------------------
+
+    def __enter__(self) -> "AutoPipe":
+        local = self._client._autopipe_local
+        self._outer = getattr(local, "current", None)
+        # nested contexts merge into the outer implicit pipeline
+        self._pipe = (self._outer._pipe if self._outer is not None
+                      else self._client.pipeline())
+        if self._pipe is None:
+            raise GDPRError(
+                f"engine {self._client.engine_name!r} has no pipeline; "
+                "autopipe needs one to coalesce into"
+            )
+        try:
+            self._loop = asyncio.get_running_loop()
+        except RuntimeError:
+            self._loop = None
+        local.current = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        try:
+            self.flush()
+        finally:
+            self._client._autopipe_local.current = self._outer
+
+    # -- queueing ------------------------------------------------------
+
+    def enqueue(self, name: str, args: tuple, kwargs: dict) -> ResultFuture:
+        """Queue one batchable client call; called by the method wrappers."""
+        fut = getattr(self._pipe, name)(*args, **kwargs)
+        fut._flush_hook = self.flush if self.flush_on_read else None
+        if len(self._pipe) >= self.max_batch:
+            self.flush()
+        elif self._loop is not None and not self._tick_scheduled:
+            self._tick_scheduled = True
+            self._loop.call_soon(self._tick)
+        return fut
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        self.flush()
+
+    def flush(self) -> None:
+        """Execute the pending implicit batch (one wire round-trip).
+
+        Errors are captured per slot on the futures — flush never
+        raises a batch error itself, so one poisoned slot cannot break
+        an unrelated caller's read of a healthy one.
+        """
+        if self._pipe is None or len(self._pipe) == 0:
+            return
+        self._pipe._flush(raise_errors=False)
+        self.flushes += 1
+
+
+def _active_autopipe(client) -> AutoPipe | None:
+    if in_passthrough():
+        return None
+    return getattr(client._autopipe_local, "current", None)
+
+
+def _wrap_batchable(method):
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        auto = _active_autopipe(self)
+        if auto is None:
+            return method(self, *args, **kwargs)
+        return auto.enqueue(method.__name__, args, kwargs)
+    return wrapper
+
+
+def _wrap_ordered(method):
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        auto = _active_autopipe(self)
+        if auto is None:
+            return method(self, *args, **kwargs)
+        auto.flush()
+        with passthrough():
+            return method(self, *args, **kwargs)
+    return wrapper
+
+
+def autopipelined(cls):
+    """Class decorator arming a client stub's methods for autopipe mode.
+
+    Batchable methods enqueue-and-return-futures when an autopipe is
+    active on the calling thread; ordered methods flush the pending
+    batch first and then run directly.  With no autopipe active every
+    wrapper is a single thread-local check — the paper's per-call
+    semantics are untouched.
+    """
+    for name in BATCHABLE_METHODS:
+        setattr(cls, name, _wrap_batchable(getattr(cls, name)))
+    for name in ORDERED_METHODS:
+        setattr(cls, name, _wrap_ordered(getattr(cls, name)))
+    return cls

@@ -55,6 +55,7 @@ from repro.minikv.engine import MiniKV, MiniKVConfig
 from repro.minikv.sharded import ShardedMiniKV, open_minikv, shard_aof_path
 
 from .base import FeatureSet, GDPRClient, GDPRPipeline, normalise_attribute
+from .futures import autopipelined
 
 _REC_PREFIX = "rec:"
 _YCSB_PREFIX = "user:"
@@ -86,14 +87,15 @@ class RedisClientPipeline(GDPRPipeline):
     execute through their own internally-pipelined engines — a Redis
     client cannot fuse a SCAN-shaped query into a static command batch.
 
-    Queueing methods return ``None`` placeholders; :meth:`execute`
+    Queueing methods return pending
+    :class:`~repro.clients.futures.ResultFuture` slots; :meth:`execute`
     returns the real responses in queue order.  Failures — including
     per-operation access-control denials — are captured per slot and the
     first is raised after the batch completes.
     """
 
-    def __init__(self, client: "RedisGDPRClient") -> None:
-        super().__init__()
+    def __init__(self, client: "RedisGDPRClient", parent=None) -> None:
+        super().__init__(parent)
         self._client = client
 
     def _flush_points(self, buffered: list, responses: list, errors: list) -> None:
@@ -118,13 +120,17 @@ class RedisClientPipeline(GDPRPipeline):
                 pipe.hmset(redis_key, {f: v.encode() for f, v in _payload.items()})
                 if arm_ttl:
                     pipe.expire(redis_key, client.YCSB_TTL_SECONDS)
-        raw = pipe.execute()
+        # errors ride in their result slots so one poisoned command
+        # cannot void its batch-mates (the per-slot capture below)
+        raw = pipe.execute(raise_on_error=False)
         inserted: list[str] = []
         cursor = 0
         for slot, kind, key, payload in buffered:
             result = raw[cursor]
             cursor += 1
             try:
+                if isinstance(result, Exception):
+                    raise result
                 if kind == "read":
                     if not result:
                         responses[slot] = None
@@ -179,10 +185,7 @@ class RedisClientPipeline(GDPRPipeline):
         method = getattr(client, kind.replace("-", "_"))
         return method(payload, key)
 
-    def execute(self) -> list:
-        ops = self._take()
-        if not ops:
-            return []
+    def _run_ops(self, ops) -> tuple[list, list[Exception]]:
         client = self._client
         # One request round-trip carries the whole batch.  Multi-record
         # ops wire their own full request inside their single-op
@@ -217,11 +220,10 @@ class RedisClientPipeline(GDPRPipeline):
             None if slot in multi_slots else response
             for slot, response in enumerate(responses)
         ])
-        if errors:
-            raise errors[0]
-        return responses
+        return responses, errors
 
 
+@autopipelined
 class RedisGDPRClient(GDPRClient):
     """DB-interface stub translating GDPR queries into minikv commands."""
 

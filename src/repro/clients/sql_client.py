@@ -58,6 +58,7 @@ from .base import (
     GDPRPipeline,
     normalise_attribute,
 )
+from .futures import autopipelined
 
 RECORDS_TABLE = "personal_records"
 YCSB_TABLE = "usertable"
@@ -96,8 +97,8 @@ class SQLClientPipeline(GDPRPipeline):
     batch commits.
     """
 
-    def __init__(self, client: "SQLGDPRClient") -> None:
-        super().__init__()
+    def __init__(self, client: "SQLGDPRClient", parent=None) -> None:
+        super().__init__(parent)
         self._client = client
 
     def _issue_ycsb(self, target, kind: str, key: str, payload):
@@ -147,10 +148,7 @@ class SQLClientPipeline(GDPRPipeline):
         # the read-data-by-* / read-metadata-by-* family
         return client._do_gdpr_read(runner, kind, payload, key)
 
-    def execute(self) -> list:
-        ops = self._take()
-        if not ops:
-            return []
+    def _run_ops(self, ops) -> tuple[list, list[Exception]]:
         client = self._client
         kinds = {kind for kind, _, _ in ops}
         if kinds & _YCSB_KINDS:
@@ -163,9 +161,7 @@ class SQLClientPipeline(GDPRPipeline):
             responses, errors = self._drain_transactional(ops, kinds)
         # ...and one response round-trip carries every result back.
         client._wire(responses)
-        if errors:
-            raise errors[0]
-        return responses
+        return responses, errors
 
     def _drain_transactional(self, ops, kinds) -> tuple[list, list[Exception]]:
         """In-process engine: the whole batch inside one transaction (or,
@@ -250,6 +246,7 @@ class SQLClientPipeline(GDPRPipeline):
         buffered.clear()
 
 
+@autopipelined
 class SQLGDPRClient(GDPRClient):
     """DB-interface stub translating GDPR queries into minisql statements."""
 

@@ -1,0 +1,292 @@
+"""Asyncio shard serving: the frame protocol multiplexed on one event loop.
+
+PR 7's :mod:`repro.common.netshard` carries the shard protocol over TCP
+with **one thread per connection** (in practice: one connection at a
+time per worker).  That shape cannot host the open-loop front ends the
+benchmarks now model — thousands of mostly-idle client connections each
+holding a thread.  This module serves the *same* wire protocol — the
+4-byte big-endian length prefix, the pickled payload, the
+:class:`~repro.common.netshard.FrameError` taxonomy for truncated or
+garbage streams, and strictly one reply per message — from a single
+``asyncio`` event loop, so connection count stops being a thread count:
+
+* :func:`async_recv_frame` / :func:`async_send_frame` — the coroutine
+  twins of ``recv_frame``/``send_frame``, byte-compatible with the
+  blocking ends (a threaded front talks to an async server and vice
+  versa);
+* :class:`AsyncShardServer` — an accept loop over **one shared engine**:
+  the engine replays its persistence file once at :meth:`~AsyncShardServer.start`
+  and every connection multiplexes onto it.  (The threaded
+  :class:`~repro.common.netshard.ShardServer` instead builds a fresh
+  engine per connection — it only ever serves one at a time, so
+  replay-per-accept *is* its recovery story.  With concurrent
+  connections a shared engine is the only coherent choice: all fronts
+  must see one state.)  A ``("stop",)`` message is therefore
+  **connection-scoped** here: it flushes the engine's persistence and
+  closes that connection, leaving the engine live for the others;
+* :class:`AsyncShardConnection` + :func:`async_scatter` — the
+  router-side async variant: per-connection exchanges serialised by an
+  ``asyncio.Lock`` (one outstanding message per shard, the async
+  analogue of the front's per-shard lock) and a scatter that launches
+  every shard's exchange before awaiting any reply, so in-flight batch
+  sub-requests interleave on the wire exactly like the threaded
+  router's all-sends-before-first-receive discipline.
+
+Request handling itself still runs the engine synchronously on the loop
+(the engines are in-process Python); what the event loop buys is I/O
+multiplexing — frame reads, frame writes, and idle connections cost no
+threads, and replies to other connections are written while one
+connection's next request is still in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import socket
+
+from .netshard import _HEADER, MAX_FRAME_BYTES, FrameError
+
+
+async def async_send_frame(writer: asyncio.StreamWriter, obj) -> None:
+    """Pickle ``obj`` and send it as one length-prefixed frame."""
+    payload = pickle.dumps(obj)
+    writer.write(_HEADER.pack(len(payload)) + payload)
+    await writer.drain()
+
+
+async def _read_exact(reader: asyncio.StreamReader, n: int) -> bytes:
+    try:
+        return await reader.readexactly(n)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError from None  # clean close on a frame boundary
+        raise FrameError(
+            f"truncated frame: peer closed after {len(exc.partial)}/{n} bytes"
+        ) from None
+
+
+async def async_recv_frame(reader: asyncio.StreamReader):
+    """Receive one frame; ``EOFError`` on clean close, ``FrameError`` on rot."""
+    header = await _read_exact(reader, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"implausible frame length {length} (garbage prefix?)"
+        )
+    payload = await _read_exact(reader, length)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise FrameError(f"garbage frame: {exc}") from exc
+
+
+def _set_nodelay(writer: asyncio.StreamWriter) -> None:
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        # strict request/response: Nagle would add a delayed-ACK round
+        # trip per exchange, same rationale as the threaded transport
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+def _flush_engine(engine) -> None:
+    """Flush whatever persistence the engine has (AOF or WAL + csvlog)."""
+    for name in ("flush_aof", "flush_wal", "flush_csvlog"):
+        flush = getattr(engine, name, None)
+        if flush is not None:
+            flush()
+
+
+class AsyncShardServer:
+    """One shard worker serving any number of connections from one loop.
+
+    ``engine_factory`` runs once, at :meth:`start` — the engine replays
+    its persistence file and then serves every connection the loop
+    accepts.  Each connection gets the strict one-reply-per-message
+    protocol of :func:`~repro.common.sharding.serve_shard`: ``("call",
+    method, args, kwargs)``, ``("batch", calls)`` via ``run_batch``,
+    per-message error capture (an engine exception becomes an
+    ``("err", exc)`` reply; an unpicklable reply degrades through
+    ``error_factory`` instead of desyncing the stream), and
+    connection-scoped ``("stop",)`` — flush persistence, acknowledge,
+    close this connection, keep serving the rest.
+
+    :meth:`shutdown` is the graceful exit: stop accepting, let the
+    currently-executing request finish (trivially true — requests run on
+    the loop, and shutdown *is* loop code), flush each connection's
+    buffered replies on close, await every handler, and close the
+    engine so its AOF/WAL hits disk.
+    """
+
+    def __init__(self, engine_factory, run_batch, error_factory,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self._engine_factory = engine_factory
+        self._run_batch = run_batch
+        self._error_factory = error_factory
+        self._requested = (host, port)
+        self._server: asyncio.AbstractServer | None = None
+        self._engine = None
+        self._tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self.connections_served = 0
+        #: set each time a connection finishes (powers --once serving)
+        self.connection_done = asyncio.Event()
+        self.host: str | None = None
+        self.port: int | None = None
+
+    async def start(self) -> None:
+        """Replay persistence (once) and start accepting connections."""
+        self._engine = self._engine_factory()
+        self._server = await asyncio.start_server(
+            self._handle, self._requested[0], self._requested[1]
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        _set_nodelay(writer)
+        self._tasks.add(asyncio.current_task())
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    message = await async_recv_frame(reader)
+                except (EOFError, FrameError, OSError):
+                    return  # front vanished or stream rotted: drop it
+                kind = message[0]
+                if kind == "stop":
+                    # connection-scoped: this front is done, others are not
+                    _flush_engine(self._engine)
+                    await async_send_frame(writer, ("ok", None))
+                    return
+                try:
+                    if kind == "call":
+                        _, method, args, kwargs = message
+                        reply = ("ok", getattr(self._engine, method)(*args, **kwargs))
+                    else:  # "batch"
+                        reply = ("ok", self._run_batch(self._engine, message[1]))
+                except Exception as exc:
+                    reply = ("err", exc)
+                try:
+                    payload = pickle.dumps(reply)
+                except Exception:
+                    # unpicklable result/exception: degrade, never desync
+                    payload = pickle.dumps(("err", self._error_factory(
+                        f"unserialisable reply: {reply!r:.200}"
+                    )))
+                writer.write(_HEADER.pack(len(payload)) + payload)
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    return
+        finally:
+            self._writers.discard(writer)
+            self._tasks.discard(asyncio.current_task())
+            writer.close()
+            self.connections_served += 1
+            self.connection_done.set()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: drain in-flight replies, then flush + close."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Closing a StreamWriter flushes its buffered replies first, and
+        # feeds EOF to the handler blocked on its next recv.
+        for writer in list(self._writers):
+            writer.close()
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        if self._engine is not None:
+            self._engine.close()  # flushes AOF/WAL
+            self._engine = None
+
+
+class AsyncShardConnection:
+    """Router-side async shard connection: one outstanding exchange.
+
+    The per-connection ``asyncio.Lock`` plays the role of the threaded
+    front's per-shard lock — the protocol is strictly one reply per
+    message, so concurrent tasks must interleave at message granularity.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        _set_nodelay(writer)
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int, retries: int = 50,
+                      delay: float = 0.1) -> "AsyncShardConnection":
+        """Connect to a shard server, retrying while it binds/re-accepts."""
+        last: Exception | None = None
+        for _ in range(retries):
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                return cls(reader, writer)
+            except OSError as exc:
+                last = exc
+                await asyncio.sleep(delay)
+        raise ConnectionError(
+            f"shard server {host}:{port} unreachable after {retries} attempts"
+        ) from last
+
+    async def exchange(self, message: tuple) -> tuple:
+        """One send + one receive, serialised against concurrent tasks."""
+        async with self._lock:
+            await async_send_frame(self._writer, message)
+            return await async_recv_frame(self._reader)
+
+    async def call(self, method: str, *args, **kwargs):
+        """One engine command; raises the shard-side exception on err."""
+        status, payload = await self.exchange(("call", method, args, kwargs))
+        if status == "err":
+            raise payload
+        return payload
+
+    async def batch(self, calls: list):
+        """One ``(method, args, kwargs)`` batch through ``run_batch``."""
+        status, payload = await self.exchange(("batch", calls))
+        if status == "err":
+            raise payload
+        return payload
+
+    async def stop(self) -> None:
+        """Connection-scoped stop: flush + goodbye, then close our end."""
+        try:
+            await self.exchange(("stop",))
+        finally:
+            await self.close()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def async_scatter(requests: list) -> list:
+    """Scatter ``(connection, message)`` pairs; gather replies in order.
+
+    The async twin of the threaded router's scatter: every exchange task
+    launches before any reply is awaited, so the sub-batches of several
+    in-flight scatters interleave on the wire instead of queueing behind
+    one another.  Every request gets exactly one reply even when some
+    are errors; the first error is raised after the gather completes,
+    matching the threaded discipline.
+    """
+    replies = await asyncio.gather(
+        *(conn.exchange(message) for conn, message in requests)
+    )
+    first_error: Exception | None = None
+    payloads = []
+    for status, payload in replies:
+        if status == "err":
+            first_error = first_error or payload
+        payloads.append(payload)
+    if first_error is not None:
+        raise first_error
+    return payloads

@@ -27,6 +27,7 @@ assert (tcp ≥ 0.5x pipe).
 from __future__ import annotations
 
 import pickle
+import select
 import socket
 import struct
 import time
@@ -102,6 +103,13 @@ class SocketConnection:
     def recv(self):
         return recv_frame(self._sock)
 
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True when a recv would not block (data or EOF pending) —
+        the ``multiprocessing.Connection.poll`` surface, so the serve
+        loop's graceful-shutdown poll works on both transports."""
+        readable, _, _ = select.select([self._sock], [], [], timeout)
+        return bool(readable)
+
     def close(self) -> None:
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
@@ -157,24 +165,34 @@ class ShardServer:
         self.host, self.port = self._listener.getsockname()[:2]
         self._closed = False
 
-    def serve_one(self) -> None:
-        """Accept one connection and serve it to completion."""
+    def serve_one(self, should_stop=None) -> None:
+        """Accept one connection and serve it to completion.
+
+        ``should_stop`` forwards to :func:`serve_shard`'s graceful-
+        shutdown poll: the in-flight request finishes and gets its
+        reply, then the loop drains out and the engine closes (flushing
+        its persistence) — how a SIGTERM'd external server exits without
+        dropping acknowledged writes.
+        """
         sock, _peer = self._listener.accept()
         conn = SocketConnection(sock)
         engine = self._engine_factory()
         # serve_shard closes the engine and the connection in its finally
-        serve_shard(conn, engine, self._run_batch, self._error_factory)
+        serve_shard(conn, engine, self._run_batch, self._error_factory,
+                    should_stop=should_stop)
 
-    def serve_forever(self) -> None:
-        """Accept/serve until the listener is closed.
+    def serve_forever(self, should_stop=None) -> None:
+        """Accept/serve until the listener is closed (or ``should_stop``).
 
         A connection that dies mid-frame must not kill the server: its
         engine was already closed by ``serve_shard``'s finally, and the
         next accept builds a fresh one from the persistence file.
         """
         while not self._closed:
+            if should_stop is not None and should_stop():
+                return
             try:
-                self.serve_one()
+                self.serve_one(should_stop=should_stop)
             except OSError:
                 if self._closed:
                     return

@@ -103,7 +103,8 @@ def parse_address(address) -> tuple[str, int]:
     return str(host), int(port)
 
 
-def serve_shard(conn, engine, run_batch, error_factory) -> None:
+def serve_shard(conn, engine, run_batch, error_factory,
+                should_stop=None) -> None:
     """One shard worker's serve loop: strictly one reply per message.
 
     ``engine`` is the already-constructed in-process engine (its
@@ -111,9 +112,21 @@ def serve_shard(conn, engine, run_batch, error_factory) -> None:
     maps a ``("batch", calls)`` message to a per-slot result list with
     failures captured per slot; ``error_factory`` builds the engine
     family's exception for a reply that cannot cross the transport.
+
+    ``should_stop`` (optional zero-arg callable) is the graceful-
+    shutdown hook: it is polled **between** messages — the current
+    request always gets its reply first, then the loop drains out, and
+    the ``finally`` closes the engine so its persistence flushes.  Both
+    connection flavours (``multiprocessing`` pipes and
+    :class:`~repro.common.netshard.SocketConnection`) expose the
+    ``poll(timeout)`` this needs.
     """
     try:
         while True:
+            if should_stop is not None:
+                while not conn.poll(0.2):
+                    if should_stop():
+                        return  # drained: last reply already sent
             try:
                 message = conn.recv()
             except EOFError:

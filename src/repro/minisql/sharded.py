@@ -555,16 +555,24 @@ class ShardedDatabase(ShardRouter):
     def _route_where(self, table: str, where: Expr | None) -> int | None:
         """Shard index when ``where`` pins the primary key, else None.
 
-        Only the exact point shape ``Cmp(pk, '=', value)`` routes: the
-        row with that key can live on no other shard (INSERT routed it
-        there and UPDATE may not reassign a primary key).  Everything
-        else — ranges, other columns, conjunctions — fans out.
+        A WHERE routes when a **top-level conjunct** is the point shape
+        ``Cmp(pk, '=', value)`` — the bare predicate itself, or any arm
+        of an ``And`` tree (``Expr.conjuncts`` flattens nested ``And``s).
+        Rows satisfying such a WHERE can live on no other shard: INSERT
+        routed the key there and UPDATE may not reassign a primary key,
+        and AND only ever narrows the match.  Everything else — ranges,
+        other columns, disjunctions (an OR arm does not constrain the
+        whole match) — fans out.  Two contradictory pk conjuncts
+        (``pk=1 AND pk=2``) route to either key's shard: the match is
+        empty everywhere, so any single shard answers correctly.
         """
         pk = self._pks.get(table)
         if pk is None or where is None:
             return None
-        if isinstance(where, Cmp) and where.op == "=" and where.column == pk:
-            return self._shard_for_value(table, where.value)
+        for conjunct in where.conjuncts():
+            if (isinstance(conjunct, Cmp) and conjunct.op == "="
+                    and conjunct.column == pk):
+                return self._shard_for_value(table, conjunct.value)
         return None
 
     def _check_pk_assignment(self, table: str, assignments: Mapping[str, object]) -> None:

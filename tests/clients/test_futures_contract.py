@@ -1,0 +1,267 @@
+"""The futures contract: resolve-on-execute, callbacks, autopipe.
+
+PR 8's front end changes what queueing methods *return* — a pending
+:class:`~repro.clients.futures.ResultFuture` per slot — without changing
+what executing a batch *does*.  This suite pins the new surface on every
+deployment shape the pipeline contract covers (both engines ×
+in-process/sharded/tcp):
+
+* futures resolve on ``execute()`` to exactly the values the unbatched
+  single-op methods return;
+* per-slot error isolation — a poisoned slot fails its own future and
+  nobody else's;
+* ``then()`` callbacks fire after the batch settles, in slot order, and
+  immediately when attached late;
+* nested pipelines auto-merge into their root: one ``execute()`` = one
+  wire round-trip for the whole tree;
+* ``cancel()`` withdraws an unflushed slot; ``result(timeout)`` on a
+  never-flushed future times out rather than deadlocking;
+* ``client.autopipe()`` coalesces bare client calls — flush on read,
+  on the size threshold, before any ordered operation, on context
+  exit, and (under asyncio) on an event-loop tick.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.clients import (
+    CancelledFutureError,
+    FeatureSet,
+    ResultFuture,
+    make_client,
+)
+
+pytestmark = pytest.mark.deadline(120)
+
+#: (id, engine, client kwargs) — mirrors the pipeline-contract matrix so
+#: the futures surface cannot drift between deployment shapes.
+CONFIGS = (
+    ("redis", "redis", {}),
+    ("postgres", "postgres", {}),
+    ("redis-sharded", "redis", {"shards": 3}),
+    ("postgres-sharded", "postgres", {"shards": 3}),
+    ("redis-sharded-tcp", "redis", {"shards": 3, "transport": "tcp"}),
+    ("postgres-sharded-tcp", "postgres", {"shards": 3, "transport": "tcp"}),
+)
+N_ROWS = 20
+
+
+def _load(client) -> None:
+    for i in range(N_ROWS):
+        client.ycsb_insert(f"user{i:04d}", {"field0": f"v{i}", "field1": "x"})
+
+
+@pytest.fixture(params=CONFIGS, ids=[config[0] for config in CONFIGS])
+def client(request):
+    _, engine, kwargs = request.param
+    c = make_client(engine, FeatureSet.none(), **kwargs)
+    _load(c)
+    yield c
+    c.close()
+
+
+def _poison(client, pipe) -> ResultFuture:
+    """Queue an op guaranteed to fail on this engine; return its future."""
+    if client.engine_name == "redis":
+        # a non-hash value at the YCSB key makes HGETALL blow up
+        client.engine.set("user:poison", b"not-a-hash")
+        return pipe.ycsb_read("poison")
+    # duplicate primary key makes the INSERT blow up
+    return pipe.ycsb_insert("user0000", {"field0": "dup", "field1": "dup"})
+
+
+class TestResultFutures:
+    def test_resolve_on_execute_matches_unbatched(self, client):
+        twin = make_client(client.engine_name, FeatureSet.none())
+        try:
+            _load(twin)
+            expected = [
+                twin.ycsb_read("user0003"),
+                twin.ycsb_update("user0004", {"field0": "patched"}),
+                twin.ycsb_read("user0004"),
+            ]
+            pipe = client.pipeline()
+            futures = [
+                pipe.ycsb_read("user0003"),
+                pipe.ycsb_update("user0004", {"field0": "patched"}),
+                pipe.ycsb_read("user0004"),
+            ]
+            assert all(f.pending for f in futures)
+            responses = pipe.execute()
+        finally:
+            twin.close()
+        assert all(f.resolved for f in futures)
+        # the futures and the execute() return are the same slot values
+        assert [f.result() for f in futures] == responses
+        for got, want in zip(responses, expected):
+            if isinstance(want, dict):
+                assert {k: got[k] for k in ("field0", "field1")} == \
+                       {k: want[k] for k in ("field0", "field1")}
+            else:
+                assert got == want
+
+    def test_per_slot_error_isolation(self, client):
+        pipe = client.pipeline()
+        before = pipe.ycsb_update("user0001", {"field0": "pre"})
+        bad = _poison(client, pipe)
+        after = pipe.ycsb_read("user0002")
+        with pytest.raises(Exception):
+            pipe.execute()  # first error raised after the batch completes
+        # the failure stayed on its own slot; neighbours resolved
+        assert before.resolved and after.resolved
+        assert after.result()["field0"] == "v2"
+        assert bad.failed and isinstance(bad.error, Exception)
+        with pytest.raises(type(bad.error)):
+            bad.result()
+
+    def test_callbacks_fire_in_slot_order(self, client):
+        order = []
+        pipe = client.pipeline()
+        f1 = pipe.ycsb_read("user0001")
+        f2 = pipe.ycsb_read("user0002")
+        f2.then(lambda value: order.append(("second", value["field0"])))
+        f1.then(lambda value: order.append(("first", value["field0"])))
+        assert order == []  # nothing fires before the batch settles
+        pipe.execute()
+        assert order == [("first", "v1"), ("second", "v2")]
+        # a late then() on a settled future fires immediately
+        f2.then(lambda value: order.append(("late", value["field0"])))
+        assert order[-1] == ("late", "v2")
+
+    def test_error_callback_routes_to_on_error(self, client):
+        seen = []
+        pipe = client.pipeline()
+        bad = _poison(client, pipe)
+        bad.then(lambda value: seen.append(("value", value)),
+                 lambda error: seen.append(("error", type(error).__name__)))
+        with pytest.raises(Exception):
+            pipe.execute()
+        assert len(seen) == 1 and seen[0][0] == "error"
+
+    def test_nested_pipelines_merge_into_one_round_trip(self, client, monkeypatch):
+        twin = make_client(client.engine_name, FeatureSet.none())
+        try:
+            _load(twin)
+            root = client.pipeline()
+            batches = []
+            original = type(root)._run_ops
+
+            def counting_run_ops(self, ops):
+                batches.append(len(ops))
+                return original(self, ops)
+
+            monkeypatch.setattr(type(root), "_run_ops", counting_run_ops)
+            nested = root.pipeline()
+            outer_fut = root.ycsb_read("user0005")
+            inner_futs = [
+                nested.ycsb_read("user0006"),
+                nested.ycsb_update("user0007", {"field0": "inner"}),
+            ]
+            # a nested execute() drains its own view without a round-trip
+            assert nested.execute() == inner_futs
+            assert batches == []
+            assert all(f.pending for f in inner_futs)
+            root.execute()
+            # one wire round-trip carried the whole tree, in issue order
+            assert batches == [3]
+            assert outer_fut.result()["field0"] == twin.ycsb_read("user0005")["field0"]
+            assert inner_futs[0].result()["field0"] == "v6"
+            assert inner_futs[1].result() == twin.ycsb_update(
+                "user0007", {"field0": "inner"}
+            )
+        finally:
+            twin.close()
+
+    def test_cancel_withdraws_an_unflushed_slot(self, client):
+        pipe = client.pipeline()
+        doomed = pipe.ycsb_update("user0008", {"field0": "never"})
+        kept = pipe.ycsb_read("user0009")
+        assert doomed.cancel()
+        assert len(pipe) == 1
+        responses = pipe.execute()
+        assert len(responses) == 1
+        assert kept.result()["field0"] == "v9"
+        assert doomed.cancelled
+        with pytest.raises(CancelledFutureError):
+            doomed.result()
+        # the cancelled write never reached the engine
+        assert client.ycsb_read("user0008")["field0"] == "v8"
+        # cancelling a settled future is a no-op refusal
+        assert not kept.cancel()
+
+    def test_result_timeout_on_a_never_flushed_future(self, client):
+        with client.autopipe(flush_on_read=False) as auto:
+            fut = client.ycsb_read("user0001")
+            assert fut.pending
+            with pytest.raises(TimeoutError):
+                fut.result(timeout=0.05)
+            assert auto.flushes == 0
+        # context exit flushed it; the value is now available
+        assert fut.result()["field0"] == "v1"
+
+
+class TestAutoPipe:
+    def test_bare_calls_coalesce_and_match_unbatched(self, client):
+        twin = make_client(client.engine_name, FeatureSet.none())
+        try:
+            _load(twin)
+            with client.autopipe() as auto:
+                futures = [client.ycsb_read(f"user{i:04d}") for i in range(6)]
+                assert all(isinstance(f, ResultFuture) for f in futures)
+                assert auto.flushes == 0
+                # flush-on-read: the first result() executes the batch
+                assert futures[0].result()["field0"] == "v0"
+                assert auto.flushes == 1
+                assert all(f.resolved for f in futures)
+            expected = [twin.ycsb_read(f"user{i:04d}") for i in range(6)]
+            for fut, want in zip(futures, expected):
+                assert {k: fut.result()[k] for k in ("field0", "field1")} == \
+                       {k: want[k] for k in ("field0", "field1")}
+        finally:
+            twin.close()
+
+    def test_size_threshold_flushes_without_a_read(self, client):
+        with client.autopipe(max_batch=4) as auto:
+            futures = [client.ycsb_read(f"user{i:04d}") for i in range(4)]
+            assert auto.flushes == 1  # fourth enqueue hit the threshold
+            assert all(f.resolved for f in futures)
+
+    def test_ordered_operation_flushes_first(self, client):
+        with client.autopipe() as auto:
+            fut = client.ycsb_insert("zzz0900", {"field0": "s", "field1": "t"})
+            # scan is order-sensitive: it must observe the queued insert
+            rows = client.ycsb_scan("zzz0900", 1)
+            assert auto.flushes == 1
+            assert fut.resolved
+            assert len(rows) == 1
+
+    def test_exit_flush_keeps_errors_per_slot(self, client):
+        with client.autopipe() as auto:
+            ok = client.ycsb_read("user0001")
+            bad = _poison(client, auto._pipe)
+            bad._flush_hook = auto.flush
+        # exit flushed without raising the batch error
+        assert auto.flushes == 1
+        assert ok.result()["field0"] == "v1"
+        assert bad.failed
+
+    def test_outside_the_context_calls_run_per_call(self, client):
+        response = client.ycsb_read("user0001")
+        assert not isinstance(response, ResultFuture)
+        assert response["field0"] == "v1"
+
+    def test_asyncio_tick_coalesces_concurrent_tasks(self, client):
+        async def scenario():
+            with client.autopipe() as auto:
+                async def one_read(i):
+                    return await client.ycsb_read(f"user{i:04d}")
+
+                values = await asyncio.gather(one_read(1), one_read(2))
+                # both tasks' calls coalesced into one round-trip, flushed
+                # by the scheduled event-loop tick (not by flush-on-read)
+                return auto.flushes, values
+
+        flushes, values = asyncio.run(scenario())
+        assert flushes == 1
+        assert [v["field0"] for v in values] == ["v1", "v2"]

@@ -3,7 +3,7 @@
 Both ``RedisGDPRClient`` and ``SQLGDPRClient`` expose ``pipeline()``
 factories returning :class:`~repro.clients.base.GDPRPipeline`
 implementations.  This suite runs the *same* assertions against both, so
-the contract — queueing placeholders, response ordering and shapes,
+the contract — queued futures, response ordering and shapes,
 batched/unbatched equivalence, error semantics — cannot drift between
 engines.  The sharded deployments run the identical assertions (their
 unbatched twins stay in-process), so scatter/gather batching cannot
@@ -13,7 +13,7 @@ drift from the single-engine contract either.
 import pytest
 
 from repro.bench.records import RecordCorpusConfig, generate_corpus
-from repro.clients import FeatureSet, GDPRPipeline, make_client
+from repro.clients import FeatureSet, GDPRPipeline, ResultFuture, make_client
 from repro.common.errors import GDPRError
 from repro.gdpr.acl import Principal
 
@@ -54,12 +54,15 @@ class TestPipelineContract:
             "update-metadata-by-key", "update-metadata-by-usr",
         } <= client.PIPELINE_OP_NAMES
 
-    def test_queueing_returns_placeholders_and_counts(self, client):
+    def test_queueing_returns_pending_futures_and_counts(self, client):
         pipe = client.pipeline()
         assert len(pipe) == 0
-        assert pipe.ycsb_read("user0001") is None
-        assert pipe.ycsb_update("user0002", {"field0": "new"}) is None
-        assert pipe.ycsb_insert("fresh0001", {"field0": "a", "field1": "b"}) is None
+        futures = [
+            pipe.ycsb_read("user0001"),
+            pipe.ycsb_update("user0002", {"field0": "new"}),
+            pipe.ycsb_insert("fresh0001", {"field0": "a", "field1": "b"}),
+        ]
+        assert all(isinstance(f, ResultFuture) and f.pending for f in futures)
         assert len(pipe) == 3
 
     def test_empty_execute_returns_empty(self, client):

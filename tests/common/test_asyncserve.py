@@ -1,0 +1,431 @@
+"""The asyncio shard server: same wire protocol, one loop, many fronts.
+
+:mod:`repro.common.asyncserve` re-serves PR 7's length-prefixed frame
+protocol from a single event loop.  The contracts pinned here:
+
+* the coroutine frame ends are byte-compatible with the blocking ones —
+  a threaded front talks to an async server unchanged;
+* the ``FrameError`` taxonomy survives the port: clean close is
+  ``EOFError``, truncation / implausible length / unpicklable payload
+  are ``FrameError``, and stream rot drops *that connection*, never the
+  server;
+* one **shared** engine serves every connection (the threaded server's
+  fresh-engine-per-accept story does not apply when connections are
+  concurrent), so ``("stop",)`` is connection-scoped;
+* strictly one reply per message — engine errors become ``("err", exc)``
+  replies and the stream stays in sync; unpicklable replies degrade
+  through ``error_factory`` instead of desyncing;
+* an idle connection costs nothing: other fronts are served while it
+  holds its socket open (the property the threaded one-at-a-time loop
+  lacks);
+* :func:`async_scatter` launches every exchange before awaiting any
+  reply, returns payloads in request order, and raises the first error
+  only after every request got its reply;
+* :meth:`AsyncShardServer.shutdown` drains handlers and closes the
+  engine so persistence hits disk.
+"""
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.common.asyncserve import (
+    AsyncShardConnection,
+    AsyncShardServer,
+    async_recv_frame,
+    async_send_frame,
+    async_scatter,
+)
+from repro.common.netshard import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    connect_shard,
+    recv_frame,
+    send_frame,
+)
+
+pytestmark = pytest.mark.deadline(60)
+
+
+class _Engine:
+    """Minimal stateful engine for exercising the async serve loop."""
+
+    instances = 0
+
+    def __init__(self):
+        type(self).instances += 1
+        self.serial = type(self).instances
+        self.closed = False
+        self.data = {}
+
+    def ping(self):
+        return ("pong", self.serial)
+
+    def set(self, key, value):
+        self.data[key] = value
+
+    def get(self, key):
+        return self.data.get(key)
+
+    def boom(self):
+        raise ValueError("kaboom")
+
+    def gift(self):
+        return lambda: None  # unpicklable on purpose
+
+    def close(self):
+        self.closed = True
+
+
+def _run_batch(engine, calls):
+    return [getattr(engine, method)(*args, **kwargs)
+            for method, args, kwargs in calls]
+
+
+def _fresh_server() -> AsyncShardServer:
+    _Engine.instances = 0
+    return AsyncShardServer(_Engine, _run_batch, RuntimeError)
+
+
+def _run(scenario) -> None:
+    """Run an async scenario against a started server, then shut it down."""
+
+    async def main():
+        server = _fresh_server()
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.shutdown()
+
+    return asyncio.run(main())
+
+
+class TestAsyncFrames:
+    """The coroutine frame ends and their error taxonomy."""
+
+    def _streams(self):
+        """A socketpair: asyncio streams on one end, a raw socket peer."""
+        ours, theirs = socket.socketpair()
+        return ours, theirs
+
+    def test_async_round_trip(self):
+        async def scenario():
+            ours, theirs = self._streams()
+            reader, writer = await asyncio.open_connection(sock=ours)
+            peer_r, peer_w = await asyncio.open_connection(sock=theirs)
+            message = ("call", "get", ("user1",), {})
+            await async_send_frame(writer, message)
+            assert await async_recv_frame(peer_r) == message
+            writer.close()
+            peer_w.close()
+
+        asyncio.run(scenario())
+
+    def test_byte_compatible_with_blocking_ends(self):
+        async def scenario():
+            ours, theirs = self._streams()
+            reader, writer = await asyncio.open_connection(sock=ours)
+            # async sender -> blocking receiver
+            await async_send_frame(writer, {"k": b"v"})
+            assert recv_frame(theirs) == {"k": b"v"}
+            # blocking sender -> async receiver
+            send_frame(theirs, ("ok", 7))
+            assert await async_recv_frame(reader) == ("ok", 7)
+            writer.close()
+            theirs.close()
+
+        asyncio.run(scenario())
+
+    def test_clean_close_is_eof(self):
+        async def scenario():
+            ours, theirs = self._streams()
+            reader, writer = await asyncio.open_connection(sock=ours)
+            theirs.close()
+            with pytest.raises(EOFError):
+                await async_recv_frame(reader)
+            writer.close()
+
+        asyncio.run(scenario())
+
+    def test_truncated_payload_is_frame_error(self):
+        async def scenario():
+            ours, theirs = self._streams()
+            reader, writer = await asyncio.open_connection(sock=ours)
+            theirs.sendall(struct.pack("!I", 1024) + b"part")
+            theirs.close()
+            with pytest.raises(FrameError, match="truncated"):
+                await async_recv_frame(reader)
+            writer.close()
+
+        asyncio.run(scenario())
+
+    def test_implausible_length_is_frame_error(self):
+        async def scenario():
+            ours, theirs = self._streams()
+            reader, writer = await asyncio.open_connection(sock=ours)
+            theirs.sendall(struct.pack("!I", MAX_FRAME_BYTES + 1) + b"junk")
+            with pytest.raises(FrameError, match="implausible"):
+                await async_recv_frame(reader)
+            writer.close()
+            theirs.close()
+
+        asyncio.run(scenario())
+
+    def test_garbage_payload_is_frame_error(self):
+        async def scenario():
+            ours, theirs = self._streams()
+            reader, writer = await asyncio.open_connection(sock=ours)
+            junk = b"\x93NOT-A-PICKLE"
+            theirs.sendall(struct.pack("!I", len(junk)) + junk)
+            with pytest.raises(FrameError, match="garbage"):
+                await async_recv_frame(reader)
+            writer.close()
+            theirs.close()
+
+        asyncio.run(scenario())
+
+
+class TestAsyncShardServer:
+    def test_one_shared_engine_serves_every_connection(self):
+        async def scenario(server):
+            first = await AsyncShardConnection.connect(server.host, server.port)
+            second = await AsyncShardConnection.connect(server.host, server.port)
+            await first.call("set", "k", b"v")
+            # the second front reads the first front's write: shared state
+            assert await second.call("get", "k") == b"v"
+            # and both talk to the same engine instance, not replays
+            assert await first.call("ping") == ("pong", 1)
+            assert await second.call("ping") == ("pong", 1)
+            await first.close()
+            await second.close()
+
+        _run(scenario)
+
+    def test_engine_error_is_err_reply_stream_stays_in_sync(self):
+        async def scenario(server):
+            conn = await AsyncShardConnection.connect(server.host, server.port)
+            with pytest.raises(ValueError, match="kaboom"):
+                await conn.call("boom")
+            # strictly one reply per message: the stream survives the err
+            assert await conn.call("ping") == ("pong", 1)
+            await conn.close()
+
+        _run(scenario)
+
+    def test_unpicklable_reply_degrades_instead_of_desyncing(self):
+        async def scenario(server):
+            conn = await AsyncShardConnection.connect(server.host, server.port)
+            with pytest.raises(RuntimeError, match="unserialisable"):
+                await conn.call("gift")
+            assert await conn.call("ping") == ("pong", 1)
+            await conn.close()
+
+        _run(scenario)
+
+    def test_batch_runs_through_run_batch(self):
+        async def scenario(server):
+            conn = await AsyncShardConnection.connect(server.host, server.port)
+            replies = await conn.batch([
+                ("set", ("a", b"1"), {}),
+                ("get", ("a",), {}),
+                ("ping", (), {}),
+            ])
+            assert replies == [None, b"1", ("pong", 1)]
+            await conn.close()
+
+        _run(scenario)
+
+    def test_stop_is_connection_scoped(self):
+        async def scenario(server):
+            leaver = await AsyncShardConnection.connect(server.host, server.port)
+            stayer = await AsyncShardConnection.connect(server.host, server.port)
+            await stayer.call("set", "k", b"v")
+            await leaver.stop()
+            await server.connection_done.wait()
+            # the engine outlived the stop: the other front still works
+            assert await stayer.call("get", "k") == b"v"
+            assert server.connections_served == 1
+            await stayer.close()
+
+        _run(scenario)
+
+    def test_idle_connection_does_not_block_service(self):
+        async def scenario(server):
+            # an idle front parks its socket without sending anything --
+            # on the threaded one-at-a-time loop this would starve the
+            # next front; on the async loop it costs nothing
+            idle_r, idle_w = await asyncio.open_connection(
+                server.host, server.port
+            )
+            active = await AsyncShardConnection.connect(server.host, server.port)
+            assert await active.call("ping") == ("pong", 1)
+            await active.close()
+            idle_w.close()
+
+        _run(scenario)
+
+    def test_frame_rot_drops_the_connection_not_the_server(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(struct.pack("!I", MAX_FRAME_BYTES + 1) + b"junk")
+            await writer.drain()
+            # the server drops the rotted stream: our read sees EOF
+            assert await reader.read() == b""
+            writer.close()
+            # ...and keeps serving fresh fronts
+            conn = await AsyncShardConnection.connect(server.host, server.port)
+            assert await conn.call("ping") == ("pong", 1)
+            await conn.close()
+
+        _run(scenario)
+
+    def test_concurrent_fronts_interleave_on_one_loop(self):
+        async def scenario(server):
+            conns = [
+                await AsyncShardConnection.connect(server.host, server.port)
+                for _ in range(4)
+            ]
+
+            async def chatter(conn, tag):
+                for i in range(10):
+                    await conn.call("set", f"{tag}:{i}", b"x")
+                return await conn.call("get", f"{tag}:9")
+
+            results = await asyncio.gather(
+                *(chatter(conn, f"c{i}") for i, conn in enumerate(conns))
+            )
+            assert results == [b"x"] * 4
+            for conn in conns:
+                await conn.close()
+
+        _run(scenario)
+
+    def test_graceful_shutdown_drains_and_closes_the_engine(self):
+        async def main():
+            server = _fresh_server()
+            await server.start()
+            conn = await AsyncShardConnection.connect(server.host, server.port)
+            await conn.call("set", "k", b"v")
+            engine = server._engine
+            await server.shutdown()
+            # the handler drained, the shared engine flushed and closed
+            assert engine.closed
+            assert server._engine is None
+            assert server.connections_served == 1
+            with pytest.raises((EOFError, ConnectionError, OSError)):
+                await conn.call("ping")
+            await conn.close()
+
+        asyncio.run(main())
+
+    def test_connect_retries_then_raises(self):
+        async def main():
+            # nothing listens here: bind-and-close to claim a dead port
+            probe = socket.socket()
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+            probe.close()
+            with pytest.raises(ConnectionError, match="unreachable"):
+                await AsyncShardConnection.connect(
+                    "127.0.0.1", port, retries=2, delay=0.01
+                )
+
+        asyncio.run(main())
+
+
+class TestAsyncScatter:
+    def test_replies_in_request_order(self):
+        async def scenario(server):
+            a = await AsyncShardConnection.connect(server.host, server.port)
+            b = await AsyncShardConnection.connect(server.host, server.port)
+            payloads = await async_scatter([
+                (a, ("call", "set", ("k1", b"v1"), {})),
+                (b, ("call", "set", ("k2", b"v2"), {})),
+                (a, ("call", "get", ("k2",), {})),
+                (b, ("call", "get", ("k1",), {})),
+            ])
+            assert payloads == [None, None, b"v2", b"v1"]
+            await a.close()
+            await b.close()
+
+        _run(scenario)
+
+    def test_first_error_raised_after_every_reply(self):
+        async def scenario(server):
+            a = await AsyncShardConnection.connect(server.host, server.port)
+            b = await AsyncShardConnection.connect(server.host, server.port)
+            with pytest.raises(ValueError, match="kaboom"):
+                await async_scatter([
+                    (a, ("call", "boom", (), {})),
+                    (b, ("call", "set", ("k", b"v"), {})),
+                ])
+            # every request got its reply before the raise: both streams
+            # are still in sync and the non-error write landed
+            assert await a.call("ping") == ("pong", 1)
+            assert await b.call("get", "k") == b"v"
+            await a.close()
+            await b.close()
+
+        _run(scenario)
+
+
+class _HostedLoop:
+    """An AsyncShardServer on a background-thread loop, for sync fronts."""
+
+    def __init__(self):
+        self.ready = threading.Event()
+        self.server = None
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.server = _fresh_server()
+        await self.server.start()
+        self.ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self.ready.wait(timeout=5), "server loop never came up"
+        return self.server
+
+    def __exit__(self, *_exc):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=5)
+
+
+class TestThreadedFrontCompat:
+    def test_blocking_front_talks_to_async_server(self):
+        with _HostedLoop() as server:
+            conn = connect_shard(server.host, server.port)
+            conn.send(("call", "set", ("k", b"v"), {}))
+            assert conn.recv() == ("ok", None)
+            conn.send(("batch", [("get", ("k",), {}), ("ping", (), {})]))
+            assert conn.recv() == ("ok", [b"v", ("pong", 1)])
+            conn.send(("stop",))
+            assert conn.recv() == ("ok", None)
+            conn.close()
+
+    def test_two_blocking_fronts_share_the_engine(self):
+        with _HostedLoop() as server:
+            first = connect_shard(server.host, server.port)
+            second = connect_shard(server.host, server.port)
+            first.send(("call", "set", ("k", b"shared"), {}))
+            assert first.recv()[0] == "ok"
+            second.send(("call", "get", ("k",), {}))
+            assert second.recv() == ("ok", b"shared")
+            first.close()
+            second.close()

@@ -19,7 +19,7 @@ from repro.minisql import (
     open_database,
     shard_store_path,
 )
-from repro.minisql.expr import And, Cmp
+from repro.minisql.expr import And, Cmp, Not, Or
 from repro.minisql.schema import Column
 from repro.minisql.types import FLOAT, TEXT
 
@@ -444,13 +444,80 @@ class TestRecovery:
             assert db.select("t")[0]["key"] == "keeper"
 
 
-class TestConjunctionsFanOut:
-    def test_conjunction_on_pk_still_correct_via_fanout(self):
-        """``And(pk=..., other)`` does not take the point route; it fans
-        out and must still return exactly the matching rows."""
+class TestConjunctivePointRouting:
+    """``_route_where``: which WHERE shapes pin a single shard.
+
+    docs/sharding.md's routing table: a WHERE routes when a top-level
+    conjunct is ``Cmp(pk, '=', value)`` — AND only narrows the match, so
+    rows satisfying it can live on no other shard.  Ranges, other
+    columns, and disjunctions fan out.
+    """
+
+    def test_conjunction_on_pk_routes_to_the_key_shard(self):
         with sharded() as db:
             load(db)
-            rows = db.select("t", And(Cmp("key", "=", "k3"), Cmp("val", "=", "v0")))
+            where = And(Cmp("key", "=", "k3"), Cmp("val", "=", "v0"))
+            assert db._route_where("t", where) == db._shard_for_value("t", "k3")
+            rows = db.select("t", where)
             assert [row["key"] for row in rows] == ["k3"]
-            assert db._route_where("t", And(Cmp("key", "=", "k3"),
-                                            Cmp("val", "=", "v0"))) is None
+            # the conjunction narrows: a non-matching arm empties the set
+            assert db.select("t", And(Cmp("key", "=", "k3"),
+                                      Cmp("val", "=", "v1"))) == []
+
+    def test_routed_shapes(self):
+        with sharded() as db:
+            load(db)
+            owner = db._shard_for_value("t", "k3")
+            # the bare point predicate, and any top-level And arm --
+            # including one buried in a nested And (conjuncts flatten)
+            assert db._route_where("t", Cmp("key", "=", "k3")) == owner
+            assert db._route_where(
+                "t", And(Cmp("val", "=", "v0"), Cmp("key", "=", "k3"))
+            ) == owner
+            assert db._route_where(
+                "t", And(Cmp("n", ">", 1.0),
+                         And(Cmp("key", "=", "k3"), Cmp("val", "=", "v0")))
+            ) == owner
+
+    def test_fanout_shapes(self):
+        with sharded() as db:
+            load(db)
+            fanout = (
+                None,                                  # no WHERE at all
+                Cmp("key", ">", "k3"),                 # range on the pk
+                Cmp("val", "=", "v0"),                 # point on a non-pk
+                Or(Cmp("key", "=", "k3"),              # an OR arm does not
+                   Cmp("key", "=", "k5")),             # constrain the match
+                And(Cmp("n", ">", 1.0), Cmp("val", "=", "v0")),
+                Not(Cmp("key", "=", "k3")),
+            )
+            for where in fanout:
+                assert db._route_where("t", where) is None, where
+
+    def test_contradictory_pk_conjuncts_route_anywhere_correctly(self):
+        with sharded() as db:
+            load(db)
+            where = And(Cmp("key", "=", "k1"), Cmp("key", "=", "k2"))
+            # the match is empty on every shard, so either key's shard
+            # answers correctly; the route just has to pick one
+            index = db._route_where("t", where)
+            assert index in (db._shard_for_value("t", "k1"),
+                             db._shard_for_value("t", "k2"))
+            assert db.select("t", where) == []
+            assert db.count("t", where) == 0
+
+    def test_routed_statements_touch_one_shard(self):
+        with sharded() as db:
+            load(db)
+            where = And(Cmp("key", "=", "k7"), Cmp("val", "=", "v1"))
+            before = db.info()["statements_per_shard"]
+            assert db.count("t", where) == 1
+            assert db.update("t", {"val": "patched"}, where) == 1
+            assert db.delete("t", And(Cmp("key", "=", "k7"),
+                                      Cmp("val", "=", "patched"))) == 1
+            after = db.info()["statements_per_shard"]
+            # all three statements landed on the key's shard alone
+            grew = [b - a for a, b in zip(before, after)]
+            owner = db._shard_for_value("t", "k7")
+            assert grew[owner] == 3
+            assert all(g == 0 for i, g in enumerate(grew) if i != owner)

@@ -5,15 +5,29 @@ The multi-process sharded engines normally spawn their own workers; this
 entrypoint runs one worker as an *external* process instead, so shards
 can live on other hosts (or be supervised independently).  A front
 configured with ``transport="tcp"`` and ``shard_addresses=[...]``
-connects here; every accepted connection gets a freshly constructed
-engine that replays this shard's persistence file first, which is
-exactly the respawn-replay recovery semantics of the in-router workers
-(see docs/sharding.md).
+connects here.
+
+Two serve loops:
+
+* ``--loop threads`` (default): the PR 7 shape — one connection at a
+  time, each accepted connection gets a freshly constructed engine that
+  replays this shard's persistence file first, exactly the
+  respawn-replay recovery semantics of the in-router workers (see
+  docs/sharding.md).
+* ``--loop asyncio``: an :class:`~repro.common.asyncserve.AsyncShardServer`
+  — one shared engine (persistence replayed once at startup), any number
+  of concurrent front connections multiplexed on one event loop, no
+  thread per connection (see docs/async-pipelining.md).
+
+Both loops shut down gracefully on SIGTERM/SIGINT: the listener closes,
+the in-flight request gets its reply, and the engine closes so its
+AOF/WAL flushes — a supervisor's ``terminate()`` never drops
+acknowledged writes.
 
 Usage::
 
     tools/shard_server.py --engine minikv  --port 7101 --config-json '{"aof_path": "/data/kv.aof.shard0", "fsync": "always"}'
-    tools/shard_server.py --engine minisql --port 7201 --config-json '{"wal_path": "/data/sql.wal.shard1"}'
+    tools/shard_server.py --engine minisql --port 7201 --config-json '{"wal_path": "/data/sql.wal.shard1"}' --loop asyncio
 
 The config JSON holds ``MiniKVConfig`` / ``MiniSQLConfig`` fields for
 **this one shard** (so persistence paths should already carry their
@@ -25,13 +39,17 @@ picks the port and the line is how a supervisor learns it.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
+import signal
 import sys
+import threading
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src"))
 
+from repro.common.asyncserve import AsyncShardServer  # noqa: E402
 from repro.common.errors import KVError, SQLError  # noqa: E402
 from repro.common.netshard import ShardServer  # noqa: E402
 
@@ -51,6 +69,55 @@ def _build(engine: str, config_fields: dict):
     return (lambda: _ShardBackend(config)), _run_statement_batch, SQLError
 
 
+def _serve_threads(args, engine_factory, run_batch, error_factory) -> int:
+    server = ShardServer(args.host, args.port, engine_factory, run_batch,
+                         error_factory)
+    stop = threading.Event()
+
+    def on_signal(_signum, _frame) -> None:
+        stop.set()
+        server.close()  # wakes a blocked accept()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    print(f"listening on {server.host}:{server.port}", flush=True)
+    try:
+        if args.once:
+            server.serve_one(should_stop=stop.is_set)
+        else:
+            server.serve_forever(should_stop=stop.is_set)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+async def _serve_asyncio(args, engine_factory, run_batch, error_factory) -> int:
+    server = AsyncShardServer(engine_factory, run_batch, error_factory,
+                              host=args.host, port=args.port)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+    print(f"listening on {server.host}:{server.port}", flush=True)
+    if args.once:
+        done = asyncio.ensure_future(server.connection_done.wait())
+    else:
+        done = None
+    stopper = asyncio.ensure_future(stop.wait())
+    await asyncio.wait(
+        [task for task in (done, stopper) if task is not None],
+        return_when=asyncio.FIRST_COMPLETED,
+    )
+    for task in (done, stopper):
+        if task is not None:
+            task.cancel()
+    await server.shutdown()
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--engine", choices=("minikv", "minisql"),
@@ -61,6 +128,11 @@ def main(argv=None) -> int:
                         help="bind port (0 = kernel-assigned, printed on stdout)")
     parser.add_argument("--config-json", default="{}",
                         help="engine config fields for this shard, as JSON")
+    parser.add_argument("--loop", choices=("threads", "asyncio"),
+                        default="threads",
+                        help="serve loop: one-connection-at-a-time threads "
+                             "(fresh engine per connection) or an asyncio "
+                             "multiplexer (one shared engine)")
     parser.add_argument("--once", action="store_true",
                         help="serve a single connection then exit (tests)")
     args = parser.parse_args(argv)
@@ -70,19 +142,11 @@ def main(argv=None) -> int:
         parser.error("a shard server runs exactly one shard (shards must be 1)")
     engine_factory, run_batch, error_factory = _build(args.engine, config_fields)
 
-    server = ShardServer(args.host, args.port, engine_factory, run_batch,
-                         error_factory)
-    print(f"listening on {server.host}:{server.port}", flush=True)
-    try:
-        if args.once:
-            server.serve_one()
-        else:
-            server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.close()
-    return 0
+    if args.loop == "asyncio":
+        return asyncio.run(
+            _serve_asyncio(args, engine_factory, run_batch, error_factory)
+        )
+    return _serve_threads(args, engine_factory, run_batch, error_factory)
 
 
 if __name__ == "__main__":
